@@ -1,0 +1,30 @@
+//! Figure 9b: constraint-deduction (conic hull) time as a function of the counter
+//! groups in the model.  The growth is expected to be super-linear — the paper
+//! reports exponential scaling.
+
+use counterpoint::deduce_constraints;
+use counterpoint_bench::projected_model;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_constraint_deduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraint_deduction_by_counter_group");
+    group.sample_size(10);
+    // Groups 1..=3 (4, 10, 22 counters).  The fourth group is exercised by the
+    // `experiments fig9` binary, which reports a single timed run rather than a
+    // Criterion distribution, because a single hull at that size already takes
+    // seconds.
+    for groups in 1..=3usize {
+        let m0 = projected_model("m0", groups);
+        group.bench_with_input(BenchmarkId::new("m0", groups), &groups, |b, _| {
+            b.iter(|| deduce_constraints(&m0));
+        });
+        let m4 = projected_model("m4", groups);
+        group.bench_with_input(BenchmarkId::new("m4", groups), &groups, |b, _| {
+            b.iter(|| deduce_constraints(&m4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constraint_deduction);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Shared helpers for the CounterPoint benchmark and experiment harness.
+//!
+//! The `experiments` binary regenerates every table and figure of the paper's
+//! evaluation (see `EXPERIMENTS.md` at the workspace root for the index); the
+//! Criterion benches in `benches/` measure the performance-characterisation
+//! quantities of Figure 9.
+
+use counterpoint::models::family::{build_feature_model, feature_sets_table3};
+use counterpoint::models::harness::{collect_case_study_observations, HarnessConfig};
+use counterpoint::{FeatureSet, ModelCone, Observation};
+use counterpoint_haswell::hec::cumulative_group_space;
+use counterpoint_haswell::mem::PageSize;
+use counterpoint_haswell::pmu::PmuConfig;
+
+/// Returns the named Table 3 model cone.
+///
+/// # Panics
+///
+/// Panics if the name is not one of `m0`–`m11`.
+pub fn table3_model(name: &str) -> ModelCone {
+    let (_, features): (String, FeatureSet) = feature_sets_table3()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("unknown Table 3 model {name}"));
+    build_feature_model(name, &features)
+}
+
+/// A model projected onto the first `groups` cumulative counter groups
+/// (Ret → L2TLB → Walk → Refs), as used on the x-axes of Figures 1b and 9.
+pub fn projected_model(name: &str, groups: usize) -> ModelCone {
+    let full = table3_model(name);
+    let space = cumulative_group_space(groups);
+    full.project(&space.names().to_vec())
+}
+
+/// The experiment-scale harness configuration: noisy PMU, all three page sizes.
+/// `accesses` scales the per-workload budget (the experiments default to a size
+/// that regenerates every table in a few minutes).
+pub fn experiment_config(accesses: usize) -> HarnessConfig {
+    HarnessConfig {
+        accesses_per_workload: accesses,
+        intervals: 20,
+        confidence: 0.99,
+        pmu: PmuConfig::default(),
+        mmu: counterpoint_haswell::mmu::MmuConfig::haswell(),
+        page_sizes: vec![PageSize::Size4K, PageSize::Size2M, PageSize::Size1G],
+        warmup_intervals: 2,
+    }
+}
+
+/// Collects the case-study observation set at experiment scale.
+pub fn experiment_observations(accesses: usize) -> Vec<Observation> {
+    collect_case_study_observations(&experiment_config(accesses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_model_lookup_works() {
+        let m4 = table3_model("m4");
+        assert_eq!(m4.dimension(), 26);
+    }
+
+    #[test]
+    fn projected_model_shrinks_dimension() {
+        let m = projected_model("m0", 2);
+        assert_eq!(m.dimension(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Table 3 model")]
+    fn unknown_model_panics() {
+        let _ = table3_model("m99");
+    }
+}

@@ -1,0 +1,479 @@
+//! Guided model exploration: discovery and elimination over a feature lattice.
+//!
+//! CounterPoint classifies candidate μDDs — identified by the set of
+//! microarchitectural features they include — as consistent or inconsistent with a
+//! dataset of HEC observations (paper, Section 5).  The expert-in-the-loop search
+//! has two phases: *discovery* adds features until a feasible model is found, and
+//! *elimination* prunes features from a feasible candidate to find minimal feasible
+//! feature sets.  Features present in every feasible model are reported as
+//! (very likely) present in the real hardware.
+
+use crate::cone::ModelCone;
+use crate::feasibility::FeasibilityChecker;
+use crate::observation::Observation;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// A set of microarchitectural feature names (e.g. `TlbPrefetch`, `Merging`).
+pub type FeatureSet = BTreeSet<String>;
+
+/// Builds a [`FeatureSet`] from string slices.
+pub fn feature_set<S: AsRef<str>>(features: &[S]) -> FeatureSet {
+    features.iter().map(|f| f.as_ref().to_string()).collect()
+}
+
+/// A candidate model in an exploration: its name, the features it includes, and its
+/// model cone.
+#[derive(Clone, Debug)]
+pub struct ExplorationModel {
+    /// Model name (e.g. `m4` or `t0`).
+    pub name: String,
+    /// Features included in the model.
+    pub features: FeatureSet,
+    /// The model cone.
+    pub cone: ModelCone,
+}
+
+impl ExplorationModel {
+    /// Creates an exploration model.
+    pub fn new(name: &str, features: FeatureSet, cone: ModelCone) -> ExplorationModel {
+        ExplorationModel {
+            name: name.to_string(),
+            features,
+            cone,
+        }
+    }
+}
+
+/// The result of evaluating one model against a dataset of observations
+/// (one row of the paper's Tables 3, 5 and 7).
+#[derive(Clone, Debug, Serialize)]
+pub struct ModelEvaluation {
+    /// Model name.
+    pub name: String,
+    /// Features included in the model.
+    pub features: Vec<String>,
+    /// Number of observations whose confidence region does not intersect the model
+    /// cone.
+    pub infeasible_count: usize,
+    /// Names of the infeasible observations.
+    pub infeasible_observations: Vec<String>,
+    /// Total number of observations evaluated.
+    pub total_observations: usize,
+    /// `true` when every observation is feasible.
+    pub feasible: bool,
+}
+
+/// Evaluates every model against every observation.
+pub fn evaluate_models(models: &[ExplorationModel], observations: &[Observation]) -> Vec<ModelEvaluation> {
+    models
+        .iter()
+        .map(|model| {
+            let checker = FeasibilityChecker::new(&model.cone);
+            let infeasible: Vec<String> = observations
+                .iter()
+                .filter(|o| !checker.is_feasible(o))
+                .map(|o| o.name().to_string())
+                .collect();
+            ModelEvaluation {
+                name: model.name.clone(),
+                features: model.features.iter().cloned().collect(),
+                infeasible_count: infeasible.len(),
+                feasible: infeasible.is_empty(),
+                infeasible_observations: infeasible,
+                total_observations: observations.len(),
+            }
+        })
+        .collect()
+}
+
+/// Features that appear in *every* feasible model of an evaluation set.
+///
+/// If the workload suite exercises the hardware broadly enough, these features must
+/// be present in the real microarchitecture (paper, Figure 7's argument for feature
+/// `F_Y`).  Returns `None` when no model is feasible.
+pub fn essential_features(evaluations: &[ModelEvaluation]) -> Option<Vec<String>> {
+    let feasible: Vec<&ModelEvaluation> = evaluations.iter().filter(|e| e.feasible).collect();
+    if feasible.is_empty() {
+        return None;
+    }
+    let mut essential: BTreeSet<String> = feasible[0].features.iter().cloned().collect();
+    for eval in &feasible[1..] {
+        let current: BTreeSet<String> = eval.features.iter().cloned().collect();
+        essential = essential.intersection(&current).cloned().collect();
+    }
+    Some(essential.into_iter().collect())
+}
+
+/// Which phase of the guided search produced a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum SearchPhase {
+    /// Feature added to relax violated constraints.
+    Discovery,
+    /// Feature removed to test minimality.
+    Elimination,
+}
+
+/// One explored model in the guided search.
+#[derive(Clone, Debug, Serialize)]
+pub struct SearchStep {
+    /// Features of the explored model.
+    pub features: Vec<String>,
+    /// Number of infeasible observations.
+    pub infeasible_count: usize,
+    /// `true` when no observation is infeasible.
+    pub feasible: bool,
+    /// The phase that generated this model.
+    pub phase: SearchPhase,
+}
+
+/// An edge of the search graph (cf. the paper's Figures 8 and 10).
+#[derive(Clone, Debug, Serialize)]
+pub struct SearchEdge {
+    /// Index of the originating step.
+    pub from: usize,
+    /// Index of the resulting step.
+    pub to: usize,
+    /// The feature added (discovery) or removed (elimination).
+    pub feature: String,
+    /// The phase of the transition.
+    pub phase: SearchPhase,
+}
+
+/// The output of a guided search: every explored model, the transitions between
+/// them, and the minimal feasible feature sets found.
+#[derive(Clone, Debug, Serialize)]
+pub struct SearchGraph {
+    /// Explored models in visit order (index 0 is the initial model).
+    pub steps: Vec<SearchStep>,
+    /// Transitions between explored models.
+    pub edges: Vec<SearchEdge>,
+    /// Feature sets of feasible models that could not be pruned further without
+    /// becoming infeasible.
+    pub minimal_feasible: Vec<Vec<String>>,
+}
+
+impl SearchGraph {
+    /// Feature sets of every feasible model explored.
+    pub fn feasible_feature_sets(&self) -> Vec<Vec<String>> {
+        self.steps
+            .iter()
+            .filter(|s| s.feasible)
+            .map(|s| s.features.clone())
+            .collect()
+    }
+
+    /// Features present in every feasible explored model.
+    pub fn essential_features(&self) -> Vec<String> {
+        let feasible = self.feasible_feature_sets();
+        if feasible.is_empty() {
+            return Vec::new();
+        }
+        let mut essential: BTreeSet<String> = feasible[0].iter().cloned().collect();
+        for set in &feasible[1..] {
+            let current: BTreeSet<String> = set.iter().cloned().collect();
+            essential = essential.intersection(&current).cloned().collect();
+        }
+        essential.into_iter().collect()
+    }
+}
+
+/// Automated discovery/elimination search over a feature lattice.
+///
+/// `G` maps a feature set to the corresponding model cone — in the Haswell case
+/// study this is the model-family generator from `counterpoint-models`.
+pub struct GuidedSearch<G>
+where
+    G: Fn(&FeatureSet) -> ModelCone,
+{
+    generator: G,
+    all_features: Vec<String>,
+    max_models: usize,
+}
+
+impl<G> GuidedSearch<G>
+where
+    G: Fn(&FeatureSet) -> ModelCone,
+{
+    /// Creates a search over the given feature universe.
+    pub fn new<S: AsRef<str>>(generator: G, all_features: &[S]) -> GuidedSearch<G> {
+        GuidedSearch {
+            generator,
+            all_features: all_features.iter().map(|f| f.as_ref().to_string()).collect(),
+            max_models: 256,
+        }
+    }
+
+    /// Caps the number of models the search may evaluate (default 256).
+    pub fn set_max_models(&mut self, limit: usize) {
+        self.max_models = limit;
+    }
+
+    fn count_infeasible(&self, features: &FeatureSet, observations: &[Observation]) -> usize {
+        let cone = (self.generator)(features);
+        FeasibilityChecker::new(&cone).count_infeasible(observations)
+    }
+
+    /// Runs the two-phase search from an initial feature set.
+    ///
+    /// *Discovery* greedily adds the feature that most reduces the number of
+    /// infeasible observations until a feasible model is found (or no feature
+    /// helps).  *Elimination* then recursively removes features from the feasible
+    /// candidate, keeping every removal that preserves feasibility and recording
+    /// minimal feasible sets; per the paper's empirical observation, subtrees under
+    /// infeasible prunings are not explored further.
+    pub fn run(&self, initial: &FeatureSet, observations: &[Observation]) -> SearchGraph {
+        let mut steps: Vec<SearchStep> = Vec::new();
+        let mut edges: Vec<SearchEdge> = Vec::new();
+        let mut evaluated: BTreeSet<Vec<String>> = BTreeSet::new();
+
+        let record = |features: &FeatureSet,
+                          infeasible: usize,
+                          phase: SearchPhase,
+                          steps: &mut Vec<SearchStep>| {
+            steps.push(SearchStep {
+                features: features.iter().cloned().collect(),
+                infeasible_count: infeasible,
+                feasible: infeasible == 0,
+                phase,
+            });
+            steps.len() - 1
+        };
+
+        // Discovery phase.
+        let mut current = initial.clone();
+        let mut current_count = self.count_infeasible(&current, observations);
+        evaluated.insert(current.iter().cloned().collect());
+        let mut current_idx = record(&current, current_count, SearchPhase::Discovery, &mut steps);
+
+        while current_count > 0 && steps.len() < self.max_models {
+            let mut best: Option<(String, usize)> = None;
+            for feature in &self.all_features {
+                if current.contains(feature) {
+                    continue;
+                }
+                let mut candidate = current.clone();
+                candidate.insert(feature.clone());
+                let count = self.count_infeasible(&candidate, observations);
+                if best.as_ref().is_none_or(|(_, c)| count < *c) {
+                    best = Some((feature.clone(), count));
+                }
+            }
+            let Some((feature, count)) = best else { break };
+            if count >= current_count {
+                // No single feature helps; stop discovery.
+                break;
+            }
+            current.insert(feature.clone());
+            current_count = count;
+            evaluated.insert(current.iter().cloned().collect());
+            let new_idx = record(&current, count, SearchPhase::Discovery, &mut steps);
+            edges.push(SearchEdge {
+                from: current_idx,
+                to: new_idx,
+                feature,
+                phase: SearchPhase::Discovery,
+            });
+            current_idx = new_idx;
+        }
+
+        // Elimination phase (only if discovery reached a feasible model).
+        let mut minimal: Vec<Vec<String>> = Vec::new();
+        if current_count == 0 {
+            self.eliminate(
+                &current,
+                current_idx,
+                observations,
+                &mut steps,
+                &mut edges,
+                &mut evaluated,
+                &mut minimal,
+            );
+        }
+
+        SearchGraph {
+            steps,
+            edges,
+            minimal_feasible: minimal,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eliminate(
+        &self,
+        features: &FeatureSet,
+        from_idx: usize,
+        observations: &[Observation],
+        steps: &mut Vec<SearchStep>,
+        edges: &mut Vec<SearchEdge>,
+        evaluated: &mut BTreeSet<Vec<String>>,
+        minimal: &mut Vec<Vec<String>>,
+    ) {
+        let mut any_feasible_child = false;
+        for feature in features.iter().cloned().collect::<Vec<_>>() {
+            if steps.len() >= self.max_models {
+                break;
+            }
+            let mut candidate = features.clone();
+            candidate.remove(&feature);
+            let key: Vec<String> = candidate.iter().cloned().collect();
+            if evaluated.contains(&key) {
+                continue;
+            }
+            evaluated.insert(key);
+            let count = self.count_infeasible(&candidate, observations);
+            steps.push(SearchStep {
+                features: candidate.iter().cloned().collect(),
+                infeasible_count: count,
+                feasible: count == 0,
+                phase: SearchPhase::Elimination,
+            });
+            let new_idx = steps.len() - 1;
+            edges.push(SearchEdge {
+                from: from_idx,
+                to: new_idx,
+                feature: feature.clone(),
+                phase: SearchPhase::Elimination,
+            });
+            if count == 0 {
+                any_feasible_child = true;
+                self.eliminate(&candidate, new_idx, observations, steps, edges, evaluated, minimal);
+            }
+        }
+        if !any_feasible_child {
+            let set: Vec<String> = features.iter().cloned().collect();
+            if !minimal.contains(&set) {
+                minimal.push(set);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counterpoint_mudd::{CounterSignature, CounterSpace};
+
+    /// A toy feature lattice over two counters (x, y):
+    /// - the base model only allows x (signature [1, 0]);
+    /// - feature "Fy" adds a path incrementing y once per x ([1, 1]);
+    /// - feature "Fboth" adds an independent y-only path ([0, 1]).
+    fn toy_cone(features: &FeatureSet) -> ModelCone {
+        let space = CounterSpace::new(&["x", "y"]);
+        let mut sigs = vec![CounterSignature::from_counts(vec![1, 0])];
+        if features.contains("Fy") {
+            sigs.push(CounterSignature::from_counts(vec![1, 1]));
+        }
+        if features.contains("Fboth") {
+            sigs.push(CounterSignature::from_counts(vec![0, 1]));
+        }
+        let n = sigs.len();
+        ModelCone::from_signatures("toy", &space, sigs, n)
+    }
+
+    fn observations() -> Vec<Observation> {
+        vec![
+            Observation::exact("x-only", &[10.0, 0.0]),
+            Observation::exact("balanced", &[10.0, 6.0]),
+        ]
+    }
+
+    #[test]
+    fn evaluate_models_counts_infeasible_observations() {
+        let models = vec![
+            ExplorationModel::new("base", feature_set::<&str>(&[]), toy_cone(&feature_set::<&str>(&[]))),
+            ExplorationModel::new("with-fy", feature_set(&["Fy"]), toy_cone(&feature_set(&["Fy"]))),
+        ];
+        let evals = evaluate_models(&models, &observations());
+        assert_eq!(evals[0].infeasible_count, 1);
+        assert!(!evals[0].feasible);
+        assert_eq!(evals[0].infeasible_observations, vec!["balanced".to_string()]);
+        assert_eq!(evals[1].infeasible_count, 0);
+        assert!(evals[1].feasible);
+        assert_eq!(evals[1].total_observations, 2);
+    }
+
+    #[test]
+    fn essential_features_intersects_feasible_models() {
+        let models = vec![
+            ExplorationModel::new("a", feature_set(&["Fy"]), toy_cone(&feature_set(&["Fy"]))),
+            ExplorationModel::new(
+                "b",
+                feature_set(&["Fy", "Fboth"]),
+                toy_cone(&feature_set(&["Fy", "Fboth"])),
+            ),
+            ExplorationModel::new("c", feature_set::<&str>(&[]), toy_cone(&feature_set::<&str>(&[]))),
+        ];
+        let evals = evaluate_models(&models, &observations());
+        let essential = essential_features(&evals).unwrap();
+        assert_eq!(essential, vec!["Fy".to_string()]);
+    }
+
+    #[test]
+    fn essential_features_none_when_nothing_is_feasible() {
+        let models = vec![ExplorationModel::new(
+            "base",
+            feature_set::<&str>(&[]),
+            toy_cone(&feature_set::<&str>(&[])),
+        )];
+        let evals = evaluate_models(&models, &[Observation::exact("bad", &[1.0, 5.0])]);
+        assert!(essential_features(&evals).is_none());
+    }
+
+    #[test]
+    fn guided_search_discovers_and_minimises() {
+        let search = GuidedSearch::new(toy_cone, &["Fy", "Fboth"]);
+        let graph = search.run(&feature_set::<&str>(&[]), &observations());
+
+        // The initial (empty) model is infeasible; discovery must add a feature.
+        assert!(!graph.steps[0].feasible);
+        assert!(graph.steps.iter().any(|s| s.feasible));
+        // Both Fy and Fboth individually explain the data, so the minimal feasible
+        // sets are singletons.
+        assert!(!graph.minimal_feasible.is_empty());
+        for set in &graph.minimal_feasible {
+            assert_eq!(set.len(), 1);
+        }
+        // Edges connect consecutive discovery steps.
+        assert!(graph.edges.iter().any(|e| e.phase == SearchPhase::Discovery));
+    }
+
+    #[test]
+    fn guided_search_on_already_feasible_model_goes_straight_to_elimination() {
+        let search = GuidedSearch::new(toy_cone, &["Fy", "Fboth"]);
+        let graph = search.run(&feature_set(&["Fy", "Fboth"]), &observations());
+        assert!(graph.steps[0].feasible);
+        assert!(graph.edges.iter().all(|e| e.phase == SearchPhase::Elimination));
+        // {} is infeasible, so minimal sets are {Fy} and/or {Fboth}.
+        assert!(!graph.minimal_feasible.is_empty());
+        for set in &graph.minimal_feasible {
+            assert!(!set.is_empty());
+        }
+    }
+
+    #[test]
+    fn search_graph_essential_features() {
+        let search = GuidedSearch::new(toy_cone, &["Fy", "Fboth"]);
+        let graph = search.run(&feature_set::<&str>(&[]), &observations());
+        // Both Fy-only and Fboth-only models are feasible, so no feature is
+        // essential across all feasible models.
+        let essential = graph.essential_features();
+        assert!(essential.is_empty() || essential.len() == 1);
+        assert!(!graph.feasible_feature_sets().is_empty());
+    }
+
+    #[test]
+    fn search_respects_model_budget() {
+        let mut search = GuidedSearch::new(toy_cone, &["Fy", "Fboth"]);
+        search.set_max_models(1);
+        let graph = search.run(&feature_set::<&str>(&[]), &observations());
+        assert_eq!(graph.steps.len(), 1);
+    }
+
+    #[test]
+    fn feature_set_helper_builds_sorted_sets() {
+        let set = feature_set(&["b", "a", "b"]);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains("a"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Feasibility testing: does an observation's confidence region intersect the model
+//! cone?
+
+use crate::cone::ModelCone;
+use crate::constraints::{ConstraintSet, NamedConstraint};
+use crate::observation::Observation;
+use counterpoint_geometry::ConstraintSense;
+use counterpoint_lp::{LinearProgram, Relation};
+use serde::Serialize;
+
+/// The result of testing one observation against one model.
+#[derive(Clone, Debug, Serialize)]
+pub struct FeasibilityReport {
+    /// The model's name.
+    pub model: String,
+    /// The observation's name.
+    pub observation: String,
+    /// `true` if the confidence region intersects the model cone.
+    pub feasible: bool,
+    /// The model constraints the observation violates (populated only when a
+    /// constraint set was supplied and the observation is infeasible).
+    pub violated: Vec<NamedConstraint>,
+}
+
+/// Tests observations against a model cone with the linear program of the paper's
+/// Appendix A.
+///
+/// The LP has one non-negative flow variable per distinct μpath counter signature
+/// and, for every principal axis of the observation's confidence region, a pair of
+/// constraints bounding the projection of the counter-flow combination onto that
+/// axis by the region's extent.  The observation is feasible iff the LP is.
+#[derive(Clone, Debug)]
+pub struct FeasibilityChecker<'a> {
+    cone: &'a ModelCone,
+    /// Generators as `f64` vectors (column `p` of the counter-flow matrix).
+    generators: Vec<Vec<f64>>,
+}
+
+impl<'a> FeasibilityChecker<'a> {
+    /// Prepares a checker for the given model cone.
+    pub fn new(cone: &'a ModelCone) -> FeasibilityChecker<'a> {
+        let generators = cone
+            .generator_cone()
+            .generators()
+            .iter()
+            .map(|g| g.to_f64_vec())
+            .collect();
+        FeasibilityChecker { cone, generators }
+    }
+
+    /// The model cone under test.
+    pub fn cone(&self) -> &ModelCone {
+        self.cone
+    }
+
+    /// Returns `true` if the observation's confidence region intersects the model
+    /// cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation's dimension differs from the cone's.
+    pub fn is_feasible(&self, observation: &Observation) -> bool {
+        assert_eq!(
+            observation.dimension(),
+            self.cone.dimension(),
+            "observation and model must share a counter space"
+        );
+        let region = observation.region();
+
+        // Degenerate cone: only the origin is producible.
+        if self.generators.is_empty() {
+            return region.contains(&vec![0.0; self.cone.dimension()]);
+        }
+
+        // Scale the problem so right-hand sides are O(1): raw counter values can be
+        // in the billions and would otherwise interact badly with the simplex
+        // feasibility tolerance.
+        let scale = region
+            .center()
+            .iter()
+            .fold(1.0f64, |acc, v| acc.max(v.abs()));
+
+        let num_flows = self.generators.len();
+        let mut lp = LinearProgram::new(num_flows);
+
+        for (axis, width) in region.axes().iter().zip(region.half_widths().iter()) {
+            // Coefficient of flow p: axis · generator_p.
+            let coeffs: Vec<f64> = self
+                .generators
+                .iter()
+                .map(|g| dot(axis, g))
+                .collect();
+            // Work with rescaled flows f' = f / scale so both the coefficients and
+            // the right-hand sides stay O(1) regardless of the raw counter
+            // magnitudes.
+            let centre_proj = dot(axis, region.center());
+            let lo = (centre_proj - width) / scale;
+            let hi = (centre_proj + width) / scale;
+            lp.add_constraint(&coeffs, Relation::Ge, lo);
+            lp.add_constraint(&coeffs, Relation::Le, hi);
+        }
+
+        lp.is_feasible()
+    }
+
+    /// Tests the observation and, when it is infeasible and a constraint set is
+    /// supplied, identifies which model constraints it violates at the confidence
+    /// level.
+    ///
+    /// A constraint `a·v ≥ 0` is violated when even the most favourable point of
+    /// the confidence region's bounding box has `a·v < 0`; an equality `a·v = 0` is
+    /// violated when the box's projection onto `a` excludes zero.
+    pub fn check(&self, observation: &Observation, constraints: Option<&ConstraintSet>) -> FeasibilityReport {
+        let feasible = self.is_feasible(observation);
+        let mut violated = Vec::new();
+        if !feasible {
+            if let Some(set) = constraints {
+                let region = observation.region();
+                let scale = region
+                    .center()
+                    .iter()
+                    .fold(1.0f64, |acc, v| acc.max(v.abs()));
+                let tol = 1e-9 * scale;
+                for named in set.all_named() {
+                    let coeffs: Vec<f64> = named
+                        .constraint()
+                        .coeffs()
+                        .iter()
+                        .map(|c| c.to_f64())
+                        .collect();
+                    let (lo, hi) = region.interval_along(&coeffs);
+                    let broken = match named.constraint().sense() {
+                        ConstraintSense::GreaterEqualZero => hi < -tol,
+                        ConstraintSense::Equality => lo > tol || hi < -tol,
+                    };
+                    if broken {
+                        violated.push(named.clone());
+                    }
+                }
+            }
+        }
+        FeasibilityReport {
+            model: self.cone.name().to_string(),
+            observation: observation.name().to_string(),
+            feasible,
+            violated,
+        }
+    }
+
+    /// Convenience: counts how many of the observations are infeasible for this
+    /// model (the quantity reported per model in the paper's Tables 3, 5 and 7).
+    pub fn count_infeasible(&self, observations: &[Observation]) -> usize {
+        observations.iter().filter(|o| !self.is_feasible(o)).count()
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::deduce_constraints;
+    use counterpoint_mudd::{dsl::compile_uop, CounterSpace};
+
+    fn space() -> CounterSpace {
+        CounterSpace::new(&["load.causes_walk", "load.pde$_miss"])
+    }
+
+    fn fig6a_cone() -> ModelCone {
+        let mudd = compile_uop(
+            "fig6a",
+            r#"
+            incr load.causes_walk;
+            do LookupPde$;
+            switch Pde$Status { Hit => pass; Miss => incr load.pde$_miss };
+            done;
+            "#,
+            &space(),
+        )
+        .unwrap();
+        ModelCone::from_mudd(&mudd).unwrap()
+    }
+
+    fn fig6c_cone() -> ModelCone {
+        // Refined model: PDE cache looked up before the walk; requests may abort.
+        let mudd = compile_uop(
+            "fig6c",
+            r#"
+            do LookupPde$;
+            switch Pde$Status { Hit => pass; Miss => incr load.pde$_miss };
+            switch Abort { Yes => done; No => incr load.causes_walk };
+            done;
+            "#,
+            &space(),
+        )
+        .unwrap();
+        ModelCone::from_mudd(&mudd).unwrap()
+    }
+
+    #[test]
+    fn exact_observations_inside_and_outside() {
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        assert!(checker.is_feasible(&Observation::exact("ok", &[10.0, 4.0])));
+        assert!(checker.is_feasible(&Observation::exact("edge", &[10.0, 10.0])));
+        assert!(!checker.is_feasible(&Observation::exact("bad", &[4.0, 10.0])));
+    }
+
+    #[test]
+    fn refined_model_accepts_the_violating_observation() {
+        // The observation that refutes Figure 6a is feasible for Figure 6c — the
+        // whole point of the refinement loop.
+        let obs = Observation::exact("microbench", &[4.0, 10.0]);
+        assert!(!FeasibilityChecker::new(&fig6a_cone()).is_feasible(&obs));
+        assert!(FeasibilityChecker::new(&fig6c_cone()).is_feasible(&obs));
+    }
+
+    #[test]
+    fn large_counts_do_not_break_feasibility() {
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        assert!(checker.is_feasible(&Observation::exact("big", &[2.0e9, 1.5e9])));
+        assert!(!checker.is_feasible(&Observation::exact("big-bad", &[1.5e9, 2.0e9])));
+    }
+
+    #[test]
+    fn noisy_observation_near_the_boundary_is_feasible() {
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        // Samples whose mean slightly violates the constraint (pde$_miss exceeds
+        // causes_walk by 0.3 on average) but whose confidence region, widened by
+        // the sample noise, still overlaps the cone.
+        let samples: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let base = 1000.0 + (i % 5) as f64;
+                let wiggle = (i % 7) as f64 - 3.0;
+                vec![base, base + 0.3 + wiggle]
+            })
+            .collect();
+        let obs = Observation::from_samples("noisy", &samples, 0.99);
+        assert!(checker.is_feasible(&obs));
+    }
+
+    #[test]
+    fn far_off_noisy_observation_is_infeasible() {
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        let samples: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let jitter = (i % 5) as f64;
+                vec![100.0 + jitter, 500.0 + jitter]
+            })
+            .collect();
+        let obs = Observation::from_samples("noisy-bad", &samples, 0.99);
+        assert!(!checker.is_feasible(&obs));
+    }
+
+    #[test]
+    fn report_identifies_the_violated_constraint() {
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        let constraints = deduce_constraints(&cone);
+        let report = checker.check(&Observation::exact("bad", &[4.0, 10.0]), Some(&constraints));
+        assert!(!report.feasible);
+        assert_eq!(report.model, "fig6a");
+        assert_eq!(report.observation, "bad");
+        assert_eq!(report.violated.len(), 1);
+        assert!(report.violated[0].text().contains("load.pde$_miss <= load.causes_walk"));
+    }
+
+    #[test]
+    fn report_for_feasible_observation_has_no_violations() {
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        let constraints = deduce_constraints(&cone);
+        let report = checker.check(&Observation::exact("ok", &[10.0, 4.0]), Some(&constraints));
+        assert!(report.feasible);
+        assert!(report.violated.is_empty());
+    }
+
+    #[test]
+    fn count_infeasible_matches_individual_checks() {
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        let observations = vec![
+            Observation::exact("a", &[10.0, 4.0]),
+            Observation::exact("b", &[4.0, 10.0]),
+            Observation::exact("c", &[1.0, 2.0]),
+        ];
+        assert_eq!(checker.count_infeasible(&observations), 2);
+    }
+
+    #[test]
+    fn zero_cone_only_accepts_zero() {
+        let cone = ModelCone::from_signatures(
+            "zero",
+            &space(),
+            vec![counterpoint_mudd::CounterSignature::zero(2)],
+            1,
+        );
+        let checker = FeasibilityChecker::new(&cone);
+        assert!(checker.is_feasible(&Observation::exact("origin", &[0.0, 0.0])));
+        assert!(!checker.is_feasible(&Observation::exact("nonzero", &[1.0, 0.0])));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a counter space")]
+    fn dimension_mismatch_panics() {
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        let _ = checker.is_feasible(&Observation::exact("bad", &[1.0]));
+    }
+}

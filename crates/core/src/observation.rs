@@ -1,0 +1,120 @@
+//! HEC observations: a workload's counter data plus its confidence region.
+
+use counterpoint_stats::{ConfidenceRegion, NoiseModel};
+
+/// One HEC observation: the counter data collected for one workload/configuration,
+/// summarised as a counter confidence region.
+///
+/// Observations are what CounterPoint tests against model cones.  They can be built
+/// from raw time-series samples (the normal, noisy path) or from exact counter
+/// values (useful with noise-free simulated ground truth and in tests).
+#[derive(Clone, Debug)]
+pub struct Observation {
+    name: String,
+    region: ConfidenceRegion,
+}
+
+impl Observation {
+    /// Builds an observation from time-series samples at the given confidence level
+    /// using the paper's correlated confidence-region construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `confidence` is not in `(0, 1)`.
+    pub fn from_samples(name: &str, samples: &[Vec<f64>], confidence: f64) -> Observation {
+        Observation {
+            name: name.to_string(),
+            region: ConfidenceRegion::from_samples(samples, confidence, NoiseModel::Correlated),
+        }
+    }
+
+    /// Builds an observation from time-series samples with an explicit noise model
+    /// (used to compare correlated vs. independent regions, Figure 3d).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `confidence` is not in `(0, 1)`.
+    pub fn from_samples_with_model(
+        name: &str,
+        samples: &[Vec<f64>],
+        confidence: f64,
+        noise_model: NoiseModel,
+    ) -> Observation {
+        Observation {
+            name: name.to_string(),
+            region: ConfidenceRegion::from_samples(samples, confidence, noise_model),
+        }
+    }
+
+    /// Builds an exact (zero-width) observation from noise-free counter values.
+    pub fn exact(name: &str, values: &[f64]) -> Observation {
+        Observation {
+            name: name.to_string(),
+            region: ConfidenceRegion::exact(values),
+        }
+    }
+
+    /// Wraps an already-constructed confidence region.
+    pub fn from_region(name: &str, region: ConfidenceRegion) -> Observation {
+        Observation {
+            name: name.to_string(),
+            region,
+        }
+    }
+
+    /// The observation's name (workload / configuration label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The counter confidence region.
+    pub fn region(&self) -> &ConfidenceRegion {
+        &self.region
+    }
+
+    /// Number of counters.
+    pub fn dimension(&self) -> usize {
+        self.region.dimension()
+    }
+
+    /// The observation's central (sample-mean) counter values.
+    pub fn mean(&self) -> &[f64] {
+        self.region.center()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_observation() {
+        let obs = Observation::exact("bench", &[10.0, 20.0]);
+        assert_eq!(obs.name(), "bench");
+        assert_eq!(obs.dimension(), 2);
+        assert_eq!(obs.mean(), &[10.0, 20.0]);
+        assert_eq!(obs.region().half_widths(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_samples_uses_correlated_model() {
+        let samples: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let obs = Observation::from_samples("ts", &samples, 0.99);
+        assert_eq!(obs.region().noise_model(), NoiseModel::Correlated);
+        assert_eq!(obs.mean()[0], 24.5);
+    }
+
+    #[test]
+    fn from_samples_with_explicit_model() {
+        let samples: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let obs = Observation::from_samples_with_model("ts", &samples, 0.99, NoiseModel::Independent);
+        assert_eq!(obs.region().noise_model(), NoiseModel::Independent);
+    }
+
+    #[test]
+    fn from_region_wraps() {
+        let region = ConfidenceRegion::exact(&[1.0]);
+        let obs = Observation::from_region("wrapped", region);
+        assert_eq!(obs.dimension(), 1);
+    }
+}

@@ -1,0 +1,391 @@
+//! Generator (V-) representation of model cones and conversion to constraints.
+
+use crate::constraint::ConeConstraint;
+use crate::dd::extreme_rays;
+use counterpoint_numeric::{RatMatrix, RatVector, Rational};
+
+/// The full constraint (H-) representation of a model cone: the equality constraints
+/// spanning the cone's lineality-orthogonal deficit plus the facet inequalities.
+///
+/// Together these are exactly the *model constraints* of the paper: an observation
+/// `v` lies in the model cone iff it satisfies every equality and every inequality.
+#[derive(Clone, Debug)]
+pub struct ConeFacets {
+    /// Equality constraints `c·v = 0` (one per dimension missing from the span of
+    /// the generators, e.g. `stlb_hit = stlb_hit_4k + stlb_hit_2m`).
+    pub equalities: Vec<ConeConstraint>,
+    /// Facet inequalities `c·v ≥ 0`.
+    pub inequalities: Vec<ConeConstraint>,
+}
+
+impl ConeFacets {
+    /// All constraints, equalities first.
+    pub fn all(&self) -> Vec<ConeConstraint> {
+        self.equalities
+            .iter()
+            .chain(self.inequalities.iter())
+            .cloned()
+            .collect()
+    }
+
+    /// Total number of constraints.
+    pub fn len(&self) -> usize {
+        self.equalities.len() + self.inequalities.len()
+    }
+
+    /// Returns `true` if there are no constraints at all (the cone is the whole
+    /// space).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tests whether an exact point satisfies every constraint.
+    pub fn contains(&self, v: &RatVector) -> bool {
+        self.all().iter().all(|c| c.is_satisfied_by(v))
+    }
+
+    /// Returns the constraints violated by an exact point.
+    pub fn violated_by(&self, v: &RatVector) -> Vec<ConeConstraint> {
+        self.all()
+            .into_iter()
+            .filter(|c| !c.is_satisfied_by(v))
+            .collect()
+    }
+}
+
+/// A polyhedral cone given by its generators (the μpath counter signatures).
+///
+/// The cone is `{ Σ fᵢ·gᵢ : fᵢ ≥ 0 }` — exactly the model cone of the counter flow
+/// equation.  Generators are normalised to primitive integer vectors and
+/// deduplicated on construction, matching the first step of the paper's constraint
+/// deduction procedure.
+///
+/// ```
+/// use counterpoint_geometry::GeneratorCone;
+/// use counterpoint_numeric::RatVector;
+///
+/// let cone = GeneratorCone::new(vec![
+///     RatVector::from_i64(&[1, 0]),
+///     RatVector::from_i64(&[1, 1]),
+///     RatVector::from_i64(&[2, 2]), // duplicate direction of [1, 1]
+/// ]);
+/// assert_eq!(cone.generators().len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GeneratorCone {
+    dim: usize,
+    generators: Vec<RatVector>,
+}
+
+impl GeneratorCone {
+    /// Creates a cone from a list of generators, normalising and deduplicating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generators do not all share the same dimension, or if the list
+    /// is empty (an empty generator list has no well-defined ambient dimension; use
+    /// [`GeneratorCone::zero`] instead).
+    pub fn new(generators: Vec<RatVector>) -> GeneratorCone {
+        assert!(
+            !generators.is_empty(),
+            "use GeneratorCone::zero(dim) for a cone with no generators"
+        );
+        let dim = generators[0].len();
+        let mut out: Vec<RatVector> = Vec::with_capacity(generators.len());
+        for g in generators {
+            assert_eq!(g.len(), dim, "all generators must have the same dimension");
+            let n = g.normalize_primitive();
+            if n.is_zero() {
+                continue;
+            }
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        }
+        GeneratorCone { dim, generators: out }
+    }
+
+    /// The cone containing only the origin, in the given ambient dimension.
+    pub fn zero(dim: usize) -> GeneratorCone {
+        GeneratorCone {
+            dim,
+            generators: Vec::new(),
+        }
+    }
+
+    /// Ambient dimension (number of counters).
+    pub fn dimension(&self) -> usize {
+        self.dim
+    }
+
+    /// The deduplicated, primitive generators.
+    pub fn generators(&self) -> &[RatVector] {
+        &self.generators
+    }
+
+    /// The dimension of the linear span of the generators.
+    pub fn span_rank(&self) -> usize {
+        if self.generators.is_empty() {
+            return 0;
+        }
+        RatMatrix::from_rows(&self.generators).rank()
+    }
+
+    /// Computes the constraint (H-) representation of the cone.
+    ///
+    /// The procedure mirrors Section 6 of the paper:
+    ///
+    /// 1. signatures are normalised and deduplicated (done at construction),
+    /// 2. Gaussian elimination identifies the equality constraints (the orthogonal
+    ///    complement of the generators' span),
+    /// 3. generators are re-expressed in a basis of their span, where the cone is
+    ///    full-dimensional and pointed,
+    /// 4. the extreme rays of the *polar* cone — computed with the
+    ///    double-description method — give the facet normals, which are lifted back
+    ///    to the ambient counter space.
+    pub fn facets(&self) -> ConeFacets {
+        if self.generators.is_empty() {
+            // The zero cone: v = 0 for every coordinate.
+            let equalities = (0..self.dim)
+                .map(|i| ConeConstraint::equality(RatVector::basis(self.dim, i)))
+                .collect();
+            return ConeFacets {
+                equalities,
+                inequalities: Vec::new(),
+            };
+        }
+
+        let gen_matrix = RatMatrix::from_rows(&self.generators);
+
+        // Step 2: equality constraints — the nullspace of the generator matrix
+        // (vectors orthogonal to every generator).
+        let equalities: Vec<ConeConstraint> = gen_matrix
+            .nullspace()
+            .into_iter()
+            .map(ConeConstraint::equality)
+            .collect();
+
+        // Step 3: basis of the span.
+        let span_basis = gen_matrix.row_space_basis();
+        let k = span_basis.len();
+        // B is dim x k with columns the basis vectors.
+        let b = RatMatrix::from_rows(&span_basis).transpose();
+        let btb = b.transpose().mul_mat(&b);
+        let btb_inv = btb
+            .inverse()
+            .expect("span basis is linearly independent, so B^T B is invertible");
+
+        // Reduced generators: y = (B^T B)^{-1} B^T g.
+        let reduce = btb_inv.mul_mat(&b.transpose());
+        let reduced: Vec<RatVector> = self
+            .generators
+            .iter()
+            .map(|g| reduce.mul_vec(g))
+            .collect();
+
+        // Step 4: extreme rays of the polar cone { y : G_red · y <= 0 }.
+        let reduced_matrix = RatMatrix::from_rows(&reduced);
+        let inequalities = if k == 0 {
+            Vec::new()
+        } else {
+            let polar_rays = extreme_rays(&reduced_matrix);
+            // Lift each polar ray a back to counter space: c = B (B^T B)^{-1} a,
+            // giving c·g = a·y_g <= 0 on the cone; flip the sign to present the
+            // constraint as (−c)·v ≥ 0.
+            let lift = b.mul_mat(&btb_inv);
+            polar_rays
+                .into_iter()
+                .map(|a| ConeConstraint::inequality((-&lift.mul_vec(&a)).normalize_primitive()))
+                .collect()
+        };
+
+        ConeFacets {
+            equalities,
+            inequalities,
+        }
+    }
+
+    /// Tests (exactly) whether a point is a non-negative combination of the
+    /// generators, by checking it against the facet representation.
+    ///
+    /// This is convenient for tests and small cones; production feasibility testing
+    /// goes through the LP formulation in `counterpoint-core`, which also handles
+    /// confidence regions.
+    pub fn contains(&self, v: &RatVector) -> bool {
+        assert_eq!(v.len(), self.dim, "point dimension mismatch");
+        self.facets().contains(v)
+    }
+
+    /// Evaluates the counter flow equation for an explicit flow assignment: returns
+    /// `Σ flow[i] · generator[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow.len()` differs from the number of generators or any flow is
+    /// negative.
+    pub fn flow_combination(&self, flow: &[Rational]) -> RatVector {
+        assert_eq!(flow.len(), self.generators.len(), "flow length mismatch");
+        let mut acc = RatVector::zeros(self.dim);
+        for (f, g) in flow.iter().zip(self.generators.iter()) {
+            assert!(!f.is_negative(), "flows must be non-negative");
+            acc = &acc + &g.scale(*f);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_i64(v: &[i64]) -> RatVector {
+        RatVector::from_i64(v)
+    }
+
+    #[test]
+    fn construction_dedups_and_normalises() {
+        let cone = GeneratorCone::new(vec![
+            vec_i64(&[2, 0]),
+            vec_i64(&[1, 0]),
+            vec_i64(&[3, 3]),
+            vec_i64(&[0, 0]),
+        ]);
+        assert_eq!(cone.generators().len(), 2);
+        assert_eq!(cone.dimension(), 2);
+        assert_eq!(cone.span_rank(), 2);
+    }
+
+    #[test]
+    fn zero_cone_facets_are_equalities() {
+        let cone = GeneratorCone::zero(3);
+        let facets = cone.facets();
+        assert_eq!(facets.equalities.len(), 3);
+        assert!(facets.inequalities.is_empty());
+        assert!(facets.contains(&vec_i64(&[0, 0, 0])));
+        assert!(!facets.contains(&vec_i64(&[1, 0, 0])));
+    }
+
+    #[test]
+    fn orthant_cone() {
+        let cone = GeneratorCone::new(vec![vec_i64(&[1, 0]), vec_i64(&[0, 1])]);
+        let facets = cone.facets();
+        assert!(facets.equalities.is_empty());
+        assert_eq!(facets.inequalities.len(), 2);
+        assert!(facets.contains(&vec_i64(&[3, 5])));
+        assert!(!facets.contains(&vec_i64(&[-1, 5])));
+    }
+
+    #[test]
+    fn figure3a_cone_constraints() {
+        // Counters: (causes_walk, walk_done, ret_stlb_miss).  μpaths:
+        //   walk initiated, aborted:          (1, 0, 0)
+        //   walk completes, μop squashed:     (1, 1, 0)
+        //   walk completes, μop retires:      (1, 1, 1)
+        let cone = GeneratorCone::new(vec![
+            vec_i64(&[1, 0, 0]),
+            vec_i64(&[1, 1, 0]),
+            vec_i64(&[1, 1, 1]),
+        ]);
+        let facets = cone.facets();
+        assert!(facets.equalities.is_empty());
+        // Expect exactly: ret >= 0, ret <= walk_done, walk_done <= causes_walk.
+        assert_eq!(facets.inequalities.len(), 3);
+        let names = ["causes_walk", "walk_done", "ret_stlb_miss"];
+        let rendered: Vec<String> = facets.inequalities.iter().map(|c| c.render(&names)).collect();
+        assert!(rendered.contains(&"0 <= ret_stlb_miss".to_string()));
+        assert!(rendered.contains(&"ret_stlb_miss <= walk_done".to_string()));
+        assert!(rendered.contains(&"walk_done <= causes_walk".to_string()));
+        // The infeasible observation of Figure 3a (more retired misses than walks).
+        assert!(!facets.contains(&vec_i64(&[2, 2, 3])));
+        assert!(facets.contains(&vec_i64(&[3, 2, 2])));
+    }
+
+    #[test]
+    fn rank_deficient_cone_produces_equalities() {
+        // Generators all satisfy total = a + b, so the facets must include that
+        // equality (cf. stlb_hit = stlb_hit_4k + stlb_hit_2m in the paper).
+        let cone = GeneratorCone::new(vec![
+            vec_i64(&[1, 0, 1]),
+            vec_i64(&[0, 1, 1]),
+        ]);
+        let facets = cone.facets();
+        assert_eq!(facets.equalities.len(), 1);
+        assert_eq!(facets.inequalities.len(), 2);
+        assert!(facets.contains(&vec_i64(&[2, 3, 5])));
+        assert!(!facets.contains(&vec_i64(&[2, 3, 6])));
+        assert!(!facets.contains(&vec_i64(&[-1, 6, 5])));
+    }
+
+    #[test]
+    fn facets_and_generators_are_consistent() {
+        // Every generator (and every non-negative combination) satisfies the facets.
+        let gens = vec![
+            vec_i64(&[1, 0, 0, 1]),
+            vec_i64(&[1, 1, 0, 2]),
+            vec_i64(&[1, 1, 1, 4]),
+            vec_i64(&[0, 0, 1, 1]),
+        ];
+        let cone = GeneratorCone::new(gens.clone());
+        let facets = cone.facets();
+        for g in &gens {
+            assert!(facets.contains(g), "generator {g:?} must satisfy its own facets");
+        }
+        let combo = cone.flow_combination(&[
+            Rational::from(2),
+            Rational::new(1, 2),
+            Rational::from(0),
+            Rational::from(3),
+        ]);
+        assert!(facets.contains(&combo));
+    }
+
+    #[test]
+    fn violated_by_reports_the_right_constraint() {
+        let cone = GeneratorCone::new(vec![vec_i64(&[1, 0]), vec_i64(&[1, 1])]);
+        let facets = cone.facets();
+        // Point with more of counter 1 than counter 0 violates exactly one facet.
+        let bad = vec_i64(&[1, 2]);
+        let violated = facets.violated_by(&bad);
+        assert_eq!(violated.len(), 1);
+        assert_eq!(violated[0].render(&["x", "y"]), "y <= x");
+    }
+
+    #[test]
+    fn single_ray_cone() {
+        let cone = GeneratorCone::new(vec![vec_i64(&[1, 2, 3])]);
+        let facets = cone.facets();
+        // Span rank 1 -> 2 equalities; the ray direction itself needs one inequality
+        // to exclude the negative direction.
+        assert_eq!(facets.equalities.len(), 2);
+        assert_eq!(facets.inequalities.len(), 1);
+        assert!(facets.contains(&vec_i64(&[2, 4, 6])));
+        assert!(!facets.contains(&vec_i64(&[-1, -2, -3])));
+        assert!(!facets.contains(&vec_i64(&[1, 2, 4])));
+    }
+
+    #[test]
+    #[should_panic(expected = "GeneratorCone::zero")]
+    fn empty_generator_list_panics() {
+        let _ = GeneratorCone::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimension")]
+    fn mismatched_dimensions_panic() {
+        let _ = GeneratorCone::new(vec![vec_i64(&[1, 0]), vec_i64(&[1, 0, 0])]);
+    }
+
+    #[test]
+    fn flow_combination_matches_counter_flow_equation() {
+        let cone = GeneratorCone::new(vec![vec_i64(&[1, 0]), vec_i64(&[1, 1])]);
+        let v = cone.flow_combination(&[Rational::from(3), Rational::from(2)]);
+        assert_eq!(v, vec_i64(&[5, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_flow_panics() {
+        let cone = GeneratorCone::new(vec![vec_i64(&[1, 0]), vec_i64(&[1, 1])]);
+        let _ = cone.flow_combination(&[Rational::from(-1), Rational::from(2)]);
+    }
+}

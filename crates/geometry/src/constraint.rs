@@ -1,0 +1,240 @@
+//! Linear model constraints over counter values.
+
+use counterpoint_numeric::{RatVector, Rational};
+use std::fmt;
+
+/// Whether a constraint is an equality or a `≥ 0` inequality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConstraintSense {
+    /// `coeffs · v = 0`.
+    Equality,
+    /// `coeffs · v ≥ 0`.
+    GreaterEqualZero,
+}
+
+/// A single model constraint on the counter value vector `v`:
+/// either `coeffs · v = 0` or `coeffs · v ≥ 0`.
+///
+/// Constraints are stored with primitive integer coefficient vectors (lowest terms,
+/// gcd 1) so that structurally identical constraints compare equal, exactly as the
+/// paper normalises μpath counter signatures before deduplication.
+///
+/// ```
+/// use counterpoint_geometry::{ConeConstraint, ConstraintSense};
+/// use counterpoint_numeric::RatVector;
+///
+/// // walk_done - ret_stlb_miss >= 0, i.e. ret_stlb_miss <= walk_done.
+/// let c = ConeConstraint::inequality(RatVector::from_i64(&[0, 1, -1]));
+/// assert_eq!(c.sense(), ConstraintSense::GreaterEqualZero);
+/// assert!(c.is_satisfied_by(&RatVector::from_i64(&[5, 3, 2])));
+/// assert!(!c.is_satisfied_by(&RatVector::from_i64(&[5, 1, 2])));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ConeConstraint {
+    coeffs: RatVector,
+    sense: ConstraintSense,
+}
+
+impl ConeConstraint {
+    /// Creates an inequality constraint `coeffs · v ≥ 0`.
+    pub fn inequality(coeffs: RatVector) -> ConeConstraint {
+        ConeConstraint {
+            coeffs: coeffs.normalize_primitive(),
+            sense: ConstraintSense::GreaterEqualZero,
+        }
+    }
+
+    /// Creates an equality constraint `coeffs · v = 0`.
+    pub fn equality(coeffs: RatVector) -> ConeConstraint {
+        ConeConstraint {
+            coeffs: coeffs.normalize_primitive(),
+            sense: ConstraintSense::Equality,
+        }
+    }
+
+    /// The (primitive, integer) coefficient vector.
+    pub fn coeffs(&self) -> &RatVector {
+        &self.coeffs
+    }
+
+    /// The constraint sense.
+    pub fn sense(&self) -> ConstraintSense {
+        self.sense
+    }
+
+    /// Number of counters this constraint ranges over (the dimension of the
+    /// coefficient vector).
+    pub fn dimension(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Number of counters with a non-zero coefficient — the paper reports this as
+    /// the "number of HECs" participating in a constraint (Table 1).
+    pub fn involved_counters(&self) -> usize {
+        self.coeffs.iter().filter(|c| !c.is_zero()).count()
+    }
+
+    /// Evaluates `coeffs · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has a different dimension.
+    pub fn evaluate(&self, v: &RatVector) -> Rational {
+        self.coeffs.dot(v)
+    }
+
+    /// Returns `true` if `v` satisfies the constraint exactly.
+    pub fn is_satisfied_by(&self, v: &RatVector) -> bool {
+        let val = self.evaluate(v);
+        match self.sense {
+            ConstraintSense::Equality => val.is_zero(),
+            ConstraintSense::GreaterEqualZero => !val.is_negative(),
+        }
+    }
+
+    /// Evaluates the constraint on an `f64` point, returning `coeffs · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has a different dimension.
+    pub fn evaluate_f64(&self, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), self.coeffs.len(), "constraint dimension mismatch");
+        self.coeffs
+            .iter()
+            .zip(v.iter())
+            .map(|(c, x)| c.to_f64() * x)
+            .sum()
+    }
+
+    /// Returns `true` if the `f64` point satisfies the constraint within `tol`.
+    pub fn is_satisfied_by_f64(&self, v: &[f64], tol: f64) -> bool {
+        let val = self.evaluate_f64(v);
+        match self.sense {
+            ConstraintSense::Equality => val.abs() <= tol,
+            ConstraintSense::GreaterEqualZero => val >= -tol,
+        }
+    }
+
+    /// Renders the constraint in "lhs ≤ rhs" / "lhs = rhs" form using the supplied
+    /// counter names, grouping negative coefficients on the left-hand side and
+    /// positive ones on the right-hand side (the form used in the paper's Table 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len()` differs from the constraint dimension.
+    pub fn render(&self, names: &[&str]) -> String {
+        assert_eq!(names.len(), self.coeffs.len(), "name list dimension mismatch");
+        let mut lhs: Vec<String> = Vec::new();
+        let mut rhs: Vec<String> = Vec::new();
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            let mag = c.abs();
+            let term = if mag == Rational::ONE {
+                names[i].to_string()
+            } else {
+                format!("{mag}*{}", names[i])
+            };
+            if c.is_negative() {
+                lhs.push(term);
+            } else {
+                rhs.push(term);
+            }
+        }
+        let lhs = if lhs.is_empty() { "0".to_string() } else { lhs.join(" + ") };
+        let rhs = if rhs.is_empty() { "0".to_string() } else { rhs.join(" + ") };
+        match self.sense {
+            ConstraintSense::Equality => format!("{lhs} = {rhs}"),
+            ConstraintSense::GreaterEqualZero => format!("{lhs} <= {rhs}"),
+        }
+    }
+}
+
+impl fmt::Debug for ConeConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.sense {
+            ConstraintSense::Equality => "=",
+            ConstraintSense::GreaterEqualZero => ">=",
+        };
+        write!(f, "{:?} {op} 0", self.coeffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalises_coefficients() {
+        let a = ConeConstraint::inequality(RatVector::from_i64(&[2, -4, 6]));
+        let b = ConeConstraint::inequality(RatVector::from_i64(&[1, -2, 3]));
+        assert_eq!(a, b);
+        assert_eq!(a.coeffs(), &RatVector::from_i64(&[1, -2, 3]));
+    }
+
+    #[test]
+    fn involved_counters_counts_nonzero() {
+        let c = ConeConstraint::inequality(RatVector::from_i64(&[1, 0, -1, 0, 3]));
+        assert_eq!(c.involved_counters(), 3);
+        assert_eq!(c.dimension(), 5);
+    }
+
+    #[test]
+    fn inequality_satisfaction() {
+        let c = ConeConstraint::inequality(RatVector::from_i64(&[1, -1]));
+        assert!(c.is_satisfied_by(&RatVector::from_i64(&[3, 2])));
+        assert!(c.is_satisfied_by(&RatVector::from_i64(&[2, 2])));
+        assert!(!c.is_satisfied_by(&RatVector::from_i64(&[1, 2])));
+    }
+
+    #[test]
+    fn equality_satisfaction() {
+        let c = ConeConstraint::equality(RatVector::from_i64(&[1, -1, -1]));
+        assert!(c.is_satisfied_by(&RatVector::from_i64(&[5, 3, 2])));
+        assert!(!c.is_satisfied_by(&RatVector::from_i64(&[5, 3, 3])));
+    }
+
+    #[test]
+    fn f64_evaluation() {
+        let c = ConeConstraint::inequality(RatVector::from_i64(&[1, -2]));
+        assert_eq!(c.evaluate_f64(&[5.0, 2.0]), 1.0);
+        assert!(c.is_satisfied_by_f64(&[5.0, 2.5], 1e-9));
+        assert!(c.is_satisfied_by_f64(&[5.0, 2.5 + 1e-12], 1e-9));
+        assert!(!c.is_satisfied_by_f64(&[5.0, 3.0], 1e-9));
+        let eq = ConeConstraint::equality(RatVector::from_i64(&[1, -1]));
+        assert!(eq.is_satisfied_by_f64(&[2.0, 2.0 + 1e-12], 1e-9));
+        assert!(!eq.is_satisfied_by_f64(&[2.0, 3.0], 1e-9));
+    }
+
+    #[test]
+    fn render_matches_paper_style() {
+        // ret_stlb_miss <= walk_done   ==   [-1, 1] over (ret_stlb_miss, walk_done)
+        let c = ConeConstraint::inequality(RatVector::from_i64(&[-1, 1]));
+        assert_eq!(c.render(&["load.ret_stlb_miss", "load.walk_done"]), "load.ret_stlb_miss <= load.walk_done");
+
+        let eq = ConeConstraint::equality(RatVector::from_i64(&[1, -1, -1]));
+        assert_eq!(
+            eq.render(&["stlb_hit", "stlb_hit_4k", "stlb_hit_2m"]),
+            "stlb_hit_4k + stlb_hit_2m = stlb_hit"
+        );
+
+        let scaled = ConeConstraint::inequality(RatVector::from_i64(&[-1, 3]));
+        assert_eq!(scaled.render(&["walk_ref", "pde_miss"]), "walk_ref <= 3*pde_miss");
+    }
+
+    #[test]
+    fn render_handles_empty_sides() {
+        let c = ConeConstraint::inequality(RatVector::from_i64(&[0, 1]));
+        assert_eq!(c.render(&["a", "b"]), "0 <= b");
+        let d = ConeConstraint::inequality(RatVector::from_i64(&[0, -1]));
+        assert_eq!(d.render(&["a", "b"]), "b <= 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn render_with_wrong_names_panics() {
+        let c = ConeConstraint::inequality(RatVector::from_i64(&[1, -1]));
+        let _ = c.render(&["only_one"]);
+    }
+}

@@ -1,0 +1,333 @@
+//! The double-description method for pointed polyhedral cones.
+//!
+//! Given a cone in H-representation, `{ y : A·y ≤ 0 }`, the double-description
+//! method computes its extreme rays (V-representation).  CounterPoint uses this as
+//! the engine behind constraint deduction: the facet normals of a model cone are
+//! exactly the extreme rays of its *polar* cone, which is given in H-representation
+//! by the μpath counter signatures (see [`crate::GeneratorCone::facets`]).
+//!
+//! The paper implements a custom conic-hull routine because no off-the-shelf Python
+//! library computes conic hulls and floating-point hull codes are ill-conditioned
+//! for exact integer signatures; this module is the Rust equivalent, working purely
+//! in exact rational arithmetic.
+
+use counterpoint_numeric::{RatMatrix, RatVector, Rational};
+use std::collections::BTreeSet;
+
+/// A ray of the double-description computation together with the set of processed
+/// constraints it is tight on (satisfies with equality).
+#[derive(Clone, Debug)]
+struct DdRay {
+    dir: RatVector,
+    tight: BTreeSet<usize>,
+}
+
+/// Computes the extreme rays of the pointed cone `{ y : A·y ≤ 0 }`.
+///
+/// The rows of `a` are the inward-facing... more precisely, each row `r` contributes
+/// the halfspace `r·y ≤ 0`.  The cone must be *pointed*, which is guaranteed when
+/// the rows of `a` span the full column space (`rank(a) == a.ncols()`).
+///
+/// Returned rays are normalised to primitive integer vectors and are pairwise
+/// distinct.  The zero cone yields an empty list.
+///
+/// # Panics
+///
+/// Panics if `rank(a) < a.ncols()` (the cone would contain a line, which the
+/// double-description bookkeeping here does not support — callers must first factor
+/// out the lineality space, as [`crate::GeneratorCone::facets`] does).
+///
+/// # Example
+///
+/// ```
+/// use counterpoint_geometry::extreme_rays;
+/// use counterpoint_numeric::{RatMatrix, RatVector};
+///
+/// // The cone { y : -y0 <= 0, -y1 <= 0 } is the non-negative quadrant.
+/// let a = RatMatrix::from_i64_rows(&[&[-1, 0], &[0, -1]]);
+/// let rays = extreme_rays(&a);
+/// assert_eq!(rays.len(), 2);
+/// assert!(rays.contains(&RatVector::from_i64(&[1, 0])));
+/// assert!(rays.contains(&RatVector::from_i64(&[0, 1])));
+/// ```
+pub fn extreme_rays(a: &RatMatrix) -> Vec<RatVector> {
+    let k = a.ncols();
+    let m = a.nrows();
+    if k == 0 {
+        return Vec::new();
+    }
+    assert!(
+        a.rank() == k,
+        "extreme_rays requires a pointed cone: rank({}) < dimension ({k})",
+        a.rank()
+    );
+
+    // 1. Find k linearly independent rows to seed a simplicial cone.
+    let basis_rows = independent_rows(a, k);
+    let a_b = RatMatrix::from_rows(
+        &basis_rows
+            .iter()
+            .map(|&i| a.row(i))
+            .collect::<Vec<_>>(),
+    );
+    let a_b_inv = a_b
+        .inverse()
+        .expect("independent rows must form an invertible matrix");
+
+    // Initial rays: columns of -(A_B)^{-1}.  Ray j is tight on every basis row
+    // except the j-th.
+    let mut rays: Vec<DdRay> = Vec::with_capacity(k);
+    for j in 0..k {
+        let dir = (-&a_b_inv.col(j)).normalize_primitive();
+        let mut tight: BTreeSet<usize> = basis_rows.iter().copied().collect();
+        tight.remove(&basis_rows[j]);
+        rays.push(DdRay { dir, tight });
+    }
+
+    // 2. Incrementally add the remaining halfspaces.
+    let basis_set: BTreeSet<usize> = basis_rows.iter().copied().collect();
+    for i in 0..m {
+        if basis_set.contains(&i) {
+            continue;
+        }
+        let normal = a.row(i);
+        add_halfspace(&mut rays, &normal, i);
+        if rays.is_empty() {
+            return Vec::new();
+        }
+    }
+
+    dedup_rays(rays.into_iter().map(|r| r.dir).collect())
+}
+
+/// Adds the halfspace `normal·y ≤ 0` (with global index `index`) to the current set
+/// of extreme rays, generating new rays from adjacent (negative, positive) pairs.
+fn add_halfspace(rays: &mut Vec<DdRay>, normal: &RatVector, index: usize) {
+    let values: Vec<Rational> = rays.iter().map(|r| normal.dot(&r.dir)).collect();
+
+    let mut neg: Vec<usize> = Vec::new();
+    let mut zero: Vec<usize> = Vec::new();
+    let mut pos: Vec<usize> = Vec::new();
+    for (idx, v) in values.iter().enumerate() {
+        if v.is_negative() {
+            neg.push(idx);
+        } else if v.is_zero() {
+            zero.push(idx);
+        } else {
+            pos.push(idx);
+        }
+    }
+
+    // Fast path: nothing violates the new halfspace.
+    if pos.is_empty() {
+        for &z in &zero {
+            rays[z].tight.insert(index);
+        }
+        return;
+    }
+
+    let mut new_rays: Vec<DdRay> = Vec::new();
+    for &p in &pos {
+        for &n in &neg {
+            if !adjacent(rays, p, n) {
+                continue;
+            }
+            // new = (normal·r_p)·r_n - (normal·r_n)·r_p  (both coefficients > 0).
+            let coeff_n = values[p];
+            let coeff_p = -values[n];
+            let dir = (&rays[n].dir.scale(coeff_n) + &rays[p].dir.scale(coeff_p)).normalize_primitive();
+            let mut tight: BTreeSet<usize> = rays[p].tight.intersection(&rays[n].tight).copied().collect();
+            tight.insert(index);
+            new_rays.push(DdRay { dir, tight });
+        }
+    }
+
+    let mut kept: Vec<DdRay> = Vec::with_capacity(neg.len() + zero.len() + new_rays.len());
+    for &n in &neg {
+        kept.push(rays[n].clone());
+    }
+    for &z in &zero {
+        let mut r = rays[z].clone();
+        r.tight.insert(index);
+        kept.push(r);
+    }
+    for nr in new_rays {
+        if !kept.iter().any(|r| r.dir == nr.dir) {
+            kept.push(nr);
+        }
+    }
+    *rays = kept;
+}
+
+/// Combinatorial adjacency test: rays `p` and `n` are adjacent iff no *other* ray's
+/// tight set contains the intersection of their tight sets.
+fn adjacent(rays: &[DdRay], p: usize, n: usize) -> bool {
+    let common: BTreeSet<usize> = rays[p].tight.intersection(&rays[n].tight).copied().collect();
+    for (idx, r) in rays.iter().enumerate() {
+        if idx == p || idx == n {
+            continue;
+        }
+        if common.is_subset(&r.tight) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Greedily selects `k` linearly independent rows of `a` using incremental
+/// elimination.
+fn independent_rows(a: &RatMatrix, k: usize) -> Vec<usize> {
+    let mut reduced: Vec<RatVector> = Vec::new();
+    let mut chosen: Vec<usize> = Vec::new();
+    for i in 0..a.nrows() {
+        if chosen.len() == k {
+            break;
+        }
+        let mut row = a.row(i);
+        // Reduce against the rows already in the echelon set.
+        for r in &reduced {
+            let lead = leading_index(r).expect("reduced rows are non-zero");
+            if !row[lead].is_zero() {
+                let factor = row[lead] / r[lead];
+                row = &row - &r.scale(factor);
+            }
+        }
+        if !row.is_zero() {
+            reduced.push(row);
+            chosen.push(i);
+        }
+    }
+    assert_eq!(chosen.len(), k, "failed to find {k} independent rows");
+    chosen
+}
+
+fn leading_index(v: &RatVector) -> Option<usize> {
+    (0..v.len()).find(|&i| !v[i].is_zero())
+}
+
+/// Removes duplicate directions (rays equal after primitive normalisation).
+fn dedup_rays(rays: Vec<RatVector>) -> Vec<RatVector> {
+    let mut out: Vec<RatVector> = Vec::with_capacity(rays.len());
+    for r in rays {
+        let n = r.normalize_primitive();
+        if !out.contains(&n) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut rays: Vec<RatVector>) -> Vec<Vec<i128>> {
+        let mut v: Vec<Vec<i128>> = rays
+            .drain(..)
+            .map(|r| r.iter().map(|x| x.to_integer().unwrap()).collect())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn nonnegative_orthant_2d() {
+        let a = RatMatrix::from_i64_rows(&[&[-1, 0], &[0, -1]]);
+        let rays = extreme_rays(&a);
+        assert_eq!(sorted(rays), vec![vec![0, 1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn nonnegative_orthant_3d() {
+        let a = RatMatrix::from_i64_rows(&[&[-1, 0, 0], &[0, -1, 0], &[0, 0, -1]]);
+        let rays = extreme_rays(&a);
+        assert_eq!(
+            sorted(rays),
+            vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]]
+        );
+    }
+
+    #[test]
+    fn chain_cone_2d() {
+        // { y : y0 <= y1 <= 0 } ... expressed as rows: y0 - y1 <= 0 and y1 <= 0.
+        let a = RatMatrix::from_i64_rows(&[&[1, -1], &[0, 1]]);
+        let rays = extreme_rays(&a);
+        // Extreme rays: (-1, 0) and (-1, -1).
+        assert_eq!(sorted(rays), vec![vec![-1, -1], vec![-1, 0]]);
+    }
+
+    #[test]
+    fn redundant_halfspace_does_not_change_result() {
+        let a = RatMatrix::from_i64_rows(&[&[-1, 0], &[0, -1]]);
+        let with_redundant = RatMatrix::from_i64_rows(&[&[-1, 0], &[0, -1], &[-1, -1], &[-2, -1]]);
+        assert_eq!(sorted(extreme_rays(&a)), sorted(extreme_rays(&with_redundant)));
+    }
+
+    #[test]
+    fn square_based_cone_in_3d() {
+        // Cone over a square: x >= 0 bounds... use { z >= |x|, z >= |y| } style:
+        // rows: x - z <= 0, -x - z <= 0, y - z <= 0, -y - z <= 0.
+        let a = RatMatrix::from_i64_rows(&[&[1, 0, -1], &[-1, 0, -1], &[0, 1, -1], &[0, -1, -1]]);
+        let rays = extreme_rays(&a);
+        assert_eq!(
+            sorted(rays),
+            vec![
+                vec![-1, -1, 1],
+                vec![-1, 1, 1],
+                vec![1, -1, 1],
+                vec![1, 1, 1]
+            ]
+        );
+    }
+
+    #[test]
+    fn tight_cone_collapses_to_origin() {
+        // y <= 0 and -y <= 0 and also x <= 0, -x <= 0 forces the zero cone.  The
+        // rank is still 2 so the precondition holds, and every ray is eliminated.
+        let a = RatMatrix::from_i64_rows(&[&[1, 0], &[-1, 0], &[0, 1], &[0, -1]]);
+        let rays = extreme_rays(&a);
+        assert!(rays.is_empty());
+    }
+
+    #[test]
+    fn halfline_in_2d() {
+        // { y : -y0 <= 0, y0 - y1 <= 0, y1 - y0 <= 0 } = the ray y0 = y1 >= 0.
+        let a = RatMatrix::from_i64_rows(&[&[-1, 0], &[1, -1], &[-1, 1]]);
+        let rays = extreme_rays(&a);
+        assert_eq!(sorted(rays), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn rays_satisfy_all_halfspaces() {
+        let a = RatMatrix::from_i64_rows(&[
+            &[-3, 1, 0],
+            &[1, -4, 0],
+            &[0, 0, -1],
+            &[-1, -1, 2],
+        ]);
+        let rays = extreme_rays(&a);
+        assert!(!rays.is_empty());
+        for r in &rays {
+            for i in 0..a.nrows() {
+                assert!(
+                    !a.row(i).dot(r).is_positive(),
+                    "ray {r:?} violates halfspace {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pointed cone")]
+    fn non_pointed_cone_panics() {
+        // Only one constraint in 2D: the cone contains a line.
+        let a = RatMatrix::from_i64_rows(&[&[-1, 0]]);
+        let _ = extreme_rays(&a);
+    }
+
+    #[test]
+    fn zero_dimension_returns_empty() {
+        let a = RatMatrix::zeros(0, 0);
+        assert!(extreme_rays(&a).is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Exact polyhedral-cone geometry for CounterPoint.
+//!
+//! The *model cone* of a μpath Decision Diagram is the conic hull of the μpath
+//! counter signatures (paper, Section 3).  The Minkowski–Weyl theorem guarantees an
+//! equivalent description as a finite set of linear *model constraints* — equalities
+//! and inequalities on counter values.  CounterPoint needs both representations: the
+//! generator (V-) representation falls directly out of μpath enumeration and drives
+//! LP feasibility testing, while the constraint (H-) representation is what gets
+//! reported to the expert when an observation is infeasible.
+//!
+//! This crate converts between the two representations with exact rational
+//! arithmetic:
+//!
+//! * [`ConeConstraint`] — a single model constraint (`c·v = 0` or `c·v ≥ 0`),
+//! * [`extreme_rays`] — the double-description method for pointed cones given in
+//!   H-representation,
+//! * [`GeneratorCone`] — a cone given by its generators, with [`GeneratorCone::facets`]
+//!   computing the full constraint set by running the double-description method on
+//!   the polar cone inside the generators' linear span.
+//!
+//! # Example
+//!
+//! ```
+//! use counterpoint_geometry::GeneratorCone;
+//! use counterpoint_numeric::RatVector;
+//!
+//! // Figure 3a of the paper: three μpath signatures over
+//! // (causes_walk, walk_done, ret_stlb_miss).
+//! let cone = GeneratorCone::new(vec![
+//!     RatVector::from_i64(&[1, 0, 0]), // walk initiated but never completes
+//!     RatVector::from_i64(&[1, 1, 0]), // walk completes, μop squashed
+//!     RatVector::from_i64(&[1, 1, 1]), // walk completes, μop retires
+//! ]);
+//! let facets = cone.facets();
+//! // The cone implies ret_stlb_miss <= walk_done <= causes_walk (plus ret >= 0).
+//! assert_eq!(facets.inequalities.len(), 3);
+//! ```
+
+pub mod cone;
+pub mod constraint;
+pub mod dd;
+
+pub use cone::{ConeFacets, GeneratorCone};
+pub use constraint::{ConeConstraint, ConstraintSense};
+pub use dd::extreme_rays;

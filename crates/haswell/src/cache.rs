@@ -1,0 +1,224 @@
+//! A generic set-associative cache with LRU replacement.
+//!
+//! Used for three purposes in the Haswell substrate: the data-cache hierarchy that
+//! classifies page-walker loads into `walk_ref.l1/l2/l3/mem`, the MMU's
+//! paging-structure caches (PDE / PDPTE / PML4E), and the small hidden structures
+//! (walker-result cache) behind the walk-bypass behaviour the paper uncovers.
+
+/// A set-associative cache over abstract 64-bit keys with true-LRU replacement.
+///
+/// The cache stores keys only (it is a presence tracker, not a data store), which
+/// is all a functional MMU simulation needs.
+///
+/// ```
+/// use counterpoint_haswell::cache::SetAssocCache;
+/// let mut cache = SetAssocCache::new(2, 2);
+/// assert!(!cache.access(42));   // cold miss
+/// assert!(cache.access(42));    // now a hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    /// `lines[set]` holds up to `ways` keys in LRU order (most recent last).
+    lines: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> SetAssocCache {
+        assert!(sets > 0 && ways > 0, "cache must have at least one set and one way");
+        SetAssocCache {
+            sets,
+            ways,
+            lines: vec![Vec::new(); sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A convenience constructor for a fully-associative cache with `entries`
+    /// entries.
+    pub fn fully_associative(entries: usize) -> SetAssocCache {
+        SetAssocCache::new(1, entries)
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        // Multiplicative hashing spreads structured keys (page numbers, table
+        // addresses) across sets.
+        ((key.wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 32) as usize % self.sets
+    }
+
+    /// Looks the key up *and* inserts it (allocate-on-miss).  Returns `true` on a
+    /// hit.  On a hit the entry is promoted to most-recently-used.
+    pub fn access(&mut self, key: u64) -> bool {
+        let set = self.set_of(key);
+        let lines = &mut self.lines[set];
+        if let Some(pos) = lines.iter().position(|&k| k == key) {
+            let k = lines.remove(pos);
+            lines.push(k);
+            self.hits += 1;
+            true
+        } else {
+            if lines.len() == self.ways {
+                lines.remove(0);
+            }
+            lines.push(key);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Looks the key up without modifying the cache.
+    pub fn probe(&self, key: u64) -> bool {
+        let set = self.set_of(key);
+        self.lines[set].contains(&key)
+    }
+
+    /// Inserts the key without counting a hit or miss (used for fills driven by
+    /// another structure, e.g. a prefetch filling the TLB).
+    pub fn fill(&mut self, key: u64) {
+        let set = self.set_of(key);
+        let lines = &mut self.lines[set];
+        if let Some(pos) = lines.iter().position(|&k| k == key) {
+            let k = lines.remove(pos);
+            lines.push(k);
+            return;
+        }
+        if lines.len() == self.ways {
+            lines.remove(0);
+        }
+        lines.push(key);
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for set in &mut self.lines {
+            set.clear();
+        }
+    }
+
+    /// Number of entries currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss_behaviour() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert_eq!(c.capacity(), 8);
+        assert!(!c.access(1));
+        assert!(c.access(1));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        // Fully associative with 2 ways: the least recently used key is evicted.
+        let mut c = SetAssocCache::fully_associative(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // promote 1
+        c.access(3); // evicts 2
+        assert!(c.probe(1));
+        assert!(!c.probe(2));
+        assert!(c.probe(3));
+    }
+
+    #[test]
+    fn probe_does_not_modify_state() {
+        let mut c = SetAssocCache::fully_associative(2);
+        c.access(1);
+        assert!(c.probe(1));
+        assert!(!c.probe(9));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn fill_inserts_without_counting() {
+        let mut c = SetAssocCache::fully_associative(2);
+        c.fill(7);
+        assert!(c.probe(7));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        // Filling an existing key just promotes it.
+        c.fill(8);
+        c.fill(7);
+        c.fill(9); // evicts 8 (7 was promoted)
+        assert!(c.probe(7));
+        assert!(!c.probe(8));
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.access(1);
+        c.access(2);
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.probe(1));
+    }
+
+    #[test]
+    fn larger_working_set_than_capacity_causes_misses() {
+        let mut c = SetAssocCache::new(16, 4);
+        // First pass: all cold misses.
+        for k in 0..1000u64 {
+            c.access(k);
+        }
+        assert_eq!(c.misses(), 1000);
+        // Second pass: the working set (1000) far exceeds capacity (64), so most
+        // accesses still miss.
+        for k in 0..1000u64 {
+            c.access(k);
+        }
+        assert!(c.hits() < 200);
+    }
+
+    #[test]
+    fn small_working_set_hits_after_warmup() {
+        let mut c = SetAssocCache::new(16, 4);
+        for _ in 0..10 {
+            for k in 0..32u64 {
+                c.access(k);
+            }
+        }
+        // 32 keys in a 64-entry cache: after the first pass everything hits.
+        assert!(c.hits() >= 32 * 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_ways_panics() {
+        let _ = SetAssocCache::new(4, 0);
+    }
+}

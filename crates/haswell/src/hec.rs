@@ -1,0 +1,359 @@
+//! The Haswell address-translation hardware event counters (paper, Table 2).
+
+use counterpoint_mudd::CounterSpace;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Whether a μop (and therefore its HECs) is a load or a store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum AccessType {
+    /// Load μops (`load.*` counters, `mem_uops_retired.all_loads`, ...).
+    Load,
+    /// Store μops (`store.*` counters).
+    Store,
+}
+
+impl AccessType {
+    /// The two access types, in canonical order.
+    pub const ALL: [AccessType; 2] = [AccessType::Load, AccessType::Store];
+
+    /// The prefix used in counter names (`load` / `store`).
+    pub fn prefix(&self) -> &'static str {
+        match self {
+            AccessType::Load => "load",
+            AccessType::Store => "store",
+        }
+    }
+}
+
+impl fmt::Display for AccessType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.prefix())
+    }
+}
+
+/// The counter groups of the paper's Table 2 / Figures 1b and 9.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum HecGroup {
+    /// Retirement counters (`T.ret`, `T.ret_stlb_miss`) — 4 counters.
+    Ret,
+    /// Second-level TLB hit counters (`T.stlb_hit*`) — 6 counters.
+    Stlb,
+    /// Page-walk counters (`T.causes_walk`, `T.walk_done*`, `T.pde$_miss`) — 12
+    /// counters.
+    Walk,
+    /// Page-walker memory-reference counters (`walk_ref.*`) — 4 counters.
+    Refs,
+}
+
+impl HecGroup {
+    /// All groups in the cumulative order used on the x-axes of Figures 1b and 9.
+    pub const ALL: [HecGroup; 4] = [HecGroup::Ret, HecGroup::Stlb, HecGroup::Walk, HecGroup::Refs];
+
+    /// Short label used in figures (`Ret`, `L2TLB`, `Walk`, `Refs`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HecGroup::Ret => "Ret",
+            HecGroup::Stlb => "L2TLB",
+            HecGroup::Walk => "Walk",
+            HecGroup::Refs => "Refs",
+        }
+    }
+
+    /// The counter names belonging to this group.
+    pub fn counters(&self) -> Vec<String> {
+        match self {
+            HecGroup::Ret => AccessType::ALL
+                .iter()
+                .flat_map(|t| vec![format!("{t}.ret"), format!("{t}.ret_stlb_miss")])
+                .collect(),
+            HecGroup::Stlb => AccessType::ALL
+                .iter()
+                .flat_map(|t| {
+                    vec![
+                        format!("{t}.stlb_hit"),
+                        format!("{t}.stlb_hit_4k"),
+                        format!("{t}.stlb_hit_2m"),
+                    ]
+                })
+                .collect(),
+            HecGroup::Walk => AccessType::ALL
+                .iter()
+                .flat_map(|t| {
+                    vec![
+                        format!("{t}.causes_walk"),
+                        format!("{t}.walk_done"),
+                        format!("{t}.walk_done_4k"),
+                        format!("{t}.walk_done_2m"),
+                        format!("{t}.walk_done_1g"),
+                        format!("{t}.pde$_miss"),
+                    ]
+                })
+                .collect(),
+            HecGroup::Refs => vec![
+                "walk_ref.l1".to_string(),
+                "walk_ref.l2".to_string(),
+                "walk_ref.l3".to_string(),
+                "walk_ref.mem".to_string(),
+            ],
+        }
+    }
+
+    /// The full Linux-perf event name each of this paper's short names maps to
+    /// (Table 2's "Full Event Name" column), for documentation purposes.
+    pub fn perf_event_prefix(&self) -> &'static str {
+        match self {
+            HecGroup::Ret => "mem_uops_retired",
+            HecGroup::Stlb | HecGroup::Walk => "dtlb_store_misses / dtlb_load_misses",
+            HecGroup::Refs => "page_walker_loads",
+        }
+    }
+}
+
+/// The full 26-counter space of the paper's Table 2, in canonical order
+/// (groups in `Ret`, `STLB`, `Walk`, `Refs` order).
+pub fn full_counter_space() -> CounterSpace {
+    let names: Vec<String> = HecGroup::ALL.iter().flat_map(|g| g.counters()).collect();
+    CounterSpace::new(&names)
+}
+
+/// The counter space obtained by taking the first `n` groups of
+/// [`HecGroup::ALL`] cumulatively — the x-axis of Figures 1b and 9.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or greater than the number of groups.
+pub fn cumulative_group_space(n: usize) -> CounterSpace {
+    assert!(n >= 1 && n <= HecGroup::ALL.len(), "need 1..=4 groups");
+    let names: Vec<String> = HecGroup::ALL[..n].iter().flat_map(|g| g.counters()).collect();
+    CounterSpace::new(&names)
+}
+
+/// Counter name helpers (avoid typo-prone string formatting at call sites).
+pub mod names {
+    use super::AccessType;
+
+    /// `T.ret`
+    pub fn ret(t: AccessType) -> String {
+        format!("{t}.ret")
+    }
+    /// `T.ret_stlb_miss`
+    pub fn ret_stlb_miss(t: AccessType) -> String {
+        format!("{t}.ret_stlb_miss")
+    }
+    /// `T.stlb_hit`
+    pub fn stlb_hit(t: AccessType) -> String {
+        format!("{t}.stlb_hit")
+    }
+    /// `T.stlb_hit_4k`
+    pub fn stlb_hit_4k(t: AccessType) -> String {
+        format!("{t}.stlb_hit_4k")
+    }
+    /// `T.stlb_hit_2m`
+    pub fn stlb_hit_2m(t: AccessType) -> String {
+        format!("{t}.stlb_hit_2m")
+    }
+    /// `T.causes_walk`
+    pub fn causes_walk(t: AccessType) -> String {
+        format!("{t}.causes_walk")
+    }
+    /// `T.walk_done`
+    pub fn walk_done(t: AccessType) -> String {
+        format!("{t}.walk_done")
+    }
+    /// `T.walk_done_4k`
+    pub fn walk_done_4k(t: AccessType) -> String {
+        format!("{t}.walk_done_4k")
+    }
+    /// `T.walk_done_2m`
+    pub fn walk_done_2m(t: AccessType) -> String {
+        format!("{t}.walk_done_2m")
+    }
+    /// `T.walk_done_1g`
+    pub fn walk_done_1g(t: AccessType) -> String {
+        format!("{t}.walk_done_1g")
+    }
+    /// `T.pde$_miss`
+    pub fn pde_miss(t: AccessType) -> String {
+        format!("{t}.pde$_miss")
+    }
+    /// `walk_ref.l1` / `.l2` / `.l3` / `.mem`
+    pub fn walk_ref(level: usize) -> String {
+        match level {
+            1 => "walk_ref.l1".to_string(),
+            2 => "walk_ref.l2".to_string(),
+            3 => "walk_ref.l3".to_string(),
+            _ => "walk_ref.mem".to_string(),
+        }
+    }
+}
+
+/// A mutable bag of counter values keyed by counter name.
+///
+/// This is the simulator's ground-truth accumulator; the PMU model samples it
+/// periodically, and [`CounterValues::to_vector`] projects it onto any
+/// [`CounterSpace`] for analysis.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CounterValues {
+    values: BTreeMap<String, u64>,
+}
+
+impl CounterValues {
+    /// Creates an empty set of counter values.
+    pub fn new() -> CounterValues {
+        CounterValues::default()
+    }
+
+    /// Adds one to the named counter.
+    pub fn increment(&mut self, name: &str) {
+        *self.values.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Adds `by` to the named counter.
+    pub fn add(&mut self, name: &str, by: u64) {
+        *self.values.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// The current value of the named counter (zero if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Projects the values onto a counter space as an `f64` vector (counters not
+    /// present default to zero).
+    pub fn to_vector(&self, space: &CounterSpace) -> Vec<f64> {
+        space.names().iter().map(|n| self.get(n) as f64).collect()
+    }
+
+    /// Component-wise difference `self - earlier`, projected onto a counter space.
+    /// Used by the PMU to turn cumulative counts into per-interval increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter decreased (counters are monotone).
+    pub fn delta_vector(&self, earlier: &CounterValues, space: &CounterSpace) -> Vec<f64> {
+        space
+            .names()
+            .iter()
+            .map(|n| {
+                let now = self.get(n);
+                let before = earlier.get(n);
+                assert!(now >= before, "counter {n} decreased");
+                (now - before) as f64
+            })
+            .collect()
+    }
+
+    /// Total of all counters (mostly for sanity checks in tests).
+    pub fn total(&self) -> u64 {
+        self.values.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_space_has_26_counters_in_group_order() {
+        let space = full_counter_space();
+        assert_eq!(space.len(), 26);
+        assert_eq!(space.name(0), "load.ret");
+        assert!(space.contains("store.walk_done_1g"));
+        assert!(space.contains("walk_ref.mem"));
+        assert!(space.contains("load.pde$_miss"));
+    }
+
+    #[test]
+    fn group_sizes_match_table2() {
+        assert_eq!(HecGroup::Ret.counters().len(), 4);
+        assert_eq!(HecGroup::Stlb.counters().len(), 6);
+        assert_eq!(HecGroup::Walk.counters().len(), 12);
+        assert_eq!(HecGroup::Refs.counters().len(), 4);
+        let total: usize = HecGroup::ALL.iter().map(|g| g.counters().len()).sum();
+        assert_eq!(total, 26);
+    }
+
+    #[test]
+    fn cumulative_group_spaces_grow() {
+        assert_eq!(cumulative_group_space(1).len(), 4);
+        assert_eq!(cumulative_group_space(2).len(), 10);
+        assert_eq!(cumulative_group_space(3).len(), 22);
+        assert_eq!(cumulative_group_space(4).len(), 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn zero_groups_panics() {
+        let _ = cumulative_group_space(0);
+    }
+
+    #[test]
+    fn group_labels_and_prefixes() {
+        assert_eq!(HecGroup::Ret.label(), "Ret");
+        assert_eq!(HecGroup::Stlb.label(), "L2TLB");
+        assert!(HecGroup::Refs.perf_event_prefix().contains("page_walker_loads"));
+    }
+
+    #[test]
+    fn name_helpers_match_table2_names() {
+        assert_eq!(names::causes_walk(AccessType::Load), "load.causes_walk");
+        assert_eq!(names::pde_miss(AccessType::Store), "store.pde$_miss");
+        assert_eq!(names::walk_ref(1), "walk_ref.l1");
+        assert_eq!(names::walk_ref(4), "walk_ref.mem");
+        assert_eq!(names::ret(AccessType::Load), "load.ret");
+        assert_eq!(names::ret_stlb_miss(AccessType::Store), "store.ret_stlb_miss");
+        assert_eq!(names::stlb_hit_2m(AccessType::Load), "load.stlb_hit_2m");
+        assert_eq!(names::walk_done_1g(AccessType::Load), "load.walk_done_1g");
+    }
+
+    #[test]
+    fn access_type_display() {
+        assert_eq!(AccessType::Load.to_string(), "load");
+        assert_eq!(AccessType::Store.to_string(), "store");
+        assert_eq!(AccessType::ALL.len(), 2);
+    }
+
+    #[test]
+    fn counter_values_accumulate_and_project() {
+        let mut values = CounterValues::new();
+        values.increment("load.ret");
+        values.increment("load.ret");
+        values.add("walk_ref.l1", 5);
+        assert_eq!(values.get("load.ret"), 2);
+        assert_eq!(values.get("walk_ref.l1"), 5);
+        assert_eq!(values.get("never.seen"), 0);
+        assert_eq!(values.total(), 7);
+
+        let space = CounterSpace::new(&["load.ret", "walk_ref.l1", "store.ret"]);
+        assert_eq!(values.to_vector(&space), vec![2.0, 5.0, 0.0]);
+        assert_eq!(values.iter().count(), 2);
+    }
+
+    #[test]
+    fn delta_vector_subtracts_snapshots() {
+        let mut earlier = CounterValues::new();
+        earlier.add("load.ret", 10);
+        let mut later = earlier.clone();
+        later.add("load.ret", 7);
+        later.add("store.ret", 3);
+        let space = CounterSpace::new(&["load.ret", "store.ret"]);
+        assert_eq!(later.delta_vector(&earlier, &space), vec![7.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "decreased")]
+    fn delta_vector_rejects_decreasing_counters() {
+        let mut earlier = CounterValues::new();
+        earlier.add("load.ret", 10);
+        let later = CounterValues::new();
+        let space = CounterSpace::new(&["load.ret"]);
+        let _ = later.delta_vector(&earlier, &space);
+    }
+}

@@ -1,0 +1,228 @@
+//! Virtual addresses, page sizes and memory accesses.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A virtual address in the simulated 48-bit x86-64 address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct VirtAddr(pub u64);
+
+/// x86-64 translation page sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum PageSize {
+    /// 4 KiB pages (leaf at the PT level; 4-level walk).
+    Size4K,
+    /// 2 MiB pages (leaf at the PD level; 3-level walk).
+    Size2M,
+    /// 1 GiB pages (leaf at the PDPT level; 2-level walk).
+    Size1G,
+}
+
+impl PageSize {
+    /// All page sizes used in the case study's experiments.
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+    /// Page size in bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            PageSize::Size4K => 4 << 10,
+            PageSize::Size2M => 2 << 20,
+            PageSize::Size1G => 1 << 30,
+        }
+    }
+
+    /// log2 of the page size.
+    pub fn shift(&self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Number of page-table levels a full (cache-cold) walk traverses to reach the
+    /// leaf entry: 4 for 4 KiB, 3 for 2 MiB, 2 for 1 GiB.
+    pub fn walk_levels(&self) -> usize {
+        match self {
+            PageSize::Size4K => 4,
+            PageSize::Size2M => 3,
+            PageSize::Size1G => 2,
+        }
+    }
+
+    /// Short label used in reports (`4k`, `2m`, `1g`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PageSize::Size4K => "4k",
+            PageSize::Size2M => "2m",
+            PageSize::Size1G => "1g",
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl VirtAddr {
+    /// The raw address value.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page number for the given page size.
+    pub fn vpn(&self, size: PageSize) -> u64 {
+        self.0 >> size.shift()
+    }
+
+    /// Index into the PML4 table (bits 47..39).
+    pub fn pml4_index(&self) -> u64 {
+        (self.0 >> 39) & 0x1ff
+    }
+
+    /// Index into the PDPT table (bits 38..30).
+    pub fn pdpt_index(&self) -> u64 {
+        (self.0 >> 30) & 0x1ff
+    }
+
+    /// Index into the PD table (bits 29..21).
+    pub fn pd_index(&self) -> u64 {
+        (self.0 >> 21) & 0x1ff
+    }
+
+    /// Index into the PT table (bits 20..12).
+    pub fn pt_index(&self) -> u64 {
+        (self.0 >> 12) & 0x1ff
+    }
+
+    /// The 64-byte cache-line index within the 4 KiB page (0..63) — the quantity
+    /// the Haswell TLB prefetcher's trigger condition is defined over (lines 51/52
+    /// for ascending streams, 8/7 for descending ones).
+    pub fn cache_line_in_page(&self) -> u64 {
+        (self.0 >> 6) & 0x3f
+    }
+
+    /// The tag identifying the region covered by a PDE-cache entry (a 2 MiB
+    /// aligned region: bits 47..21).
+    pub fn pde_region(&self) -> u64 {
+        self.0 >> 21
+    }
+
+    /// The tag identifying the region covered by a PDPTE-cache entry (1 GiB).
+    pub fn pdpte_region(&self) -> u64 {
+        self.0 >> 30
+    }
+
+    /// The tag identifying the region covered by a PML4E-cache entry (512 GiB).
+    pub fn pml4e_region(&self) -> u64 {
+        self.0 >> 39
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        VirtAddr(v)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// One memory access issued by a workload: an address plus whether it is a store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub struct MemoryAccess {
+    /// The accessed virtual address.
+    pub addr: VirtAddr,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+}
+
+impl MemoryAccess {
+    /// A load of the given address.
+    pub fn load(addr: u64) -> MemoryAccess {
+        MemoryAccess {
+            addr: VirtAddr(addr),
+            is_store: false,
+        }
+    }
+
+    /// A store to the given address.
+    pub fn store(addr: u64) -> MemoryAccess {
+        MemoryAccess {
+            addr: VirtAddr(addr),
+            is_store: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_properties() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+        assert_eq!(PageSize::Size1G.bytes(), 1024 * 1024 * 1024);
+        assert_eq!(PageSize::Size4K.walk_levels(), 4);
+        assert_eq!(PageSize::Size2M.walk_levels(), 3);
+        assert_eq!(PageSize::Size1G.walk_levels(), 2);
+        assert_eq!(PageSize::Size2M.label(), "2m");
+        assert_eq!(PageSize::Size1G.to_string(), "1g");
+        for size in PageSize::ALL {
+            assert_eq!(1u64 << size.shift(), size.bytes());
+        }
+    }
+
+    #[test]
+    fn vpn_extraction() {
+        let a = VirtAddr(0x1234_5678);
+        assert_eq!(a.vpn(PageSize::Size4K), 0x1234_5678 >> 12);
+        assert_eq!(a.vpn(PageSize::Size2M), 0x1234_5678 >> 21);
+        assert_eq!(a.vpn(PageSize::Size1G), 0);
+        assert_eq!(a.raw(), 0x1234_5678);
+    }
+
+    #[test]
+    fn page_table_indices_decompose_the_address() {
+        // Address with distinct indices at every level.
+        let a = VirtAddr((3 << 39) | (5 << 30) | (7 << 21) | (11 << 12) | 0x123);
+        assert_eq!(a.pml4_index(), 3);
+        assert_eq!(a.pdpt_index(), 5);
+        assert_eq!(a.pd_index(), 7);
+        assert_eq!(a.pt_index(), 11);
+    }
+
+    #[test]
+    fn cache_line_in_page_matches_prefetcher_trigger_lines() {
+        // Byte offset 51 * 64 within a page is cache line 51.
+        let base = 0x40_0000u64;
+        assert_eq!(VirtAddr(base + 51 * 64).cache_line_in_page(), 51);
+        assert_eq!(VirtAddr(base + 52 * 64).cache_line_in_page(), 52);
+        assert_eq!(VirtAddr(base + 8 * 64).cache_line_in_page(), 8);
+        assert_eq!(VirtAddr(base + 7 * 64 + 63).cache_line_in_page(), 7);
+    }
+
+    #[test]
+    fn region_tags_nest() {
+        let a = VirtAddr(0x0000_7fff_dead_beef);
+        assert_eq!(a.pde_region() >> 9, a.pdpte_region());
+        assert_eq!(a.pdpte_region() >> 9, a.pml4e_region());
+    }
+
+    #[test]
+    fn memory_access_constructors() {
+        let l = MemoryAccess::load(0x1000);
+        let s = MemoryAccess::store(0x2000);
+        assert!(!l.is_store);
+        assert!(s.is_store);
+        assert_eq!(l.addr, VirtAddr(0x1000));
+        assert_eq!(VirtAddr::from(7u64).raw(), 7);
+        assert_eq!(VirtAddr(0xff).to_string(), "0xff");
+    }
+}

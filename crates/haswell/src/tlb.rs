@@ -1,0 +1,272 @@
+//! The Haswell TLB hierarchy and paging-structure caches.
+
+use crate::cache::SetAssocCache;
+use crate::mem::{PageSize, VirtAddr};
+
+/// The first-level data TLBs (per page size) plus the shared second-level TLB
+/// (STLB).
+///
+/// Haswell's documented organisation is approximated: a 64-entry 4-way L1 DTLB for
+/// 4 KiB pages, 32 entries for 2 MiB, 4 entries for 1 GiB, and a 1024-entry 8-way
+/// STLB shared by 4 KiB and 2 MiB translations (1 GiB translations are not held in
+/// the STLB).
+#[derive(Clone, Debug)]
+pub struct TlbHierarchy {
+    l1_4k: SetAssocCache,
+    l1_2m: SetAssocCache,
+    l1_1g: SetAssocCache,
+    stlb: SetAssocCache,
+}
+
+/// Outcome of a TLB lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlbOutcome {
+    /// Hit in the first-level TLB: no translation activity at all.
+    L1Hit,
+    /// Miss in L1 but hit in the STLB (only possible for 4 KiB / 2 MiB pages).
+    StlbHit,
+    /// Miss in both levels: a translation request must be sent to the MMU.
+    Miss,
+}
+
+impl TlbHierarchy {
+    /// Creates the hierarchy with Haswell-like sizes.
+    pub fn haswell() -> TlbHierarchy {
+        TlbHierarchy {
+            l1_4k: SetAssocCache::new(16, 4),
+            l1_2m: SetAssocCache::new(8, 4),
+            l1_1g: SetAssocCache::fully_associative(4),
+            stlb: SetAssocCache::new(128, 8),
+        }
+    }
+
+    /// Creates a tiny hierarchy (useful in tests to force misses quickly).
+    pub fn tiny() -> TlbHierarchy {
+        TlbHierarchy {
+            l1_4k: SetAssocCache::new(2, 2),
+            l1_2m: SetAssocCache::new(1, 2),
+            l1_1g: SetAssocCache::fully_associative(1),
+            stlb: SetAssocCache::new(4, 2),
+        }
+    }
+
+    fn l1_for(&mut self, size: PageSize) -> &mut SetAssocCache {
+        match size {
+            PageSize::Size4K => &mut self.l1_4k,
+            PageSize::Size2M => &mut self.l1_2m,
+            PageSize::Size1G => &mut self.l1_1g,
+        }
+    }
+
+    /// Looks up a translation, updating LRU state and filling on miss resolution
+    /// being the caller's responsibility (call [`TlbHierarchy::fill`] when the walk
+    /// completes).
+    pub fn lookup(&mut self, addr: VirtAddr, size: PageSize) -> TlbOutcome {
+        let vpn = addr.vpn(size);
+        if self.l1_for(size).probe(vpn) {
+            self.l1_for(size).fill(vpn); // promote
+            return TlbOutcome::L1Hit;
+        }
+        if size != PageSize::Size1G && self.stlb.probe(vpn ^ stlb_tag_salt(size)) {
+            self.stlb.fill(vpn ^ stlb_tag_salt(size));
+            // An STLB hit refills the L1 TLB.
+            self.l1_for(size).fill(vpn);
+            return TlbOutcome::StlbHit;
+        }
+        TlbOutcome::Miss
+    }
+
+    /// Installs a completed translation into the L1 TLB and (for 4 KiB / 2 MiB
+    /// pages) the STLB.
+    pub fn fill(&mut self, addr: VirtAddr, size: PageSize) {
+        let vpn = addr.vpn(size);
+        self.l1_for(size).fill(vpn);
+        if size != PageSize::Size1G {
+            self.stlb.fill(vpn ^ stlb_tag_salt(size));
+        }
+    }
+
+    /// Returns `true` if the translation is currently present in either level
+    /// (without updating any state).
+    pub fn contains(&self, addr: VirtAddr, size: PageSize) -> bool {
+        let vpn = addr.vpn(size);
+        let l1 = match size {
+            PageSize::Size4K => &self.l1_4k,
+            PageSize::Size2M => &self.l1_2m,
+            PageSize::Size1G => &self.l1_1g,
+        };
+        if l1.probe(vpn) {
+            return true;
+        }
+        size != PageSize::Size1G && self.stlb.probe(vpn ^ stlb_tag_salt(size))
+    }
+}
+
+/// Disambiguates 4 KiB and 2 MiB entries sharing the STLB.
+fn stlb_tag_salt(size: PageSize) -> u64 {
+    match size {
+        PageSize::Size4K => 0,
+        PageSize::Size2M => 0x8000_0000_0000_0000,
+        PageSize::Size1G => 0x4000_0000_0000_0000,
+    }
+}
+
+/// The MMU's paging-structure caches: the PDE cache, the PDPTE cache, and the
+/// (optional, undocumented) PML4E cache whose presence the paper infers.
+#[derive(Clone, Debug)]
+pub struct PagingStructureCaches {
+    pde: SetAssocCache,
+    pdpte: SetAssocCache,
+    pml4e: Option<SetAssocCache>,
+}
+
+impl PagingStructureCaches {
+    /// Creates the paging-structure caches.  `with_pml4e` controls whether the
+    /// root-level cache exists (it does on the simulated ground truth; candidate
+    /// models may or may not include it).
+    pub fn new(with_pml4e: bool) -> PagingStructureCaches {
+        PagingStructureCaches {
+            pde: SetAssocCache::fully_associative(32),
+            pdpte: SetAssocCache::fully_associative(16),
+            pml4e: with_pml4e.then(|| SetAssocCache::fully_associative(8)),
+        }
+    }
+
+    /// Probes the PDE cache (2 MiB-region granularity) without modifying it.
+    pub fn pde_hit(&self, addr: VirtAddr) -> bool {
+        self.pde.probe(addr.pde_region())
+    }
+
+    /// Probes the PDPTE cache (1 GiB-region granularity).
+    pub fn pdpte_hit(&self, addr: VirtAddr) -> bool {
+        self.pdpte.probe(addr.pdpte_region())
+    }
+
+    /// Probes the PML4E cache (512 GiB-region granularity).  Always a miss when the
+    /// structure is absent.
+    pub fn pml4e_hit(&self, addr: VirtAddr) -> bool {
+        self.pml4e
+            .as_ref()
+            .is_some_and(|c| c.probe(addr.pml4e_region()))
+    }
+
+    /// Returns `true` if the root-level cache is present.
+    pub fn has_pml4e_cache(&self) -> bool {
+        self.pml4e.is_some()
+    }
+
+    /// Fills every level covering the address after a successful walk for a page of
+    /// the given size (a 1 GiB walk never touches the PD level, so it cannot fill
+    /// the PDE cache).
+    pub fn fill_from_walk(&mut self, addr: VirtAddr, size: PageSize) {
+        if let Some(pml4e) = self.pml4e.as_mut() {
+            pml4e.fill(addr.pml4e_region());
+        }
+        if size != PageSize::Size1G {
+            self.pdpte.fill(addr.pdpte_region());
+        }
+        if size == PageSize::Size4K {
+            self.pde.fill(addr.pde_region());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let mut tlb = TlbHierarchy::haswell();
+        let addr = VirtAddr(0x1000);
+        assert_eq!(tlb.lookup(addr, PageSize::Size4K), TlbOutcome::Miss);
+        tlb.fill(addr, PageSize::Size4K);
+        assert_eq!(tlb.lookup(addr, PageSize::Size4K), TlbOutcome::L1Hit);
+        assert!(tlb.contains(addr, PageSize::Size4K));
+    }
+
+    #[test]
+    fn stlb_backs_up_the_l1() {
+        let mut tlb = TlbHierarchy::tiny();
+        // Fill many 4K pages: the tiny L1 (4 entries) evicts early ones, but the
+        // tiny STLB (8 entries) still holds some of them.
+        for page in 0..6u64 {
+            tlb.fill(VirtAddr(page << 12), PageSize::Size4K);
+        }
+        let outcomes: Vec<TlbOutcome> = (0..6u64)
+            .map(|page| tlb.lookup(VirtAddr(page << 12), PageSize::Size4K))
+            .collect();
+        assert!(outcomes.contains(&TlbOutcome::StlbHit) || outcomes.contains(&TlbOutcome::L1Hit));
+    }
+
+    #[test]
+    fn one_gig_pages_never_hit_the_stlb() {
+        let mut tlb = TlbHierarchy::tiny();
+        // Fill two 1G pages into a 1-entry L1 1G TLB: the first is evicted and,
+        // because 1G entries are not kept in the STLB, it misses entirely.
+        tlb.fill(VirtAddr(0), PageSize::Size1G);
+        tlb.fill(VirtAddr(1 << 30), PageSize::Size1G);
+        assert_eq!(tlb.lookup(VirtAddr(0), PageSize::Size1G), TlbOutcome::Miss);
+        assert_eq!(tlb.lookup(VirtAddr(1 << 30), PageSize::Size1G), TlbOutcome::L1Hit);
+    }
+
+    #[test]
+    fn page_sizes_do_not_alias_in_the_stlb() {
+        let mut tlb = TlbHierarchy::haswell();
+        // VPN 5 as a 4K page and VPN 5 as a 2M page are different translations.
+        tlb.fill(VirtAddr(5 << 12), PageSize::Size4K);
+        assert_eq!(tlb.lookup(VirtAddr(5 << 21), PageSize::Size2M), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn stlb_hit_refills_l1() {
+        let mut tlb = TlbHierarchy::tiny();
+        let addr = VirtAddr(0x7000_0000);
+        tlb.fill(addr, PageSize::Size4K);
+        // Evict from the tiny L1 by filling other pages in the same set range.
+        for page in 1..5u64 {
+            tlb.fill(VirtAddr(page << 12), PageSize::Size4K);
+        }
+        // If it now hits in the STLB, the next lookup must be an L1 hit.
+        if tlb.lookup(addr, PageSize::Size4K) == TlbOutcome::StlbHit {
+            assert_eq!(tlb.lookup(addr, PageSize::Size4K), TlbOutcome::L1Hit);
+        }
+    }
+
+    #[test]
+    fn psc_fill_and_probe_per_level() {
+        let mut psc = PagingStructureCaches::new(true);
+        let addr = VirtAddr(0x0000_1234_5678_9000);
+        assert!(!psc.pde_hit(addr));
+        assert!(!psc.pdpte_hit(addr));
+        assert!(!psc.pml4e_hit(addr));
+        psc.fill_from_walk(addr, PageSize::Size4K);
+        assert!(psc.pde_hit(addr));
+        assert!(psc.pdpte_hit(addr));
+        assert!(psc.pml4e_hit(addr));
+        // A different 2M region misses the PDE cache but may hit upper levels.
+        let sibling = VirtAddr(addr.raw() + (2 << 20));
+        assert!(!psc.pde_hit(sibling));
+        assert!(psc.pdpte_hit(sibling));
+    }
+
+    #[test]
+    fn one_gig_walks_do_not_fill_lower_psc_levels() {
+        let mut psc = PagingStructureCaches::new(true);
+        let addr = VirtAddr(0x40_0000_0000);
+        psc.fill_from_walk(addr, PageSize::Size1G);
+        assert!(!psc.pde_hit(addr));
+        assert!(!psc.pdpte_hit(addr));
+        assert!(psc.pml4e_hit(addr));
+    }
+
+    #[test]
+    fn pml4e_cache_can_be_absent() {
+        let mut psc = PagingStructureCaches::new(false);
+        assert!(!psc.has_pml4e_cache());
+        let addr = VirtAddr(0x123_4567_8000);
+        psc.fill_from_walk(addr, PageSize::Size4K);
+        assert!(!psc.pml4e_hit(addr));
+        assert!(psc.pde_hit(addr));
+    }
+}

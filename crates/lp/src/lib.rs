@@ -1,0 +1,33 @@
+//! A dense two-phase primal-simplex linear-programming solver.
+//!
+//! The paper's CounterPoint implementation relies on an off-the-shelf LP toolkit
+//! (`pulp`/CBC) for two tasks:
+//!
+//! * **feasibility testing** — deciding whether the counter confidence region
+//!   intersects the model cone (Appendix A's linear program over μpath flows), and
+//! * **redundancy elimination** — detecting μpath counter signatures that lie in the
+//!   interior of the model cone during constraint deduction.
+//!
+//! Both only need small-to-medium dense LPs (tens of constraints, up to a few
+//! thousand flow variables), so this crate implements a self-contained dense
+//! two-phase simplex rather than binding to an external solver.
+//!
+//! # Example
+//!
+//! ```
+//! use counterpoint_lp::{LinearProgram, Relation, LpOutcome};
+//!
+//! // maximize x + y  s.t.  x + 2y <= 4,  3x + y <= 6,  x, y >= 0
+//! let mut lp = LinearProgram::new(2);
+//! lp.add_constraint(&[1.0, 2.0], Relation::Le, 4.0);
+//! lp.add_constraint(&[3.0, 1.0], Relation::Le, 6.0);
+//! lp.set_objective_maximize(&[1.0, 1.0]);
+//! match lp.solve() {
+//!     LpOutcome::Optimal { objective, .. } => assert!((objective - 2.8).abs() < 1e-7),
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! ```
+
+pub mod simplex;
+
+pub use simplex::{LinearProgram, LpError, LpOutcome, Relation};

@@ -1,0 +1,345 @@
+//! The named model families of the case study (Tables 3, 5 and 7) and their cone
+//! builders.
+
+use crate::aborts::{abort_request_mudd, AbortPoint};
+use crate::demand::{demand_mudd, DemandOptions, PrefetchAttachPoint};
+use crate::features::{has, to_feature_set, Feature};
+use crate::prefetch::{standalone_prefetch_mudd, TriggerSpec};
+use counterpoint_core::{FeatureSet, ModelCone};
+use counterpoint_haswell::full_counter_space;
+use counterpoint_haswell::hec::AccessType;
+use counterpoint_mudd::MuDd;
+
+/// Builds the model cone of an initial-search model identified by its feature set
+/// (the `m`-family of Table 3, and the generator used by the guided search).
+pub fn build_feature_model(name: &str, features: &FeatureSet) -> ModelCone {
+    let space = full_counter_space();
+    let load = demand_mudd(&space, &DemandOptions::new(AccessType::Load, features));
+    let store = demand_mudd(&space, &DemandOptions::new(AccessType::Store, features));
+    let mut mudds: Vec<MuDd> = vec![load, store];
+    if has(features, Feature::TlbPrefetch) {
+        mudds.push(standalone_prefetch_mudd(
+            &space,
+            has(features, Feature::EarlyPsc),
+            has(features, Feature::Pml4eCache),
+        ));
+    }
+    let refs: Vec<&MuDd> = mudds.iter().collect();
+    ModelCone::from_mudds(name, &refs).expect("case-study models stay within the path limit")
+}
+
+/// The twelve feature sets of the initial model search (paper, Table 3).
+pub fn feature_sets_table3() -> Vec<(String, FeatureSet)> {
+    use Feature::*;
+    let rows: Vec<(&str, Vec<Feature>)> = vec![
+        ("m0", vec![]),
+        ("m1", vec![TlbPrefetch]),
+        ("m2", vec![TlbPrefetch, EarlyPsc, Merging]),
+        ("m3", vec![TlbPrefetch, EarlyPsc, Merging, Pml4eCache]),
+        ("m4", vec![TlbPrefetch, EarlyPsc, Merging, Pml4eCache, WalkBypass]),
+        ("m5", vec![EarlyPsc, Merging, Pml4eCache, WalkBypass]),
+        ("m6", vec![TlbPrefetch, Merging, Pml4eCache, WalkBypass]),
+        ("m7", vec![TlbPrefetch, EarlyPsc, Pml4eCache, WalkBypass]),
+        ("m8", vec![TlbPrefetch, EarlyPsc, Merging, WalkBypass]),
+        ("m9", vec![EarlyPsc, Merging, WalkBypass]),
+        ("m10", vec![TlbPrefetch, Merging, WalkBypass]),
+        ("m11", vec![TlbPrefetch, EarlyPsc, WalkBypass]),
+    ];
+    rows.into_iter()
+        .map(|(name, features)| (name.to_string(), to_feature_set(&features)))
+        .collect()
+}
+
+/// Builds the model cone of a prefetch-trigger model (the `t`-family of Table 5).
+///
+/// Every trigger model is a derivative of the feature-complete model `m4`; only the
+/// prefetcher's trigger conditions vary.  `Spec ✓` models keep the stand-alone
+/// prefetch μop; `Spec ✗` models fold the prefetch request into the retiring load
+/// and/or store μop paths at the point dictated by the miss requirement.
+pub fn build_trigger_model(name: &str, spec: &TriggerSpec) -> ModelCone {
+    let space = full_counter_space();
+    let features = to_feature_set(&Feature::ALL);
+    let attach_point = if spec.stlb_miss {
+        PrefetchAttachPoint::AfterStlbMiss
+    } else if spec.dtlb_miss {
+        PrefetchAttachPoint::AfterDtlbMiss
+    } else {
+        PrefetchAttachPoint::Always
+    };
+
+    let mut load_opts = DemandOptions::new(AccessType::Load, &features);
+    let mut store_opts = DemandOptions::new(AccessType::Store, &features);
+    if !spec.speculative {
+        if spec.load {
+            load_opts.inline_prefetch = Some(attach_point);
+        }
+        if spec.store {
+            store_opts.inline_prefetch = Some(attach_point);
+        }
+    }
+
+    let load = demand_mudd(&space, &load_opts);
+    let store = demand_mudd(&space, &store_opts);
+    let mut mudds: Vec<MuDd> = vec![load, store];
+    if spec.speculative {
+        mudds.push(standalone_prefetch_mudd(&space, true, true));
+    }
+    let refs: Vec<&MuDd> = mudds.iter().collect();
+    ModelCone::from_mudds(name, &refs).expect("trigger models stay within the path limit")
+}
+
+/// The eighteen trigger-condition models of Table 5.
+pub fn trigger_specs_table5() -> Vec<(String, TriggerSpec)> {
+    let rows: Vec<(bool, bool, bool, bool, bool)> = vec![
+        (true, true, false, false, false),  // t0
+        (true, true, false, true, false),   // t1
+        (true, true, false, false, true),   // t2
+        (true, false, true, false, false),  // t3
+        (true, false, true, true, false),   // t4
+        (true, false, true, false, true),   // t5
+        (true, true, true, false, false),   // t6
+        (true, true, true, true, false),    // t7
+        (true, true, true, false, true),    // t8
+        (false, true, false, false, false), // t9
+        (false, true, false, true, false),  // t10
+        (false, true, false, false, true),  // t11
+        (false, false, true, false, false), // t12
+        (false, false, true, true, false),  // t13
+        (false, false, true, false, true),  // t14
+        (false, true, true, false, false),  // t15
+        (false, true, true, true, false),   // t16
+        (false, true, true, false, true),   // t17
+    ];
+    rows.into_iter()
+        .enumerate()
+        .map(|(i, (speculative, load, store, dtlb_miss, stlb_miss))| {
+            (
+                format!("t{i}"),
+                TriggerSpec {
+                    speculative,
+                    load,
+                    store,
+                    dtlb_miss,
+                    stlb_miss,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Builds the model cone of an abort-point model (the `a`-family of Table 7):
+/// the feature-complete trigger model `t0` with walk bypassing removed and
+/// translation-request aborts added at the given pipeline points.
+pub fn build_abort_model(name: &str, points: &[AbortPoint]) -> ModelCone {
+    let space = full_counter_space();
+    let features = to_feature_set(&[
+        Feature::TlbPrefetch,
+        Feature::EarlyPsc,
+        Feature::Merging,
+        Feature::Pml4eCache,
+    ]);
+    let load = demand_mudd(&space, &DemandOptions::new(AccessType::Load, &features));
+    let store = demand_mudd(&space, &DemandOptions::new(AccessType::Store, &features));
+    let prefetch = standalone_prefetch_mudd(&space, true, true);
+    let mut mudds: Vec<MuDd> = vec![load, store, prefetch];
+    if let Some(aborts) = abort_request_mudd(&space, points) {
+        mudds.push(aborts);
+    }
+    let refs: Vec<&MuDd> = mudds.iter().collect();
+    ModelCone::from_mudds(name, &refs).expect("abort models stay within the path limit")
+}
+
+/// The four abort-point models of Table 7 (cumulatively enabling later abort
+/// points).
+pub fn abort_specs_table7() -> Vec<(String, Vec<AbortPoint>)> {
+    vec![
+        ("a0".to_string(), vec![AbortPoint::DuringWalk]),
+        ("a1".to_string(), vec![AbortPoint::DuringWalk, AbortPoint::AfterPsc]),
+        (
+            "a2".to_string(),
+            vec![AbortPoint::DuringWalk, AbortPoint::AfterPsc, AbortPoint::AfterL2Tlb],
+        ),
+        (
+            "a3".to_string(),
+            vec![
+                AbortPoint::DuringWalk,
+                AbortPoint::AfterPsc,
+                AbortPoint::AfterL2Tlb,
+                AbortPoint::AfterL1Tlb,
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counterpoint_core::{FeasibilityChecker, Observation};
+
+    #[test]
+    fn table3_has_twelve_models_with_expected_features() {
+        let specs = feature_sets_table3();
+        assert_eq!(specs.len(), 12);
+        assert_eq!(specs[0].0, "m0");
+        assert!(specs[0].1.is_empty());
+        assert_eq!(specs[4].1.len(), 5);
+        // m4 and m8 differ exactly by the PML4E cache.
+        let m4: &FeatureSet = &specs[4].1;
+        let m8: &FeatureSet = &specs[8].1;
+        assert!(m4.contains("Pml4eCache"));
+        assert!(!m8.contains("Pml4eCache"));
+        assert_eq!(m4.len(), m8.len() + 1);
+    }
+
+    #[test]
+    fn table5_has_eighteen_models_matching_the_paper() {
+        let specs = trigger_specs_table5();
+        assert_eq!(specs.len(), 18);
+        assert!(specs[..9].iter().all(|(_, s)| s.speculative));
+        assert!(specs[9..].iter().all(|(_, s)| !s.speculative));
+        assert!(specs[12].1.store && !specs[12].1.load); // t12 is store-only
+        assert!(specs[10].1.dtlb_miss); // t10 requires a DTLB miss
+    }
+
+    #[test]
+    fn table7_abort_points_are_cumulative() {
+        let specs = abort_specs_table7();
+        assert_eq!(specs.len(), 4);
+        for window in specs.windows(2) {
+            assert_eq!(window[0].1.len() + 1, window[1].1.len());
+        }
+    }
+
+    #[test]
+    fn m0_and_m4_cones_build_over_the_full_counter_space() {
+        let specs = feature_sets_table3();
+        let m0 = build_feature_model("m0", &specs[0].1);
+        let m4 = build_feature_model("m4", &specs[4].1);
+        assert_eq!(m0.dimension(), 26);
+        assert_eq!(m4.dimension(), 26);
+        assert!(m4.num_generators() > m0.num_generators());
+    }
+
+    #[test]
+    fn m4_explains_observations_that_refute_m0() {
+        let specs = feature_sets_table3();
+        let m0 = build_feature_model("m0", &specs[0].1);
+        let m4 = build_feature_model("m4", &specs[4].1);
+        let space = full_counter_space();
+
+        // A merged-walk + early-PSC observation: more retired STLB misses and PDE
+        // misses than completed walks (loads only).
+        let mut values = vec![0.0; space.len()];
+        values[space.index_of("load.ret").unwrap()] = 1000.0;
+        values[space.index_of("load.ret_stlb_miss").unwrap()] = 300.0;
+        values[space.index_of("load.pde$_miss").unwrap()] = 250.0;
+        values[space.index_of("load.causes_walk").unwrap()] = 150.0;
+        values[space.index_of("load.walk_done").unwrap()] = 150.0;
+        values[space.index_of("load.walk_done_4k").unwrap()] = 150.0;
+        values[space.index_of("walk_ref.l2").unwrap()] = 200.0;
+        let obs = Observation::exact("merged-and-early-psc", &values);
+
+        assert!(!FeasibilityChecker::new(&m0).is_feasible(&obs));
+        assert!(FeasibilityChecker::new(&m4).is_feasible(&obs));
+    }
+
+    #[test]
+    fn walk_bypass_distinguishes_m3_from_m4() {
+        let specs = feature_sets_table3();
+        let m3 = build_feature_model("m3", &specs[3].1);
+        let m4 = build_feature_model("m4", &specs[4].1);
+        let space = full_counter_space();
+
+        // Walks that complete with fewer references than walks (replays).
+        let mut values = vec![0.0; space.len()];
+        values[space.index_of("load.ret").unwrap()] = 1000.0;
+        values[space.index_of("load.ret_stlb_miss").unwrap()] = 200.0;
+        values[space.index_of("load.causes_walk").unwrap()] = 200.0;
+        values[space.index_of("load.walk_done").unwrap()] = 200.0;
+        values[space.index_of("load.walk_done_4k").unwrap()] = 200.0;
+        values[space.index_of("load.pde$_miss").unwrap()] = 120.0;
+        values[space.index_of("walk_ref.mem").unwrap()] = 60.0;
+        let obs = Observation::exact("replayed-walks", &values);
+
+        assert!(!FeasibilityChecker::new(&m3).is_feasible(&obs));
+        assert!(FeasibilityChecker::new(&m4).is_feasible(&obs));
+    }
+
+    #[test]
+    fn prefetching_distinguishes_m5_from_m4() {
+        let specs = feature_sets_table3();
+        let m4 = build_feature_model("m4", &specs[4].1);
+        let m5 = build_feature_model("m5", &specs[5].1);
+        let space = full_counter_space();
+
+        // The linear-microbenchmark steady state: far more walks than retired STLB
+        // misses because the prefetcher resolves translations ahead of demand.
+        let mut values = vec![0.0; space.len()];
+        values[space.index_of("load.ret").unwrap()] = 100_000.0;
+        values[space.index_of("load.ret_stlb_miss").unwrap()] = 50.0;
+        values[space.index_of("load.causes_walk").unwrap()] = 1500.0;
+        values[space.index_of("load.walk_done").unwrap()] = 1500.0;
+        values[space.index_of("load.walk_done_4k").unwrap()] = 1500.0;
+        values[space.index_of("walk_ref.l1").unwrap()] = 1500.0;
+        values[space.index_of("load.pde$_miss").unwrap()] = 10.0;
+        let obs = Observation::exact("linear-prefetch-steady-state", &values);
+
+        assert!(FeasibilityChecker::new(&m4).is_feasible(&obs));
+        assert!(!FeasibilityChecker::new(&m5).is_feasible(&obs));
+    }
+
+    #[test]
+    fn speculative_trigger_models_accept_prefetch_heavy_observations() {
+        let t0 = build_trigger_model("t0", &TriggerSpec::t0());
+        let t10 = build_trigger_model(
+            "t10",
+            &TriggerSpec {
+                speculative: false,
+                load: true,
+                store: false,
+                dtlb_miss: true,
+                stlb_miss: false,
+            },
+        );
+        let space = full_counter_space();
+        // Prefetch-dominated linear microbenchmark: demand loads hit the L1 TLB.
+        let mut values = vec![0.0; space.len()];
+        values[space.index_of("load.ret").unwrap()] = 100_000.0;
+        values[space.index_of("load.ret_stlb_miss").unwrap()] = 10.0;
+        values[space.index_of("load.causes_walk").unwrap()] = 1500.0;
+        values[space.index_of("load.walk_done").unwrap()] = 1500.0;
+        values[space.index_of("load.walk_done_4k").unwrap()] = 1500.0;
+        values[space.index_of("walk_ref.l2").unwrap()] = 1500.0;
+        let obs = Observation::exact("linear-prefetch", &values);
+
+        assert!(FeasibilityChecker::new(&t0).is_feasible(&obs));
+        // Requiring a demand DTLB miss per prefetch cannot explain 1500 walks from
+        // only 10 misses.
+        assert!(!FeasibilityChecker::new(&t10).is_feasible(&obs));
+    }
+
+    #[test]
+    fn abort_models_cannot_explain_reference_free_walks() {
+        let specs = abort_specs_table7();
+        let space = full_counter_space();
+        let mut values = vec![0.0; space.len()];
+        values[space.index_of("load.ret").unwrap()] = 10_000.0;
+        values[space.index_of("load.ret_stlb_miss").unwrap()] = 500.0;
+        values[space.index_of("load.causes_walk").unwrap()] = 500.0;
+        values[space.index_of("load.walk_done").unwrap()] = 500.0;
+        values[space.index_of("load.walk_done_4k").unwrap()] = 500.0;
+        values[space.index_of("load.pde$_miss").unwrap()] = 300.0;
+        values[space.index_of("walk_ref.l3").unwrap()] = 100.0;
+        let obs = Observation::exact("reference-free-walks", &values);
+        for (name, points) in &specs {
+            let cone = build_abort_model(name, points);
+            assert!(
+                !FeasibilityChecker::new(&cone).is_feasible(&obs),
+                "{name} should not explain walks that complete without references"
+            );
+        }
+        // The bypass-capable t0 model explains the same observation.
+        let t0 = build_trigger_model("t0", &TriggerSpec::t0());
+        assert!(FeasibilityChecker::new(&t0).is_feasible(&obs));
+    }
+}

@@ -1,0 +1,106 @@
+//! The microarchitectural features of the initial model search (paper, Table 4).
+
+use counterpoint_core::FeatureSet;
+use serde::Serialize;
+use std::fmt;
+
+/// A microarchitectural feature a candidate Haswell MMU model may or may not
+/// include (paper, Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum Feature {
+    /// Prefetches form an additional kind of translation request.
+    TlbPrefetch,
+    /// Paging-structure caches are looked up before starting a walk (and therefore
+    /// before merge/abort decisions).
+    EarlyPsc,
+    /// Page-table walks can be merged by an L2 TLB MSHR.
+    Merging,
+    /// A paging-structure cache exists for the root (PML4E) level of the page
+    /// table.
+    Pml4eCache,
+    /// Walks can complete without making a visible memory access.
+    WalkBypass,
+}
+
+impl Feature {
+    /// All features, in the column order of the paper's Table 3.
+    pub const ALL: [Feature; 5] = [
+        Feature::TlbPrefetch,
+        Feature::EarlyPsc,
+        Feature::Merging,
+        Feature::Pml4eCache,
+        Feature::WalkBypass,
+    ];
+
+    /// The feature's canonical name (used as the key in [`FeatureSet`]s).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Feature::TlbPrefetch => "TlbPrefetch",
+            Feature::EarlyPsc => "EarlyPsc",
+            Feature::Merging => "Merging",
+            Feature::Pml4eCache => "Pml4eCache",
+            Feature::WalkBypass => "WalkBypass",
+        }
+    }
+
+    /// The description used in the paper's Table 4.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Feature::TlbPrefetch => "Prefetches form an additional kind of translation request",
+            Feature::EarlyPsc => "Paging structure caches are looked up before starting a walk",
+            Feature::Merging => "Page table walks can be merged by an L2TLB MSHR",
+            Feature::Pml4eCache => "There exists a paging structure cache for the root (PML4E) level",
+            Feature::WalkBypass => "Walks can complete without making a visible memory access",
+        }
+    }
+
+    /// Parses a feature from its canonical name.
+    pub fn from_name(name: &str) -> Option<Feature> {
+        Feature::ALL.iter().copied().find(|f| f.name() == name)
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a [`FeatureSet`] from a slice of features.
+pub fn to_feature_set(features: &[Feature]) -> FeatureSet {
+    features.iter().map(|f| f.name().to_string()).collect()
+}
+
+/// Returns `true` if the set contains the feature.
+pub fn has(set: &FeatureSet, feature: Feature) -> bool {
+    set.contains(feature.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for f in Feature::ALL {
+            assert_eq!(Feature::from_name(f.name()), Some(f));
+            assert_eq!(f.to_string(), f.name());
+            assert!(!f.description().is_empty());
+        }
+        assert_eq!(Feature::from_name("NotAFeature"), None);
+    }
+
+    #[test]
+    fn feature_set_membership() {
+        let set = to_feature_set(&[Feature::Merging, Feature::WalkBypass]);
+        assert!(has(&set, Feature::Merging));
+        assert!(has(&set, Feature::WalkBypass));
+        assert!(!has(&set, Feature::TlbPrefetch));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn there_are_five_features_as_in_table3() {
+        assert_eq!(Feature::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,436 @@
+//! Programmatic construction of μDDs.
+
+use crate::counterspace::CounterSpace;
+use crate::graph::{MuDd, MuDdError, NodeId, NodeKind};
+use std::collections::HashSet;
+
+/// Default cap on the number of μpaths a single μDD may enumerate.
+pub const DEFAULT_MAX_PATHS: usize = 1 << 20;
+
+enum PendingNode {
+    Start,
+    End,
+    Event(String),
+    Counter(String),
+    Decision(String),
+}
+
+/// Builder for [`MuDd`] graphs.
+///
+/// The builder is the main way the Haswell model family is constructed; the DSL
+/// compiler also lowers onto it.  Nodes are created first (returning [`NodeId`]s),
+/// then connected with causality and happens-before edges, and finally validated by
+/// [`MuDdBuilder::build`].
+///
+/// ```
+/// use counterpoint_mudd::{CounterSpace, MuDdBuilder};
+///
+/// let space = CounterSpace::new(&["load.causes_walk"]);
+/// let mut b = MuDdBuilder::new("tiny", &space);
+/// let start = b.start();
+/// let ctr = b.counter("load.causes_walk");
+/// let end = b.end();
+/// b.causal(start, ctr);
+/// b.causal(ctr, end);
+/// let mudd = b.build().unwrap();
+/// assert_eq!(mudd.num_paths().unwrap(), 1);
+/// ```
+pub struct MuDdBuilder {
+    name: String,
+    counters: CounterSpace,
+    nodes: Vec<PendingNode>,
+    causal: Vec<(usize, usize, Option<String>)>,
+    happens_before: Vec<(usize, usize)>,
+    max_paths: usize,
+}
+
+impl MuDdBuilder {
+    /// Creates a builder for a μDD named `name` over the given counter space.
+    pub fn new(name: &str, counters: &CounterSpace) -> MuDdBuilder {
+        MuDdBuilder {
+            name: name.to_string(),
+            counters: counters.clone(),
+            nodes: Vec::new(),
+            causal: Vec::new(),
+            happens_before: Vec::new(),
+            max_paths: DEFAULT_MAX_PATHS,
+        }
+    }
+
+    /// Overrides the μpath enumeration limit (default [`DEFAULT_MAX_PATHS`]).
+    pub fn set_max_paths(&mut self, limit: usize) {
+        self.max_paths = limit;
+    }
+
+    fn push(&mut self, node: PendingNode) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds the start node.  A μDD must have exactly one.
+    pub fn start(&mut self) -> NodeId {
+        self.push(PendingNode::Start)
+    }
+
+    /// Adds an end node.  A μDD may have any number of them.
+    pub fn end(&mut self) -> NodeId {
+        self.push(PendingNode::End)
+    }
+
+    /// Adds a standard microarchitectural event node.
+    pub fn event(&mut self, name: &str) -> NodeId {
+        self.push(PendingNode::Event(name.to_string()))
+    }
+
+    /// Adds a counter node.  The name is resolved against the counter space at
+    /// [`MuDdBuilder::build`] time.
+    pub fn counter(&mut self, name: &str) -> NodeId {
+        self.push(PendingNode::Counter(name.to_string()))
+    }
+
+    /// Adds a decision node over the named microarchitectural property.
+    pub fn decision(&mut self, property: &str) -> NodeId {
+        self.push(PendingNode::Decision(property.to_string()))
+    }
+
+    /// Adds an unlabelled causality edge (for edges out of non-decision nodes).
+    pub fn causal(&mut self, from: NodeId, to: NodeId) {
+        self.causal.push((from.index(), to.index(), None));
+    }
+
+    /// Adds a causality edge labelled with a property value (for edges out of
+    /// decision nodes).
+    pub fn causal_labeled(&mut self, from: NodeId, to: NodeId, label: &str) {
+        self.causal.push((from.index(), to.index(), Some(label.to_string())));
+    }
+
+    /// Adds a happens-before edge.  Happens-before edges document additional
+    /// ordering between events on a μpath; they do not influence path enumeration.
+    pub fn happens_before(&mut self, from: NodeId, to: NodeId) {
+        self.happens_before.push((from.index(), to.index()));
+    }
+
+    /// Validates the graph and produces an immutable [`MuDd`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MuDdError`] describing the first structural problem found: a
+    /// missing or duplicated start node, unknown counter names, labelling problems,
+    /// bad fan-out, dead ends, cycles, unreachable nodes, or edges referring to
+    /// non-existent nodes.
+    pub fn build(self) -> Result<MuDd, MuDdError> {
+        let n = self.nodes.len();
+
+        // Resolve node kinds (counter names -> indices).
+        let mut kinds = Vec::with_capacity(n);
+        for node in &self.nodes {
+            kinds.push(match node {
+                PendingNode::Start => NodeKind::Start,
+                PendingNode::End => NodeKind::End,
+                PendingNode::Event(name) => NodeKind::Event(name.clone()),
+                PendingNode::Decision(prop) => NodeKind::Decision(prop.clone()),
+                PendingNode::Counter(name) => {
+                    let idx = self
+                        .counters
+                        .index_of(name)
+                        .ok_or_else(|| MuDdError::UnknownCounter(name.clone()))?;
+                    NodeKind::Counter(idx)
+                }
+            });
+        }
+
+        // Exactly one start node.
+        let starts: Vec<usize> = kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| matches!(k, NodeKind::Start))
+            .map(|(i, _)| i)
+            .collect();
+        let start = match starts.len() {
+            0 => return Err(MuDdError::NoStartNode),
+            1 => starts[0],
+            _ => return Err(MuDdError::MultipleStartNodes),
+        };
+
+        // Build adjacency, validating node indices.
+        let mut causal_out: Vec<Vec<(usize, Option<String>)>> = vec![Vec::new(); n];
+        for (from, to, label) in &self.causal {
+            if *from >= n {
+                return Err(MuDdError::InvalidNode { node: *from });
+            }
+            if *to >= n {
+                return Err(MuDdError::InvalidNode { node: *to });
+            }
+            causal_out[*from].push((*to, label.clone()));
+        }
+        for (from, to) in &self.happens_before {
+            if *from >= n || *to >= n {
+                return Err(MuDdError::InvalidNode {
+                    node: (*from).max(*to),
+                });
+            }
+        }
+
+        // Per-node structural validation.
+        for (i, kind) in kinds.iter().enumerate() {
+            let out = &causal_out[i];
+            match kind {
+                NodeKind::End => {
+                    if !out.is_empty() {
+                        return Err(MuDdError::BadFanout {
+                            node: i,
+                            found: out.len(),
+                        });
+                    }
+                }
+                NodeKind::Decision(_) => {
+                    if out.is_empty() {
+                        return Err(MuDdError::DeadEnd { node: i });
+                    }
+                    let mut seen = HashSet::new();
+                    for (_, label) in out {
+                        let Some(label) = label else {
+                            return Err(MuDdError::BadEdgeLabel { node: i });
+                        };
+                        if !seen.insert(label.clone()) {
+                            return Err(MuDdError::DuplicateDecisionLabel {
+                                node: i,
+                                label: label.clone(),
+                            });
+                        }
+                    }
+                }
+                _ => {
+                    if out.len() != 1 {
+                        return Err(if out.is_empty() {
+                            MuDdError::DeadEnd { node: i }
+                        } else {
+                            MuDdError::BadFanout {
+                                node: i,
+                                found: out.len(),
+                            }
+                        });
+                    }
+                    if out[0].1.is_some() {
+                        return Err(MuDdError::BadEdgeLabel { node: i });
+                    }
+                }
+            }
+        }
+
+        // Acyclicity (DFS with colours) and reachability from start.
+        let mut colour = vec![0u8; n]; // 0 = white, 1 = grey, 2 = black
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        colour[start] = 1;
+        while let Some((node, next_child)) = stack.pop() {
+            if next_child < causal_out[node].len() {
+                stack.push((node, next_child + 1));
+                let (child, _) = causal_out[node][next_child];
+                match colour[child] {
+                    0 => {
+                        colour[child] = 1;
+                        stack.push((child, 0));
+                    }
+                    1 => return Err(MuDdError::Cycle),
+                    _ => {}
+                }
+            } else {
+                colour[node] = 2;
+            }
+        }
+        if let Some(unreachable) = (0..n).find(|&i| colour[i] == 0) {
+            return Err(MuDdError::Unreachable { node: unreachable });
+        }
+
+        Ok(MuDd {
+            name: self.name,
+            counters: self.counters,
+            nodes: kinds,
+            causal_out,
+            happens_before: self.happens_before,
+            start,
+            max_paths: self.max_paths,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> CounterSpace {
+        CounterSpace::new(&["c.a", "c.b"])
+    }
+
+    #[test]
+    fn minimal_valid_mudd() {
+        let mut b = MuDdBuilder::new("minimal", &space());
+        let s = b.start();
+        let e = b.end();
+        b.causal(s, e);
+        let mudd = b.build().unwrap();
+        assert_eq!(mudd.num_paths().unwrap(), 1);
+        assert!(mudd.enumerate_paths().unwrap()[0].signature().is_zero());
+    }
+
+    #[test]
+    fn missing_start_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let _ = b.end();
+        assert_eq!(b.build().unwrap_err(), MuDdError::NoStartNode);
+    }
+
+    #[test]
+    fn duplicate_start_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s1 = b.start();
+        let _s2 = b.start();
+        let e = b.end();
+        b.causal(s1, e);
+        assert_eq!(b.build().unwrap_err(), MuDdError::MultipleStartNodes);
+    }
+
+    #[test]
+    fn unknown_counter_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let c = b.counter("c.missing");
+        let e = b.end();
+        b.causal(s, c);
+        b.causal(c, e);
+        assert_eq!(
+            b.build().unwrap_err(),
+            MuDdError::UnknownCounter("c.missing".to_string())
+        );
+    }
+
+    #[test]
+    fn unlabeled_decision_edge_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let d = b.decision("P");
+        let e = b.end();
+        b.causal(s, d);
+        b.causal(d, e);
+        assert_eq!(b.build().unwrap_err(), MuDdError::BadEdgeLabel { node: 1 });
+    }
+
+    #[test]
+    fn labeled_event_edge_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let e = b.end();
+        b.causal_labeled(s, e, "Yes");
+        assert_eq!(b.build().unwrap_err(), MuDdError::BadEdgeLabel { node: 0 });
+    }
+
+    #[test]
+    fn duplicate_decision_label_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let d = b.decision("P");
+        let e1 = b.end();
+        let e2 = b.end();
+        b.causal(s, d);
+        b.causal_labeled(d, e1, "Yes");
+        b.causal_labeled(d, e2, "Yes");
+        assert_eq!(
+            b.build().unwrap_err(),
+            MuDdError::DuplicateDecisionLabel {
+                node: 1,
+                label: "Yes".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn fanout_from_event_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let e1 = b.end();
+        let e2 = b.end();
+        b.causal(s, e1);
+        b.causal(s, e2);
+        assert_eq!(
+            b.build().unwrap_err(),
+            MuDdError::BadFanout { node: 0, found: 2 }
+        );
+    }
+
+    #[test]
+    fn dead_end_event_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let ev = b.event("Stuck");
+        b.causal(s, ev);
+        assert_eq!(b.build().unwrap_err(), MuDdError::DeadEnd { node: 1 });
+    }
+
+    #[test]
+    fn end_with_successor_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let e = b.end();
+        let e2 = b.end();
+        b.causal(s, e);
+        b.causal(e, e2);
+        assert!(matches!(b.build().unwrap_err(), MuDdError::BadFanout { node: 1, .. }));
+    }
+
+    #[test]
+    fn cycle_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let a = b.event("A");
+        let c = b.event("B");
+        b.causal(s, a);
+        b.causal(a, c);
+        b.causal(c, a);
+        assert_eq!(b.build().unwrap_err(), MuDdError::Cycle);
+    }
+
+    #[test]
+    fn unreachable_node_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let e = b.end();
+        let orphan = b.event("Orphan");
+        let e2 = b.end();
+        b.causal(s, e);
+        b.causal(orphan, e2);
+        assert!(matches!(b.build().unwrap_err(), MuDdError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn invalid_node_reference_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let e = b.end();
+        b.causal(s, e);
+        b.causal(s, NodeId(99));
+        assert!(matches!(b.build().unwrap_err(), MuDdError::InvalidNode { .. }));
+    }
+
+    #[test]
+    fn happens_before_with_invalid_node_is_error() {
+        let mut b = MuDdBuilder::new("bad", &space());
+        let s = b.start();
+        let e = b.end();
+        b.causal(s, e);
+        b.happens_before(s, NodeId(42));
+        assert!(matches!(b.build().unwrap_err(), MuDdError::InvalidNode { .. }));
+    }
+
+    #[test]
+    fn happens_before_edges_are_kept() {
+        let mut b = MuDdBuilder::new("hb", &space());
+        let s = b.start();
+        let a = b.counter("c.a");
+        let e = b.end();
+        b.causal(s, a);
+        b.causal(a, e);
+        b.happens_before(s, e);
+        let mudd = b.build().unwrap();
+        assert_eq!(mudd.happens_before_edges(), &[(0, 2)]);
+    }
+}

@@ -1,0 +1,183 @@
+//! The ordered set of hardware event counters a model ranges over.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An ordered, indexable set of hardware event counter names.
+///
+/// Every μDD, counter signature, model cone and confidence region in a CounterPoint
+/// analysis is expressed over one shared `CounterSpace`, so that component `i` of
+/// any vector always refers to the same HEC.  Counter names follow the paper's
+/// convention, e.g. `load.causes_walk`, `store.walk_done_2m`, `walk_ref.l2`.
+///
+/// ```
+/// use counterpoint_mudd::CounterSpace;
+/// let space = CounterSpace::new(&["load.causes_walk", "load.pde$_miss"]);
+/// assert_eq!(space.len(), 2);
+/// assert_eq!(space.index_of("load.pde$_miss"), Some(1));
+/// assert_eq!(space.name(0), "load.causes_walk");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSpace {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl CounterSpace {
+    /// Creates a counter space from an ordered list of names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name appears twice.
+    pub fn new<S: AsRef<str>>(names: &[S]) -> CounterSpace {
+        let mut index = HashMap::with_capacity(names.len());
+        let mut owned = Vec::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            let name = n.as_ref().to_string();
+            let previous = index.insert(name.clone(), i);
+            assert!(previous.is_none(), "duplicate counter name: {name}");
+            owned.push(name);
+        }
+        CounterSpace {
+            names: owned,
+            index,
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if the space has no counters.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Index of a counter by name, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns `true` if the space contains the named counter.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Name of the counter at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn name(&self, idx: usize) -> &str {
+        &self.names[idx]
+    }
+
+    /// All counter names, in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// All names as `&str` slices (convenient for constraint rendering).
+    pub fn name_refs(&self) -> Vec<&str> {
+        self.names.iter().map(String::as_str).collect()
+    }
+
+    /// Builds a new space containing only the named subset (in the given order),
+    /// e.g. to project an analysis onto one of the paper's counter groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested name is not present in this space.
+    pub fn subset<S: AsRef<str>>(&self, names: &[S]) -> CounterSpace {
+        for n in names {
+            assert!(
+                self.contains(n.as_ref()),
+                "counter {} is not in this space",
+                n.as_ref()
+            );
+        }
+        CounterSpace::new(names)
+    }
+
+    /// Returns the indices (in this space) of the given counter names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is unknown.
+    pub fn indices_of<S: AsRef<str>>(&self, names: &[S]) -> Vec<usize> {
+        names
+            .iter()
+            .map(|n| {
+                self.index_of(n.as_ref())
+                    .unwrap_or_else(|| panic!("unknown counter {}", n.as_ref()))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for CounterSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CounterSpace[{}]", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let s = CounterSpace::new(&["a", "b", "c"]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert!(s.contains("c"));
+        assert!(!s.contains("d"));
+        assert_eq!(s.name(2), "c");
+        assert_eq!(s.names(), &["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(s.name_refs(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_space() {
+        let s = CounterSpace::new::<&str>(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate counter name")]
+    fn duplicate_names_panic() {
+        let _ = CounterSpace::new(&["a", "b", "a"]);
+    }
+
+    #[test]
+    fn subset_preserves_requested_order() {
+        let s = CounterSpace::new(&["a", "b", "c", "d"]);
+        let sub = s.subset(&["c", "a"]);
+        assert_eq!(sub.name(0), "c");
+        assert_eq!(sub.name(1), "a");
+        assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not in this space")]
+    fn subset_with_unknown_name_panics() {
+        let s = CounterSpace::new(&["a"]);
+        let _ = s.subset(&["b"]);
+    }
+
+    #[test]
+    fn indices_of_maps_names() {
+        let s = CounterSpace::new(&["a", "b", "c"]);
+        assert_eq!(s.indices_of(&["c", "a"]), vec![2, 0]);
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let s = CounterSpace::new(&["x", "y"]);
+        assert_eq!(s.to_string(), "CounterSpace[x, y]");
+    }
+}

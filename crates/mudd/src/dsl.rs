@@ -1,0 +1,633 @@
+//! The CounterPoint model-specification DSL.
+//!
+//! The paper introduces a deliberately small language for describing how a μop
+//! interacts with the microarchitecture (Figure 2 and Section 6): `incr` statements
+//! increment HECs, `do` statements name standard microarchitectural events,
+//! `switch` statements branch on microarchitectural properties, `pass` is a no-op
+//! arm body, and `done` terminates the μop's path.  The language intentionally has
+//! no functions, loops, or variables beyond μpath properties.
+//!
+//! ```text
+//! incr load.causes_walk;
+//! do LookupPde$;
+//! switch Pde$Status {
+//!     Hit => pass;
+//!     Miss => incr load.pde$_miss
+//! };
+//! done;
+//! ```
+//!
+//! [`compile_uop`] compiles a program into a validated [`MuDd`]; [`compile_auto`]
+//! additionally derives the counter space from the `incr` statements encountered.
+
+use crate::builder::MuDdBuilder;
+use crate::counterspace::CounterSpace;
+use crate::graph::{MuDd, MuDdError, NodeId};
+use std::fmt;
+
+/// Errors raised while lexing, parsing or compiling a DSL program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DslError {
+    /// A character that is not part of the language was encountered.
+    Lex {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The token stream does not form a valid program.
+    Parse {
+        /// Description of the problem.
+        message: String,
+    },
+    /// Statements appear after every control path has terminated with `done`.
+    UnreachableCode,
+    /// The program is empty (a μop must do *something*, even if it is just `done`).
+    EmptyProgram,
+    /// A structural error surfaced while building the μDD (e.g. an `incr` of a
+    /// counter missing from the supplied counter space).
+    Graph(MuDdError),
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Lex { position, message } => write!(f, "lex error at byte {position}: {message}"),
+            DslError::Parse { message } => write!(f, "parse error: {message}"),
+            DslError::UnreachableCode => write!(f, "unreachable statements after all paths ended with done"),
+            DslError::EmptyProgram => write!(f, "empty model program"),
+            DslError::Graph(e) => write!(f, "model graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+impl From<MuDdError> for DslError {
+    fn from(e: MuDdError) -> Self {
+        DslError::Graph(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Arrow,
+    Eof,
+}
+
+fn lex(src: &str) -> Result<Vec<Token>, DslError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '>' {
+                    tokens.push(Token::Arrow);
+                    i += 2;
+                } else {
+                    return Err(DslError::Lex {
+                        position: i,
+                        message: "expected '=>' after '='".to_string(),
+                    });
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] as char == '/' => {
+                while i < bytes.len() && bytes[i] as char != '\n' {
+                    i += 1;
+                }
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] as char != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(src[start..i].to_string()));
+            }
+            other => {
+                return Err(DslError::Lex {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------------
+// AST + parser
+// ---------------------------------------------------------------------------
+
+/// A statement of the DSL (exposed for tooling and tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `incr <counter>;`
+    Incr(String),
+    /// `do <event>;`
+    Do(String),
+    /// `pass;`
+    Pass,
+    /// `done;`
+    Done,
+    /// `switch <property> { <value> => <body>; ... };`
+    Switch {
+        /// The microarchitectural property being branched on.
+        property: String,
+        /// `(value, body)` pairs, one per arm.
+        arms: Vec<(String, Vec<Stmt>)>,
+    },
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_ident(&mut self, context: &str) -> Result<String, DslError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(DslError::Parse {
+                message: format!("expected identifier {context}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect(&mut self, token: Token, context: &str) -> Result<(), DslError> {
+        let found = self.bump();
+        if found == token {
+            Ok(())
+        } else {
+            Err(DslError::Parse {
+                message: format!("expected {token:?} {context}, found {found:?}"),
+            })
+        }
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == token {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses statements until EOF or a closing brace (which is not consumed).
+    fn parse_stmts(&mut self) -> Result<Vec<Stmt>, DslError> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Token::Eof | Token::RBrace => break,
+                Token::Semi => {
+                    self.bump();
+                }
+                _ => stmts.push(self.parse_stmt()?),
+            }
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, DslError> {
+        let keyword = self.expect_ident("at start of statement")?;
+        let stmt = match keyword.as_str() {
+            "incr" => Stmt::Incr(self.expect_ident("after incr")?),
+            "do" => Stmt::Do(self.expect_ident("after do")?),
+            "pass" => Stmt::Pass,
+            "done" => Stmt::Done,
+            "switch" => {
+                let property = self.expect_ident("after switch")?;
+                self.expect(Token::LBrace, "after switch property")?;
+                let mut arms = Vec::new();
+                loop {
+                    // Allow stray separators between arms.
+                    while self.eat(&Token::Semi) || self.eat(&Token::Comma) {}
+                    if self.eat(&Token::RBrace) {
+                        break;
+                    }
+                    let value = self.expect_ident("as switch arm value")?;
+                    self.expect(Token::Arrow, "after switch arm value")?;
+                    let body = if self.peek() == &Token::LBrace {
+                        self.bump();
+                        let body = self.parse_stmts()?;
+                        self.expect(Token::RBrace, "to close switch arm block")?;
+                        body
+                    } else {
+                        vec![self.parse_stmt()?]
+                    };
+                    arms.push((value, body));
+                }
+                if arms.is_empty() {
+                    return Err(DslError::Parse {
+                        message: format!("switch on {property} has no arms"),
+                    });
+                }
+                Stmt::Switch { property, arms }
+            }
+            other => {
+                return Err(DslError::Parse {
+                    message: format!("unknown statement keyword {other:?}"),
+                })
+            }
+        };
+        // Optional trailing separator after any statement.
+        while self.eat(&Token::Semi) {}
+        Ok(stmt)
+    }
+}
+
+/// Parses a DSL program into its statement list.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] on lexical or syntactic problems.
+pub fn parse(src: &str) -> Result<Vec<Stmt>, DslError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser::new(tokens);
+    let stmts = parser.parse_stmts()?;
+    match parser.peek() {
+        Token::Eof => Ok(stmts),
+        other => Err(DslError::Parse {
+            message: format!("unexpected token {other:?} after program"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+/// An edge waiting for its target node.
+enum Tail {
+    Plain(NodeId),
+    Labeled(NodeId, String),
+}
+
+fn connect(builder: &mut MuDdBuilder, tail: Tail, target: NodeId) {
+    match tail {
+        Tail::Plain(from) => builder.causal(from, target),
+        Tail::Labeled(from, label) => builder.causal_labeled(from, target, &label),
+    }
+}
+
+/// Compiles a statement list: connects `incoming` tails through the statements and
+/// returns the tails left dangling afterwards (empty if every path hit `done`).
+fn compile_stmts(
+    builder: &mut MuDdBuilder,
+    stmts: &[Stmt],
+    mut incoming: Vec<Tail>,
+) -> Result<Vec<Tail>, DslError> {
+    for stmt in stmts {
+        if incoming.is_empty() {
+            return Err(DslError::UnreachableCode);
+        }
+        match stmt {
+            Stmt::Pass => {}
+            Stmt::Incr(counter) => {
+                let node = builder.counter(counter);
+                for tail in incoming.drain(..) {
+                    connect(builder, tail, node);
+                }
+                incoming = vec![Tail::Plain(node)];
+            }
+            Stmt::Do(event) => {
+                let node = builder.event(event);
+                for tail in incoming.drain(..) {
+                    connect(builder, tail, node);
+                }
+                incoming = vec![Tail::Plain(node)];
+            }
+            Stmt::Done => {
+                let node = builder.end();
+                for tail in incoming.drain(..) {
+                    connect(builder, tail, node);
+                }
+                incoming = Vec::new();
+            }
+            Stmt::Switch { property, arms } => {
+                let decision = builder.decision(property);
+                for tail in incoming.drain(..) {
+                    connect(builder, tail, decision);
+                }
+                let mut outgoing = Vec::new();
+                for (value, body) in arms {
+                    let arm_tails = compile_stmts(
+                        builder,
+                        body,
+                        vec![Tail::Labeled(decision, value.clone())],
+                    )?;
+                    outgoing.extend(arm_tails);
+                }
+                incoming = outgoing;
+            }
+        }
+    }
+    Ok(incoming)
+}
+
+/// Compiles a DSL program describing one μop type into a μDD over the given counter
+/// space.
+///
+/// Dangling control flow at the end of the program is terminated with an implicit
+/// `done`.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] on lexical, syntactic or structural problems (including
+/// `incr` of a counter missing from `counters`).
+pub fn compile_uop(name: &str, src: &str, counters: &CounterSpace) -> Result<MuDd, DslError> {
+    let stmts = parse(src)?;
+    if stmts.is_empty() {
+        return Err(DslError::EmptyProgram);
+    }
+    let mut builder = MuDdBuilder::new(name, counters);
+    let start = builder.start();
+    let tails = compile_stmts(&mut builder, &stmts, vec![Tail::Plain(start)])?;
+    if !tails.is_empty() {
+        let end = builder.end();
+        for tail in tails {
+            connect(&mut builder, tail, end);
+        }
+    }
+    Ok(builder.build()?)
+}
+
+/// Compiles a DSL program, deriving the counter space from the `incr` statements in
+/// order of first appearance.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] on lexical, syntactic or structural problems.
+pub fn compile_auto(name: &str, src: &str) -> Result<MuDd, DslError> {
+    let stmts = parse(src)?;
+    if stmts.is_empty() {
+        return Err(DslError::EmptyProgram);
+    }
+    let mut names: Vec<String> = Vec::new();
+    collect_counters(&stmts, &mut names);
+    let counters = CounterSpace::new(&names);
+    compile_uop(name, src, &counters)
+}
+
+fn collect_counters(stmts: &[Stmt], names: &mut Vec<String>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Incr(counter) => {
+                if !names.contains(counter) {
+                    names.push(counter.clone());
+                }
+            }
+            Stmt::Switch { arms, .. } => {
+                for (_, body) in arms {
+                    collect_counters(body, names);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE2: &str = r#"
+        incr load.causes_walk;
+        do LookupPde$;
+        switch Pde$Status {
+            Hit => pass;
+            Miss => incr load.pde$_miss
+        };
+        done;
+    "#;
+
+    fn pde_space() -> CounterSpace {
+        CounterSpace::new(&["load.causes_walk", "load.pde$_miss"])
+    }
+
+    #[test]
+    fn lexer_tokenises_paper_example() {
+        let tokens = lex(FIGURE2).unwrap();
+        assert!(tokens.contains(&Token::Ident("load.causes_walk".to_string())));
+        assert!(tokens.contains(&Token::Ident("Pde$Status".to_string())));
+        assert!(tokens.contains(&Token::Arrow));
+        assert_eq!(*tokens.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn lexer_handles_comments() {
+        let tokens = lex("incr a; // trailing\n# whole line\n done;").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("incr".into()),
+                Token::Ident("a".into()),
+                Token::Semi,
+                Token::Ident("done".into()),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexer_rejects_unknown_characters() {
+        assert!(matches!(lex("incr a @ b;"), Err(DslError::Lex { .. })));
+        assert!(matches!(lex("a = b"), Err(DslError::Lex { .. })));
+    }
+
+    #[test]
+    fn parser_builds_expected_ast() {
+        let stmts = parse(FIGURE2).unwrap();
+        assert_eq!(stmts.len(), 4);
+        assert_eq!(stmts[0], Stmt::Incr("load.causes_walk".to_string()));
+        assert_eq!(stmts[1], Stmt::Do("LookupPde$".to_string()));
+        match &stmts[2] {
+            Stmt::Switch { property, arms } => {
+                assert_eq!(property, "Pde$Status");
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].0, "Hit");
+                assert_eq!(arms[0].1, vec![Stmt::Pass]);
+                assert_eq!(arms[1].1, vec![Stmt::Incr("load.pde$_miss".to_string())]);
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+        assert_eq!(stmts[3], Stmt::Done);
+    }
+
+    #[test]
+    fn parser_supports_block_arms_and_nested_switch() {
+        let src = r#"
+            switch STLBStatus {
+                Hit => done;
+                Miss => {
+                    incr load.causes_walk;
+                    switch Pde$Status {
+                        Hit => pass;
+                        Miss => incr load.pde$_miss
+                    };
+                }
+            };
+            done;
+        "#;
+        let stmts = parse(src).unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn parser_errors_are_reported() {
+        assert!(matches!(parse("bogus x;"), Err(DslError::Parse { .. })));
+        assert!(matches!(parse("switch P { };"), Err(DslError::Parse { .. })));
+        assert!(matches!(parse("incr;"), Err(DslError::Parse { .. })));
+        assert!(matches!(parse("switch P Hit => pass;"), Err(DslError::Parse { .. })));
+    }
+
+    #[test]
+    fn compile_paper_example() {
+        let mudd = compile_uop("fig2", FIGURE2, &pde_space()).unwrap();
+        let paths = mudd.enumerate_paths().unwrap();
+        assert_eq!(paths.len(), 2);
+        let mut sigs: Vec<Vec<u32>> = paths.iter().map(|p| p.signature().counts().to_vec()).collect();
+        sigs.sort();
+        assert_eq!(sigs, vec![vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn compile_auto_derives_counter_space() {
+        let mudd = compile_auto("fig2", FIGURE2).unwrap();
+        assert_eq!(mudd.counters().name(0), "load.causes_walk");
+        assert_eq!(mudd.counters().name(1), "load.pde$_miss");
+        assert_eq!(mudd.num_paths().unwrap(), 2);
+    }
+
+    #[test]
+    fn compile_refined_model_from_figure6() {
+        // Figure 6c: the PDE cache is looked up before the walk starts and the
+        // request may abort, so pde$_miss can exceed causes_walk.
+        let src = r#"
+            do LookupPde$;
+            switch Pde$Status {
+                Hit => pass;
+                Miss => incr load.pde$_miss
+            };
+            switch Abort {
+                Yes => done;
+                No => incr load.causes_walk
+            };
+            done;
+        "#;
+        let mudd = compile_uop("fig6c", src, &pde_space()).unwrap();
+        let paths = mudd.enumerate_paths().unwrap();
+        // Pde$Status in {Hit, Miss} x Abort in {Yes, No} = 4 paths.
+        assert_eq!(paths.len(), 4);
+        // The path with Miss + Yes has pde$_miss = 1, causes_walk = 0 — the
+        // signature that violates constraint C of Figure 6b.
+        assert!(paths.iter().any(|p| {
+            p.signature().get(0) == 0
+                && p.signature().get(1) == 1
+                && p.property("Abort") == Some("Yes")
+        }));
+    }
+
+    #[test]
+    fn implicit_done_terminates_program() {
+        let mudd = compile_uop("implicit", "incr load.causes_walk;", &pde_space()).unwrap();
+        assert_eq!(mudd.num_paths().unwrap(), 1);
+    }
+
+    #[test]
+    fn unreachable_code_is_rejected() {
+        let err = compile_uop("bad", "done; incr load.causes_walk;", &pde_space()).unwrap_err();
+        assert_eq!(err, DslError::UnreachableCode);
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        assert_eq!(compile_uop("bad", "   ", &pde_space()).unwrap_err(), DslError::EmptyProgram);
+        assert_eq!(compile_auto("bad", "// nothing").unwrap_err(), DslError::EmptyProgram);
+    }
+
+    #[test]
+    fn unknown_counter_is_reported() {
+        let err = compile_uop("bad", "incr not.a.counter;", &pde_space()).unwrap_err();
+        assert!(matches!(err, DslError::Graph(MuDdError::UnknownCounter(_))));
+    }
+
+    #[test]
+    fn pass_only_arms_fall_through() {
+        let src = r#"
+            switch P { A => pass; B => pass };
+            incr load.causes_walk;
+        "#;
+        let mudd = compile_uop("fallthrough", src, &pde_space()).unwrap();
+        let paths = mudd.enumerate_paths().unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.signature().get(0), 1);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DslError::Parse { message: "boom".into() };
+        assert!(e.to_string().contains("boom"));
+        assert!(DslError::UnreachableCode.to_string().contains("unreachable"));
+        assert!(DslError::EmptyProgram.to_string().contains("empty"));
+        assert!(DslError::Lex { position: 3, message: "x".into() }.to_string().contains("byte 3"));
+    }
+}

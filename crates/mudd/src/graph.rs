@@ -1,0 +1,501 @@
+//! The μDD graph: nodes, edges, validation and μpath enumeration.
+
+use crate::counterspace::CounterSpace;
+use crate::path::MuPath;
+use crate::signature::CounterSignature;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a node within one μDD.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index of the node.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// The kind of a μDD node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The unique entry node a μop starts from.
+    Start,
+    /// A terminal node; reaching it completes a μpath.
+    End,
+    /// A standard microarchitectural event (green box in the paper's figures),
+    /// e.g. `LookupPde$` or `InitializePTW`.
+    Event(String),
+    /// An HEC increment (blue pill), holding the counter's index in the model's
+    /// [`CounterSpace`].
+    Counter(usize),
+    /// A decision over a microarchitectural property (e.g. `Pde$Status`); outgoing
+    /// causality edges are labelled with the property's possible values.
+    Decision(String),
+}
+
+impl NodeKind {
+    /// Returns `true` for [`NodeKind::End`].
+    pub fn is_end(&self) -> bool {
+        matches!(self, NodeKind::End)
+    }
+
+    /// Returns `true` for [`NodeKind::Decision`].
+    pub fn is_decision(&self) -> bool {
+        matches!(self, NodeKind::Decision(_))
+    }
+}
+
+/// Errors raised while building or analysing a μDD.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MuDdError {
+    /// The μDD has no `Start` node.
+    NoStartNode,
+    /// The μDD has more than one `Start` node.
+    MultipleStartNodes,
+    /// A counter node refers to a counter name missing from the model's space.
+    UnknownCounter(String),
+    /// A decision node has no value appearing on an outgoing edge, or a
+    /// non-decision node has a labelled outgoing edge.
+    BadEdgeLabel {
+        /// The offending node.
+        node: usize,
+    },
+    /// Two outgoing edges of a decision node carry the same property value.
+    DuplicateDecisionLabel {
+        /// The decision node.
+        node: usize,
+        /// The repeated label.
+        label: String,
+    },
+    /// A non-decision, non-end node has a number of outgoing causality edges other
+    /// than one.
+    BadFanout {
+        /// The offending node.
+        node: usize,
+        /// The number of outgoing causality edges found.
+        found: usize,
+    },
+    /// A node with no outgoing causality edges is not an `End` node.
+    DeadEnd {
+        /// The offending node.
+        node: usize,
+    },
+    /// The causality edges contain a cycle (μDDs must be DAGs).
+    Cycle,
+    /// A node cannot be reached from the start node along causality edges.
+    Unreachable {
+        /// The unreachable node.
+        node: usize,
+    },
+    /// An edge refers to a node id that does not exist.
+    InvalidNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// μpath enumeration exceeded the configured limit.
+    PathExplosion {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for MuDdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MuDdError::NoStartNode => write!(f, "μDD has no start node"),
+            MuDdError::MultipleStartNodes => write!(f, "μDD has more than one start node"),
+            MuDdError::UnknownCounter(name) => write!(f, "unknown counter name: {name}"),
+            MuDdError::BadEdgeLabel { node } => write!(f, "node {node} has an invalid edge labelling"),
+            MuDdError::DuplicateDecisionLabel { node, label } => {
+                write!(f, "decision node {node} has duplicate label {label}")
+            }
+            MuDdError::BadFanout { node, found } => {
+                write!(f, "node {node} has {found} outgoing causality edges, expected exactly 1")
+            }
+            MuDdError::DeadEnd { node } => {
+                write!(f, "node {node} has no outgoing causality edges but is not an end node")
+            }
+            MuDdError::Cycle => write!(f, "causality edges contain a cycle"),
+            MuDdError::Unreachable { node } => write!(f, "node {node} is unreachable from start"),
+            MuDdError::InvalidNode { node } => write!(f, "edge refers to non-existent node {node}"),
+            MuDdError::PathExplosion { limit } => {
+                write!(f, "μpath enumeration exceeded the limit of {limit} paths")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MuDdError {}
+
+/// A validated μpath Decision Diagram.
+///
+/// Construct with [`crate::MuDdBuilder`] or compile from the DSL with
+/// [`crate::dsl::compile_uop`].  Once built, a μDD is immutable; analysis revolves
+/// around [`MuDd::enumerate_paths`].
+#[derive(Clone, Debug)]
+pub struct MuDd {
+    pub(crate) name: String,
+    pub(crate) counters: CounterSpace,
+    pub(crate) nodes: Vec<NodeKind>,
+    /// Outgoing causality adjacency: `(target, optional property-value label)`.
+    pub(crate) causal_out: Vec<Vec<(usize, Option<String>)>>,
+    /// Happens-before edges (kept for documentation/rendering; not used by path
+    /// enumeration, which already follows causality order).
+    pub(crate) happens_before: Vec<(usize, usize)>,
+    pub(crate) start: usize,
+    pub(crate) max_paths: usize,
+}
+
+impl MuDd {
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The counter space the μDD is expressed over.
+    pub fn counters(&self) -> &CounterSpace {
+        &self.counters
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The kind of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node_kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.0]
+    }
+
+    /// The start node.
+    pub fn start(&self) -> NodeId {
+        NodeId(self.start)
+    }
+
+    /// The happens-before edges.
+    pub fn happens_before_edges(&self) -> &[(usize, usize)] {
+        &self.happens_before
+    }
+
+    /// Total number of causality edges.
+    pub fn num_causal_edges(&self) -> usize {
+        self.causal_out.iter().map(Vec::len).sum()
+    }
+
+    /// Enumerates every μpath of the diagram.
+    ///
+    /// A μpath is produced for every consistent assignment of property values along
+    /// a start-to-end traversal; its counter signature records the HEC increments
+    /// encountered.  Traversals that reach a decision whose property was already
+    /// assigned a value with no matching outgoing edge are contradictory and produce
+    /// no μpath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MuDdError::PathExplosion`] if more than the configured maximum
+    /// number of paths (default 1 048 576) would be produced.
+    pub fn enumerate_paths(&self) -> Result<Vec<MuPath>, MuDdError> {
+        let mut paths = Vec::new();
+        let mut signature = CounterSignature::zero(self.counters.len());
+        let mut node_trail = Vec::new();
+        let assignment = BTreeMap::new();
+        self.visit(self.start, &assignment, &mut signature, &mut node_trail, &mut paths)?;
+        Ok(paths)
+    }
+
+    fn visit(
+        &self,
+        node: usize,
+        assignment: &BTreeMap<String, String>,
+        signature: &mut CounterSignature,
+        trail: &mut Vec<NodeId>,
+        paths: &mut Vec<MuPath>,
+    ) -> Result<(), MuDdError> {
+        trail.push(NodeId(node));
+        let mut incremented = None;
+        match &self.nodes[node] {
+            NodeKind::Counter(idx) => {
+                signature.increment(*idx);
+                incremented = Some(*idx);
+            }
+            NodeKind::End => {
+                if paths.len() >= self.max_paths {
+                    return Err(MuDdError::PathExplosion {
+                        limit: self.max_paths,
+                    });
+                }
+                paths.push(MuPath::new(trail.clone(), assignment.clone(), signature.clone()));
+                trail.pop();
+                return Ok(());
+            }
+            _ => {}
+        }
+
+        let result = match &self.nodes[node] {
+            NodeKind::Decision(property) => {
+                if let Some(value) = assignment.get(property) {
+                    // Property already fixed earlier in the traversal: follow the
+                    // matching edge if it exists, otherwise the path is
+                    // contradictory and contributes nothing.
+                    if let Some((target, _)) = self.causal_out[node]
+                        .iter()
+                        .find(|(_, label)| label.as_deref() == Some(value.as_str()))
+                    {
+                        self.visit(*target, assignment, signature, trail, paths)
+                    } else {
+                        Ok(())
+                    }
+                } else {
+                    for (target, label) in &self.causal_out[node] {
+                        let value = label.as_ref().expect("validated: decision edges are labelled");
+                        let mut extended = assignment.clone();
+                        extended.insert(property.clone(), value.clone());
+                        self.visit(*target, &extended, signature, trail, paths)?;
+                    }
+                    Ok(())
+                }
+            }
+            _ => {
+                let (target, _) = self.causal_out[node][0];
+                self.visit(target, assignment, signature, trail, paths)
+            }
+        };
+
+        if let Some(idx) = incremented {
+            // Undo the increment on backtrack.
+            let counts = signature.counts().to_vec();
+            let mut restored = counts;
+            restored[idx] -= 1;
+            *signature = CounterSignature::from_counts(restored);
+        }
+        trail.pop();
+        result
+    }
+
+    /// Convenience: the counter signatures of all μpaths (not deduplicated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MuDdError::PathExplosion`] from path enumeration.
+    pub fn path_signatures(&self) -> Result<Vec<CounterSignature>, MuDdError> {
+        Ok(self.enumerate_paths()?.into_iter().map(MuPath::into_signature).collect())
+    }
+
+    /// Number of μpaths (equal to `enumerate_paths()?.len()`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MuDdError::PathExplosion`] from path enumeration.
+    pub fn num_paths(&self) -> Result<usize, MuDdError> {
+        Ok(self.enumerate_paths()?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MuDdBuilder;
+
+    fn pde_space() -> CounterSpace {
+        CounterSpace::new(&["load.causes_walk", "load.pde$_miss"])
+    }
+
+    /// Figure 6a of the paper: walker is initialised before the PDE cache lookup.
+    fn figure6a() -> MuDd {
+        let space = pde_space();
+        let mut b = MuDdBuilder::new("fig6a", &space);
+        let start = b.start();
+        let causes = b.counter("load.causes_walk");
+        let lookup = b.event("LookupPde$");
+        let status = b.decision("Pde$Status");
+        let miss = b.counter("load.pde$_miss");
+        let walk = b.event("StartWalk");
+        let end = b.end();
+        b.causal(start, causes);
+        b.causal(causes, lookup);
+        b.causal(lookup, status);
+        b.causal_labeled(status, miss, "Miss");
+        b.causal_labeled(status, walk, "Hit");
+        b.causal(miss, walk);
+        b.causal(walk, end);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure6a_has_two_paths() {
+        let mudd = figure6a();
+        assert_eq!(mudd.name(), "fig6a");
+        let paths = mudd.enumerate_paths().unwrap();
+        assert_eq!(paths.len(), 2);
+        let sigs: Vec<Vec<u32>> = paths.iter().map(|p| p.signature().counts().to_vec()).collect();
+        assert!(sigs.contains(&vec![1, 0])); // Hit path
+        assert!(sigs.contains(&vec![1, 1])); // Miss path
+    }
+
+    #[test]
+    fn path_assignments_record_decisions() {
+        let mudd = figure6a();
+        let paths = mudd.enumerate_paths().unwrap();
+        let miss_path = paths
+            .iter()
+            .find(|p| p.signature().get(1) == 1)
+            .expect("miss path exists");
+        assert_eq!(miss_path.assignment().get("Pde$Status"), Some(&"Miss".to_string()));
+    }
+
+    #[test]
+    fn repeated_decisions_stay_consistent() {
+        // Two decisions over the same property: only consistent combinations are
+        // enumerated (2 paths, not 4).
+        let space = CounterSpace::new(&["c.first", "c.second"]);
+        let mut b = MuDdBuilder::new("consistency", &space);
+        let start = b.start();
+        let d1 = b.decision("P");
+        let c1 = b.counter("c.first");
+        let join = b.event("Join");
+        let d2 = b.decision("P");
+        let c2 = b.counter("c.second");
+        let end1 = b.end();
+        let end2 = b.end();
+        b.causal(start, d1);
+        b.causal_labeled(d1, c1, "Yes");
+        b.causal_labeled(d1, join, "No");
+        b.causal(c1, join);
+        b.causal(join, d2);
+        b.causal_labeled(d2, c2, "Yes");
+        b.causal_labeled(d2, end1, "No");
+        b.causal(c2, end2);
+        let mudd = b.build().unwrap();
+        let paths = mudd.enumerate_paths().unwrap();
+        assert_eq!(paths.len(), 2);
+        let sigs: Vec<Vec<u32>> = paths.iter().map(|p| p.signature().counts().to_vec()).collect();
+        assert!(sigs.contains(&vec![1, 1])); // P = Yes on both decisions
+        assert!(sigs.contains(&vec![0, 0])); // P = No on both decisions
+    }
+
+    #[test]
+    fn contradictory_assignment_prunes_path() {
+        // Second decision only has a "Yes" edge; the P = No traversal is pruned.
+        let space = CounterSpace::new(&["c.a"]);
+        let mut b = MuDdBuilder::new("prune", &space);
+        let start = b.start();
+        let d1 = b.decision("P");
+        let mid = b.event("Mid");
+        let d2 = b.decision("P");
+        let c = b.counter("c.a");
+        let end = b.end();
+        b.causal(start, d1);
+        b.causal_labeled(d1, mid, "Yes");
+        b.causal_labeled(d1, d2, "No");
+        b.causal(mid, d2);
+        b.causal_labeled(d2, c, "Yes");
+        b.causal(c, end);
+        let mudd = b.build().unwrap();
+        let paths = mudd.enumerate_paths().unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].assignment().get("P"), Some(&"Yes".to_string()));
+    }
+
+    #[test]
+    fn counter_increments_do_not_leak_across_branches() {
+        // A diamond where only one branch increments; the other branch's signature
+        // must stay clean even though DFS visits the incrementing branch first.
+        let space = CounterSpace::new(&["c.x"]);
+        let mut b = MuDdBuilder::new("diamond", &space);
+        let start = b.start();
+        let d = b.decision("Branch");
+        let c = b.counter("c.x");
+        let end1 = b.end();
+        let end2 = b.end();
+        b.causal(start, d);
+        b.causal_labeled(d, c, "Taken");
+        b.causal_labeled(d, end2, "Skipped");
+        b.causal(c, end1);
+        let mudd = b.build().unwrap();
+        let paths = mudd.enumerate_paths().unwrap();
+        assert_eq!(paths.len(), 2);
+        let mut totals: Vec<u64> = paths.iter().map(|p| p.signature().total()).collect();
+        totals.sort();
+        assert_eq!(totals, vec![0, 1]);
+    }
+
+    #[test]
+    fn exponential_path_count_from_compact_dag() {
+        // n consecutive binary decisions, each incrementing a distinct counter on
+        // one arm: the DAG has O(n) nodes but 2^n μpaths (the paper's motivation for
+        // the DAG representation).
+        let n = 10usize;
+        let names: Vec<String> = (0..n).map(|i| format!("c.{i}")).collect();
+        let space = CounterSpace::new(&names);
+        let mut b = MuDdBuilder::new("expo", &space);
+        let start = b.start();
+        let mut prev = start;
+        for i in 0..n {
+            let d = b.decision(&format!("P{i}"));
+            let c = b.counter(&format!("c.{i}"));
+            let join = b.event(&format!("Join{i}"));
+            b.causal(prev, d);
+            b.causal_labeled(d, c, "Yes");
+            b.causal_labeled(d, join, "No");
+            b.causal(c, join);
+            prev = join;
+        }
+        let end = b.end();
+        b.causal(prev, end);
+        let mudd = b.build().unwrap();
+        assert_eq!(mudd.num_paths().unwrap(), 1 << n);
+        assert!(mudd.num_nodes() < 4 * n + 3);
+    }
+
+    #[test]
+    fn path_explosion_is_reported() {
+        let n = 12usize;
+        let names: Vec<String> = (0..n).map(|i| format!("c.{i}")).collect();
+        let space = CounterSpace::new(&names);
+        let mut b = MuDdBuilder::new("explode", &space);
+        b.set_max_paths(100);
+        let start = b.start();
+        let mut prev = start;
+        for i in 0..n {
+            let d = b.decision(&format!("P{i}"));
+            let c = b.counter(&format!("c.{i}"));
+            let join = b.event(&format!("Join{i}"));
+            b.causal(prev, d);
+            b.causal_labeled(d, c, "Yes");
+            b.causal_labeled(d, join, "No");
+            b.causal(c, join);
+            prev = join;
+        }
+        let end = b.end();
+        b.causal(prev, end);
+        let mudd = b.build().unwrap();
+        assert_eq!(
+            mudd.enumerate_paths().unwrap_err(),
+            MuDdError::PathExplosion { limit: 100 }
+        );
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let mudd = figure6a();
+        assert_eq!(mudd.counters().len(), 2);
+        assert_eq!(mudd.num_nodes(), 7);
+        assert_eq!(mudd.num_causal_edges(), 7);
+        assert!(matches!(mudd.node_kind(mudd.start()), NodeKind::Start));
+        assert!(mudd.happens_before_edges().is_empty());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(MuDdError::NoStartNode.to_string().contains("no start"));
+        assert!(MuDdError::Cycle.to_string().contains("cycle"));
+        assert!(MuDdError::UnknownCounter("x".into()).to_string().contains("x"));
+        assert!(MuDdError::PathExplosion { limit: 5 }.to_string().contains('5'));
+    }
+}

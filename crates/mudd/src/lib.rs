@@ -1,0 +1,59 @@
+//! μpath Decision Diagrams (μDDs).
+//!
+//! A μDD is CounterPoint's representation of an expert's mental model of a piece of
+//! the microarchitecture (paper, Section 3).  It is a directed acyclic graph whose
+//! nodes are microarchitectural *events*, hardware-event-counter *increments*, and
+//! *decisions* over microarchitectural properties (e.g. `Pde$Status ∈ {Hit, Miss}`);
+//! whose *causality* edges describe how a μop flows through the structure; and whose
+//! *happens-before* edges record additional ordering.  Every root-to-end traversal
+//! that assigns each property a single consistent value is a *μpath*, and each μpath
+//! carries a *counter signature* — the vector of HEC increments a μop following it
+//! produces.  The set of signatures generates the model cone.
+//!
+//! This crate provides:
+//!
+//! * [`CounterSpace`] — the ordered set of HEC names a model ranges over,
+//! * [`CounterSignature`] — per-μpath HEC increment vectors,
+//! * [`MuDd`] / [`MuDdBuilder`] — the graph itself, with validation and μpath
+//!   enumeration,
+//! * [`MuPath`] — an enumerated path with its property assignment and signature,
+//! * [`dsl`] — the small domain-specific language from Figure 2 of the paper
+//!   (`incr` / `do` / `switch` / `pass` / `done`) and its compiler to μDDs.
+//!
+//! # Example
+//!
+//! The running example from the paper's Figure 2/6: a load μop initialises the page
+//! table walker (incrementing `load.causes_walk`), then looks up the PDE cache and
+//! increments `load.pde$_miss` on a miss.
+//!
+//! ```
+//! use counterpoint_mudd::dsl::compile_uop;
+//! use counterpoint_mudd::CounterSpace;
+//!
+//! let counters = CounterSpace::new(&["load.causes_walk", "load.pde$_miss"]);
+//! let src = r#"
+//!     incr load.causes_walk;
+//!     do LookupPde$;
+//!     switch Pde$Status {
+//!         Hit => pass;
+//!         Miss => incr load.pde$_miss
+//!     };
+//!     done;
+//! "#;
+//! let mudd = compile_uop("pde_example", src, &counters).unwrap();
+//! let paths = mudd.enumerate_paths().unwrap();
+//! assert_eq!(paths.len(), 2); // Hit and Miss
+//! ```
+
+pub mod builder;
+pub mod counterspace;
+pub mod dsl;
+pub mod graph;
+pub mod path;
+pub mod signature;
+
+pub use builder::MuDdBuilder;
+pub use counterspace::CounterSpace;
+pub use graph::{MuDd, MuDdError, NodeId, NodeKind};
+pub use path::MuPath;
+pub use signature::CounterSignature;

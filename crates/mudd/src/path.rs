@@ -1,0 +1,129 @@
+//! Enumerated μpaths.
+
+use crate::counterspace::CounterSpace;
+use crate::graph::NodeId;
+use crate::signature::CounterSignature;
+use std::collections::BTreeMap;
+
+/// A single microarchitectural execution path (μpath) through a μDD.
+///
+/// A μpath records the nodes visited, the property assignment that selected it at
+/// each decision node, and its counter signature — the HEC increments one μop
+/// following the path produces (paper, Section 3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MuPath {
+    nodes: Vec<NodeId>,
+    assignment: BTreeMap<String, String>,
+    signature: CounterSignature,
+}
+
+impl MuPath {
+    pub(crate) fn new(
+        nodes: Vec<NodeId>,
+        assignment: BTreeMap<String, String>,
+        signature: CounterSignature,
+    ) -> MuPath {
+        MuPath {
+            nodes,
+            assignment,
+            signature,
+        }
+    }
+
+    /// The nodes visited, in traversal order (start first, end last).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The property values chosen at decision nodes along the path.
+    pub fn assignment(&self) -> &BTreeMap<String, String> {
+        &self.assignment
+    }
+
+    /// The value assigned to a property on this path, if the path passed through a
+    /// decision on it.
+    pub fn property(&self, name: &str) -> Option<&str> {
+        self.assignment.get(name).map(String::as_str)
+    }
+
+    /// The path's counter signature.
+    pub fn signature(&self) -> &CounterSignature {
+        &self.signature
+    }
+
+    /// Consumes the path, returning its signature.
+    pub fn into_signature(self) -> CounterSignature {
+        self.signature
+    }
+
+    /// Number of nodes on the path.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the path has no nodes (never produced by enumeration, but
+    /// required for a well-behaved `len`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Renders the path's decisions and signature, e.g. for violation reports
+    /// (cf. Figure 6d of the paper).
+    pub fn render(&self, space: &CounterSpace) -> String {
+        let decisions: Vec<String> = self
+            .assignment
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let decisions = if decisions.is_empty() {
+            "(no decisions)".to_string()
+        } else {
+            decisions.join(", ")
+        };
+        format!("[{}] -> {}", decisions, self.signature.render(space))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_path() -> MuPath {
+        let mut assignment = BTreeMap::new();
+        assignment.insert("Pde$Status".to_string(), "Miss".to_string());
+        MuPath::new(
+            vec![NodeId(0), NodeId(2), NodeId(5)],
+            assignment,
+            CounterSignature::from_counts(vec![1, 1]),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let p = sample_path();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.nodes()[1], NodeId(2));
+        assert_eq!(p.property("Pde$Status"), Some("Miss"));
+        assert_eq!(p.property("Other"), None);
+        assert_eq!(p.signature().total(), 2);
+        assert_eq!(p.clone().into_signature().counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn render_shows_decisions_and_counters() {
+        let p = sample_path();
+        let space = CounterSpace::new(&["load.causes_walk", "load.pde$_miss"]);
+        let rendered = p.render(&space);
+        assert!(rendered.contains("Pde$Status=Miss"));
+        assert!(rendered.contains("load.causes_walk"));
+        assert!(rendered.contains("load.pde$_miss"));
+    }
+
+    #[test]
+    fn render_without_decisions() {
+        let p = MuPath::new(vec![NodeId(0)], BTreeMap::new(), CounterSignature::zero(1));
+        let space = CounterSpace::new(&["c"]);
+        assert_eq!(p.render(&space), "[(no decisions)] -> ∅");
+    }
+}

@@ -1,0 +1,253 @@
+//! μpath counter signatures.
+
+use crate::counterspace::CounterSpace;
+use counterpoint_numeric::RatVector;
+use std::fmt;
+use std::ops::Add;
+
+/// The counter signature of a μpath: how many times each HEC is incremented by one
+/// μop traversing that path (paper, Section 3, "μpath counter signatures").
+///
+/// Signatures are indexed by a [`CounterSpace`]; component `i` is the increment
+/// count of counter `i`.
+///
+/// ```
+/// use counterpoint_mudd::{CounterSignature, CounterSpace};
+/// let space = CounterSpace::new(&["load.causes_walk", "load.pde$_miss"]);
+/// let mut sig = CounterSignature::zero(space.len());
+/// sig.increment(0);
+/// sig.increment(1);
+/// sig.increment(1);
+/// assert_eq!(sig.get(1), 2);
+/// assert_eq!(sig.total(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CounterSignature {
+    counts: Vec<u32>,
+}
+
+impl CounterSignature {
+    /// The all-zero signature over `dim` counters.
+    pub fn zero(dim: usize) -> CounterSignature {
+        CounterSignature {
+            counts: vec![0; dim],
+        }
+    }
+
+    /// Builds a signature from explicit per-counter counts.
+    pub fn from_counts(counts: Vec<u32>) -> CounterSignature {
+        CounterSignature { counts }
+    }
+
+    /// Builds a signature from `(name, count)` pairs resolved against a counter
+    /// space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not in the space.
+    pub fn from_named(space: &CounterSpace, entries: &[(&str, u32)]) -> CounterSignature {
+        let mut sig = CounterSignature::zero(space.len());
+        for (name, count) in entries {
+            let idx = space
+                .index_of(name)
+                .unwrap_or_else(|| panic!("unknown counter {name}"));
+            sig.counts[idx] += count;
+        }
+        sig
+    }
+
+    /// Number of counters.
+    pub fn dimension(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Increment counter `idx` by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn increment(&mut self, idx: usize) {
+        self.counts[idx] += 1;
+    }
+
+    /// Add `by` to counter `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn increment_by(&mut self, idx: usize, by: u32) {
+        self.counts[idx] += by;
+    }
+
+    /// The increment count of counter `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: usize) -> u32 {
+        self.counts[idx]
+    }
+
+    /// The raw count vector.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total number of HEC increments along the path.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Returns `true` if no counter is incremented.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Converts to an exact rational vector (the form the model-cone machinery
+    /// consumes).
+    pub fn to_rat_vector(&self) -> RatVector {
+        self.counts
+            .iter()
+            .map(|&c| counterpoint_numeric::Rational::from(c))
+            .collect()
+    }
+
+    /// Converts to an `f64` vector (the form the LP feasibility test consumes).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+
+    /// Projects the signature onto a subset of counters given by their indices in
+    /// this signature's space (in the order of `indices`).
+    pub fn project(&self, indices: &[usize]) -> CounterSignature {
+        CounterSignature {
+            counts: indices.iter().map(|&i| self.counts[i]).collect(),
+        }
+    }
+
+    /// Renders the signature as `name×count` terms against a counter space, for
+    /// reports and debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space dimension differs.
+    pub fn render(&self, space: &CounterSpace) -> String {
+        assert_eq!(space.len(), self.dimension(), "counter space dimension mismatch");
+        let terms: Vec<String> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                if c == 1 {
+                    space.name(i).to_string()
+                } else {
+                    format!("{c}×{}", space.name(i))
+                }
+            })
+            .collect();
+        if terms.is_empty() {
+            "∅".to_string()
+        } else {
+            terms.join(" + ")
+        }
+    }
+}
+
+impl Add for &CounterSignature {
+    type Output = CounterSignature;
+    fn add(self, other: &CounterSignature) -> CounterSignature {
+        assert_eq!(
+            self.dimension(),
+            other.dimension(),
+            "signature dimension mismatch"
+        );
+        CounterSignature {
+            counts: self
+                .counts
+                .iter()
+                .zip(other.counts.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for CounterSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CounterSignature{:?}", self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_increment() {
+        let mut s = CounterSignature::zero(3);
+        assert!(s.is_zero());
+        assert_eq!(s.dimension(), 3);
+        s.increment(1);
+        s.increment_by(2, 4);
+        assert_eq!(s.get(0), 0);
+        assert_eq!(s.get(1), 1);
+        assert_eq!(s.get(2), 4);
+        assert_eq!(s.total(), 5);
+        assert!(!s.is_zero());
+        assert_eq!(s.counts(), &[0, 1, 4]);
+    }
+
+    #[test]
+    fn from_named_resolves_indices() {
+        let space = CounterSpace::new(&["a", "b", "c"]);
+        let s = CounterSignature::from_named(&space, &[("c", 2), ("a", 1)]);
+        assert_eq!(s.counts(), &[1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown counter")]
+    fn from_named_unknown_counter_panics() {
+        let space = CounterSpace::new(&["a"]);
+        let _ = CounterSignature::from_named(&space, &[("b", 1)]);
+    }
+
+    #[test]
+    fn conversion_to_vectors() {
+        let s = CounterSignature::from_counts(vec![1, 0, 3]);
+        assert_eq!(s.to_f64_vec(), vec![1.0, 0.0, 3.0]);
+        let rv = s.to_rat_vector();
+        assert_eq!(rv.len(), 3);
+        assert_eq!(rv[2], counterpoint_numeric::Rational::from(3));
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let a = CounterSignature::from_counts(vec![1, 2]);
+        let b = CounterSignature::from_counts(vec![3, 0]);
+        assert_eq!((&a + &b).counts(), &[4, 2]);
+    }
+
+    #[test]
+    fn projection_selects_and_orders() {
+        let s = CounterSignature::from_counts(vec![5, 6, 7]);
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.counts(), &[7, 5]);
+    }
+
+    #[test]
+    fn render_lists_nonzero_counters() {
+        let space = CounterSpace::new(&["a", "b", "c"]);
+        let s = CounterSignature::from_counts(vec![1, 0, 2]);
+        assert_eq!(s.render(&space), "a + 2×c");
+        assert_eq!(CounterSignature::zero(3).render(&space), "∅");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_addition_panics() {
+        let a = CounterSignature::zero(2);
+        let b = CounterSignature::zero(3);
+        let _ = &a + &b;
+    }
+}

@@ -1,0 +1,232 @@
+//! Cyclic Jacobi eigensolver for symmetric matrices.
+//!
+//! CounterPoint orients every counter confidence region along the principal axes of
+//! the sample-mean covariance matrix (paper, Appendix A).  The covariance matrix is
+//! symmetric positive semi-definite and small (one row per counter), which is the
+//! textbook use case for the Jacobi rotation method: it is simple, numerically
+//! robust, and produces orthonormal eigenvectors directly.
+
+use crate::fmat::{FMatrix, FVector};
+
+/// Result of a symmetric eigendecomposition: `matrix = V * diag(values) * V^T`.
+///
+/// Eigenpairs are sorted by descending eigenvalue; `vectors[k]` is the unit
+/// eigenvector associated with `values[k]`.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, `vectors[k]` corresponding to `values[k]`.
+    pub vectors: Vec<FVector>,
+}
+
+impl EigenDecomposition {
+    /// Reconstructs the original matrix (useful for testing).
+    pub fn reconstruct(&self) -> FMatrix {
+        let n = self.values.len();
+        let mut m = FMatrix::zeros(n, n);
+        for k in 0..n {
+            let v = &self.vectors[k];
+            for i in 0..n {
+                for j in 0..n {
+                    m.set(i, j, m.get(i, j) + self.values[k] * v[i] * v[j]);
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic Jacobi
+/// method.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or not symmetric (within `1e-6` relative to
+/// its Frobenius norm).
+///
+/// # Example
+///
+/// ```
+/// use counterpoint_numeric::{jacobi_eigen, FMatrix};
+/// let m = FMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+/// let eig = jacobi_eigen(&m);
+/// assert!((eig.values[0] - 3.0).abs() < 1e-9);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-9);
+/// ```
+pub fn jacobi_eigen(matrix: &FMatrix) -> EigenDecomposition {
+    let n = matrix.nrows();
+    assert_eq!(n, matrix.ncols(), "eigendecomposition requires a square matrix");
+    let scale = matrix.frobenius_norm().max(1.0);
+    assert!(
+        matrix.is_symmetric(1e-6 * scale),
+        "eigendecomposition requires a symmetric matrix"
+    );
+
+    if n == 0 {
+        return EigenDecomposition {
+            values: Vec::new(),
+            vectors: Vec::new(),
+        };
+    }
+
+    let mut a = matrix.clone();
+    let mut v = FMatrix::identity(n);
+    let tol = 1e-14 * scale;
+    let max_sweeps = 100;
+
+    for _sweep in 0..max_sweeps {
+        if a.max_off_diagonal() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a.get(p, q);
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = a.get(p, p);
+                let aqq = a.get(q, q);
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to A: A <- J^T A J.
+                for k in 0..n {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
+                }
+                // Accumulate the eigenvector rotation.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, FVector)> = (0..n).map(|k| (a.get(k, k), v.col(k))).collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    EigenDecomposition {
+        values: pairs.iter().map(|(val, _)| *val).collect(),
+        vectors: pairs.into_iter().map(|(_, vec)| vec).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let m = FMatrix::from_rows(&[vec![5.0, 0.0, 0.0], vec![0.0, 2.0, 0.0], vec![0.0, 0.0, 7.0]]);
+        let eig = jacobi_eigen(&m);
+        assert!(approx(eig.values[0], 7.0, 1e-12));
+        assert!(approx(eig.values[1], 5.0, 1e-12));
+        assert!(approx(eig.values[2], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn two_by_two_known_values() {
+        let m = FMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let eig = jacobi_eigen(&m);
+        assert!(approx(eig.values[0], 3.0, 1e-10));
+        assert!(approx(eig.values[1], 1.0, 1e-10));
+        // Eigenvector for 3 is (1, 1)/sqrt(2) up to sign.
+        let v = &eig.vectors[0];
+        assert!(approx(v[0].abs(), (0.5f64).sqrt(), 1e-8));
+        assert!(approx(v[1].abs(), (0.5f64).sqrt(), 1e-8));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = FMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ]);
+        let eig = jacobi_eigen(&m);
+        for i in 0..3 {
+            assert!(approx(eig.vectors[i].norm(), 1.0, 1e-9));
+            for j in (i + 1)..3 {
+                assert!(approx(eig.vectors[i].dot(&eig.vectors[j]), 0.0, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let m = FMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ]);
+        let eig = jacobi_eigen(&m);
+        let r = eig.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx(r.get(i, j), m.get(i, j), 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn satisfies_eigen_equation() {
+        let m = FMatrix::from_rows(&[
+            vec![10.0, 2.0, 3.0, 0.0],
+            vec![2.0, 8.0, 1.0, 0.5],
+            vec![3.0, 1.0, 6.0, 0.1],
+            vec![0.0, 0.5, 0.1, 4.0],
+        ]);
+        let eig = jacobi_eigen(&m);
+        for k in 0..4 {
+            let mv = m.mul_vec(&eig.vectors[k]);
+            let lv = eig.vectors[k].scale(eig.values[k]);
+            for i in 0..4 {
+                assert!(approx(mv[i], lv[i], 1e-7), "eigen equation failed at ({k},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn positive_semidefinite_covariance_has_nonnegative_eigenvalues() {
+        // Covariance-like matrix built as B^T B.
+        let b = FMatrix::from_rows(&[vec![1.0, 2.0, 0.0], vec![0.5, 1.0, 1.0]]);
+        let cov = b.transpose().mul_mat(&b);
+        let eig = jacobi_eigen(&cov);
+        for val in &eig.values {
+            assert!(*val > -1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let eig = jacobi_eigen(&FMatrix::zeros(0, 0));
+        assert!(eig.values.is_empty());
+        assert!(eig.vectors.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_panics() {
+        let m = FMatrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+        let _ = jacobi_eigen(&m);
+    }
+}

@@ -1,0 +1,425 @@
+//! Small dense `f64` vectors and matrices.
+//!
+//! The statistics side of CounterPoint (sample means, covariance matrices,
+//! confidence-region geometry) works in floating point: HEC samples are large
+//! integers scaled by multiplexing ratios, and the χ² machinery is inherently
+//! approximate.  These types are deliberately simple dense containers sized for the
+//! 4–30 counter dimensionalities of the case study.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `f64` vector.
+///
+/// ```
+/// use counterpoint_numeric::FVector;
+/// let v = FVector::from_slice(&[3.0, 4.0]);
+/// assert!((v.norm() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct FVector {
+    data: Vec<f64>,
+}
+
+impl FVector {
+    /// Creates a zero vector of length `len`.
+    pub fn zeros(len: usize) -> FVector {
+        FVector { data: vec![0.0; len] }
+    }
+
+    /// Creates a vector from a slice.
+    pub fn from_slice(values: &[f64]) -> FVector {
+        FVector {
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a vector from an owned `Vec<f64>`.
+    pub fn from_vec(values: Vec<f64>) -> FVector {
+        FVector { data: values }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the components as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns an iterator over components.
+    pub fn iter(&self) -> impl Iterator<Item = &f64> {
+        self.data.iter()
+    }
+
+    /// Dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &FVector) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot product dimension mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, other: &FVector) -> FVector {
+        assert_eq!(self.len(), other.len(), "vector addition dimension mismatch");
+        FVector {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Component-wise subtraction.
+    pub fn sub(&self, other: &FVector) -> FVector {
+        assert_eq!(self.len(), other.len(), "vector subtraction dimension mismatch");
+        FVector {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Scales every component by `s`.
+    pub fn scale(&self, s: f64) -> FVector {
+        FVector {
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Returns a normalised (unit-length) copy.  Returns a zero vector unchanged.
+    pub fn normalized(&self) -> FVector {
+        let n = self.norm();
+        if n == 0.0 {
+            self.clone()
+        } else {
+            self.scale(1.0 / n)
+        }
+    }
+
+    /// Consumes the vector and returns the underlying `Vec<f64>`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+impl Index<usize> for FVector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for FVector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl fmt::Debug for FVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FVector({:?})", self.data)
+    }
+}
+
+impl FromIterator<f64> for FVector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        FVector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A dense row-major `f64` matrix.
+///
+/// ```
+/// use counterpoint_numeric::FMatrix;
+/// let m = FMatrix::identity(2);
+/// assert_eq!(m.get(0, 0), 1.0);
+/// assert_eq!(m.get(0, 1), 0.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct FMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl FMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> FMatrix {
+        FMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> FMatrix {
+        let mut m = FMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> FMatrix {
+        if rows.is_empty() {
+            return FMatrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+        }
+        FMatrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Returns row `i` as a vector.
+    pub fn row(&self, i: usize) -> FVector {
+        assert!(i < self.rows, "row index out of range");
+        FVector::from_slice(&self.data[i * self.cols..(i + 1) * self.cols])
+    }
+
+    /// Returns column `j` as a vector.
+    pub fn col(&self, j: usize) -> FVector {
+        assert!(j < self.cols, "column index out of range");
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> FMatrix {
+        let mut t = FMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.ncols()`.
+    pub fn mul_vec(&self, v: &FVector) -> FVector {
+        assert_eq!(v.len(), self.cols, "matrix-vector dimension mismatch");
+        (0..self.rows).map(|i| self.row(i).dot(v)).collect()
+    }
+
+    /// Matrix–matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ.
+    pub fn mul_mat(&self, other: &FMatrix) -> FMatrix {
+        assert_eq!(self.cols, other.rows, "matrix-matrix dimension mismatch");
+        let mut out = FMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.set(i, j, out.get(i, j) + a * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute off-diagonal entry (used by the Jacobi eigensolver's
+    /// convergence test).
+    pub fn max_off_diagonal(&self) -> f64 {
+        let mut m = 0.0f64;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    m = m.max(self.get(i, j).abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl fmt::Debug for FMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(i).as_slice())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn vector_basics() {
+        let v = FVector::from_slice(&[1.0, 2.0, 2.0]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert!(approx(v.norm(), 3.0));
+        assert_eq!(v[2], 2.0);
+        let mut w = v.clone();
+        w[0] = 5.0;
+        assert_eq!(w.as_slice(), &[5.0, 2.0, 2.0]);
+        assert_eq!(v.clone().into_vec(), vec![1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let v = FVector::from_slice(&[1.0, 2.0]);
+        let w = FVector::from_slice(&[3.0, 4.0]);
+        assert_eq!(v.add(&w).as_slice(), &[4.0, 6.0]);
+        assert_eq!(w.sub(&v).as_slice(), &[2.0, 2.0]);
+        assert_eq!(v.scale(2.0).as_slice(), &[2.0, 4.0]);
+        assert!(approx(v.dot(&w), 11.0));
+    }
+
+    #[test]
+    fn normalized_vector() {
+        let v = FVector::from_slice(&[3.0, 4.0]);
+        let n = v.normalized();
+        assert!(approx(n.norm(), 1.0));
+        assert!(approx(n[0], 0.6));
+        let z = FVector::zeros(2);
+        assert_eq!(z.normalized().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn matrix_basics() {
+        let m = FMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0).as_slice(), &[1.0, 2.0]);
+        assert_eq!(m.col(1).as_slice(), &[2.0, 4.0]);
+        assert_eq!(m.transpose().get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn matrix_products() {
+        let m = FMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let v = FVector::from_slice(&[1.0, 1.0]);
+        assert_eq!(m.mul_vec(&v).as_slice(), &[3.0, 7.0]);
+        let id = FMatrix::identity(2);
+        assert_eq!(m.mul_mat(&id), m);
+        let p = m.mul_mat(&m);
+        assert_eq!(p.get(0, 0), 7.0);
+        assert_eq!(p.get(1, 1), 22.0);
+    }
+
+    #[test]
+    fn symmetry_and_norms() {
+        let s = FMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        assert!(s.is_symmetric(1e-12));
+        let a = FMatrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 3.0]]);
+        assert!(!a.is_symmetric(1e-12));
+        assert!(!FMatrix::zeros(2, 3).is_symmetric(1e-12));
+        assert!(approx(
+            FMatrix::identity(3).frobenius_norm(),
+            3.0f64.sqrt()
+        ));
+        assert!(approx(a.max_off_diagonal(), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let m = FMatrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+}

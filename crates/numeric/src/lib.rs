@@ -1,0 +1,36 @@
+//! Exact rational and floating-point linear algebra for CounterPoint.
+//!
+//! CounterPoint's constraint-deduction pipeline (Gaussian elimination over counter
+//! signatures, the double-description method on the polar cone) requires *exact*
+//! arithmetic: the paper notes that floating-point methods such as QR factorisation
+//! are ill-conditioned for this purpose and that symbolic operations preserve exact
+//! integer values.  This crate provides:
+//!
+//! * [`Rational`] — an exact rational number over `i128` with gcd normalisation,
+//! * [`RatVector`] / [`RatMatrix`] — dense exact vectors and matrices with
+//!   reduced-row-echelon form, rank, nullspace, inverse and linear solves,
+//! * [`FVector`] / [`FMatrix`] — small dense `f64` vectors/matrices used by the
+//!   statistics layer,
+//! * [`jacobi_eigen`] — a cyclic-Jacobi eigensolver for symmetric matrices, used to
+//!   orient counter confidence regions along their principal axes.
+//!
+//! # Example
+//!
+//! ```
+//! use counterpoint_numeric::{Rational, RatMatrix};
+//!
+//! let m = RatMatrix::from_i64_rows(&[&[1, 2], &[2, 4]]);
+//! assert_eq!(m.rank(), 1);
+//! let half = Rational::new(1, 2);
+//! assert_eq!(half + half, Rational::from(1));
+//! ```
+
+pub mod eigen;
+pub mod fmat;
+pub mod ratmat;
+pub mod rational;
+
+pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use fmat::{FMatrix, FVector};
+pub use ratmat::{RatMatrix, RatVector};
+pub use rational::{gcd_i128, lcm_i128, NumericError, Rational};

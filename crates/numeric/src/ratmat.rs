@@ -1,0 +1,644 @@
+//! Dense exact-rational vectors and matrices.
+//!
+//! These types back the symbolic parts of CounterPoint: Gaussian elimination over
+//! counter signatures (to find equality constraints and the lineality space of the
+//! model cone), change-of-basis when reducing the cone to its span, and the matrix
+//! inversions used to seed the double-description method.
+
+use crate::rational::{gcd_i128, NumericError, Rational};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense vector of exact rationals.
+///
+/// ```
+/// use counterpoint_numeric::{RatVector, Rational};
+/// let v = RatVector::from_i64(&[1, 2, 3]);
+/// let w = RatVector::from_i64(&[4, 5, 6]);
+/// assert_eq!(v.dot(&w), Rational::from(32));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RatVector {
+    data: Vec<Rational>,
+}
+
+impl RatVector {
+    /// Creates a zero vector of the given length.
+    pub fn zeros(len: usize) -> RatVector {
+        RatVector {
+            data: vec![Rational::ZERO; len],
+        }
+    }
+
+    /// Creates a vector from a slice of rationals.
+    pub fn from_slice(values: &[Rational]) -> RatVector {
+        RatVector {
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a vector from integer components.
+    pub fn from_i64(values: &[i64]) -> RatVector {
+        RatVector {
+            data: values.iter().map(|&v| Rational::from(v)).collect(),
+        }
+    }
+
+    /// Creates the `i`-th standard basis vector of dimension `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn basis(len: usize, i: usize) -> RatVector {
+        assert!(i < len, "basis index {i} out of range for dimension {len}");
+        let mut v = RatVector::zeros(len);
+        v[i] = Rational::ONE;
+        v
+    }
+
+    /// Returns the number of components.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns `true` if every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(Rational::is_zero)
+    }
+
+    /// Returns an iterator over the components.
+    pub fn iter(&self) -> impl Iterator<Item = &Rational> {
+        self.data.iter()
+    }
+
+    /// Returns the underlying components as a slice.
+    pub fn as_slice(&self) -> &[Rational] {
+        &self.data
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &RatVector) -> Rational {
+        assert_eq!(self.len(), other.len(), "dot product dimension mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| *a * *b)
+            .sum()
+    }
+
+    /// Multiplies every component by a scalar.
+    pub fn scale(&self, s: Rational) -> RatVector {
+        RatVector {
+            data: self.data.iter().map(|x| *x * s).collect(),
+        }
+    }
+
+    /// Normalises an integer-valued direction vector: clears denominators and divides
+    /// by the gcd of the components, yielding the canonical primitive integer vector
+    /// in the same direction.  Zero vectors are returned unchanged.
+    ///
+    /// This is exactly the normalisation the paper applies to μpath counter
+    /// signatures before deduplication.
+    ///
+    /// ```
+    /// use counterpoint_numeric::RatVector;
+    /// let v = RatVector::from_i64(&[2, 4, 6]);
+    /// assert_eq!(v.normalize_primitive(), RatVector::from_i64(&[1, 2, 3]));
+    /// ```
+    pub fn normalize_primitive(&self) -> RatVector {
+        if self.is_zero() {
+            return self.clone();
+        }
+        // Clear denominators.
+        let mut lcm: i128 = 1;
+        for x in &self.data {
+            let d = x.denom();
+            let g = gcd_i128(lcm, d);
+            lcm = (lcm / g).checked_mul(d).expect("overflow clearing denominators");
+        }
+        let ints: Vec<i128> = self
+            .data
+            .iter()
+            .map(|x| x.numer().checked_mul(lcm / x.denom()).expect("overflow"))
+            .collect();
+        let mut g: i128 = 0;
+        for &v in &ints {
+            g = gcd_i128(g, v);
+        }
+        RatVector {
+            data: ints.iter().map(|&v| Rational::from(v / g)).collect(),
+        }
+    }
+
+    /// Converts to a vector of `f64` approximations.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.data.iter().map(Rational::to_f64).collect()
+    }
+}
+
+impl Index<usize> for RatVector {
+    type Output = Rational;
+    fn index(&self, i: usize) -> &Rational {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for RatVector {
+    fn index_mut(&mut self, i: usize) -> &mut Rational {
+        &mut self.data[i]
+    }
+}
+
+impl fmt::Debug for RatVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &RatVector {
+    type Output = RatVector;
+    fn add(self, other: &RatVector) -> RatVector {
+        assert_eq!(self.len(), other.len(), "vector addition dimension mismatch");
+        RatVector {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &RatVector {
+    type Output = RatVector;
+    fn sub(self, other: &RatVector) -> RatVector {
+        assert_eq!(self.len(), other.len(), "vector subtraction dimension mismatch");
+        RatVector {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl Neg for &RatVector {
+    type Output = RatVector;
+    fn neg(self) -> RatVector {
+        RatVector {
+            data: self.data.iter().map(|x| -*x).collect(),
+        }
+    }
+}
+
+impl FromIterator<Rational> for RatVector {
+    fn from_iter<I: IntoIterator<Item = Rational>>(iter: I) -> Self {
+        RatVector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A dense row-major matrix of exact rationals.
+///
+/// ```
+/// use counterpoint_numeric::RatMatrix;
+/// let m = RatMatrix::from_i64_rows(&[&[1, 0], &[0, 1]]);
+/// assert_eq!(m.rank(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct RatMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl RatMatrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> RatMatrix {
+        RatMatrix {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> RatMatrix {
+        let mut m = RatMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Rational::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: &[RatVector]) -> RatMatrix {
+        if rows.is_empty() {
+            return RatMatrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+        }
+        RatMatrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flat_map(|r| r.iter().copied()).collect(),
+        }
+    }
+
+    /// Creates a matrix from integer row slices.
+    pub fn from_i64_rows(rows: &[&[i64]]) -> RatMatrix {
+        let vecs: Vec<RatVector> = rows.iter().map(|r| RatVector::from_i64(r)).collect();
+        RatMatrix::from_rows(&vecs)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns row `i` as a vector.
+    pub fn row(&self, i: usize) -> RatVector {
+        assert!(i < self.rows, "row index out of range");
+        RatVector::from_slice(&self.data[i * self.cols..(i + 1) * self.cols])
+    }
+
+    /// Returns column `j` as a vector.
+    pub fn col(&self, j: usize) -> RatVector {
+        assert!(j < self.cols, "column index out of range");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> RatMatrix {
+        let mut t = RatMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.ncols()`.
+    pub fn mul_vec(&self, v: &RatVector) -> RatVector {
+        assert_eq!(v.len(), self.cols, "matrix-vector dimension mismatch");
+        (0..self.rows).map(|i| self.row(i).dot(v)).collect()
+    }
+
+    /// Matrix–matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ.
+    pub fn mul_mat(&self, other: &RatMatrix) -> RatMatrix {
+        assert_eq!(self.cols, other.rows, "matrix-matrix dimension mismatch");
+        let mut out = RatMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let prod = a * other[(k, j)];
+                    out[(i, j)] += prod;
+                }
+            }
+        }
+        out
+    }
+
+    /// Reduced row-echelon form, returning `(rref, pivot_columns)`.
+    ///
+    /// The pivot columns identify a maximal linearly independent subset of columns;
+    /// their count is the matrix rank.
+    pub fn rref(&self) -> (RatMatrix, Vec<usize>) {
+        let mut m = self.clone();
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0usize;
+        for col in 0..m.cols {
+            if pivot_row >= m.rows {
+                break;
+            }
+            // Find a non-zero entry in this column at or below pivot_row.
+            let mut sel = None;
+            for r in pivot_row..m.rows {
+                if !m[(r, col)].is_zero() {
+                    sel = Some(r);
+                    break;
+                }
+            }
+            let Some(sel) = sel else { continue };
+            m.swap_rows(sel, pivot_row);
+            // Scale pivot row so the pivot is 1.
+            let inv = m[(pivot_row, col)].recip();
+            for j in col..m.cols {
+                m[(pivot_row, j)] *= inv;
+            }
+            // Eliminate the column everywhere else.
+            for r in 0..m.rows {
+                if r != pivot_row && !m[(r, col)].is_zero() {
+                    let factor = m[(r, col)];
+                    for j in col..m.cols {
+                        let delta = factor * m[(pivot_row, j)];
+                        m[(r, j)] -= delta;
+                    }
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+        }
+        (m, pivots)
+    }
+
+    /// Rank of the matrix.
+    pub fn rank(&self) -> usize {
+        self.rref().1.len()
+    }
+
+    /// A basis for the (right) nullspace: vectors `x` with `self * x = 0`.
+    pub fn nullspace(&self) -> Vec<RatVector> {
+        let (r, pivots) = self.rref();
+        let free: Vec<usize> = (0..self.cols).filter(|c| !pivots.contains(c)).collect();
+        let mut basis = Vec::with_capacity(free.len());
+        for &fc in &free {
+            let mut v = RatVector::zeros(self.cols);
+            v[fc] = Rational::ONE;
+            for (prow, &pcol) in pivots.iter().enumerate() {
+                v[pcol] = -r[(prow, fc)];
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// A basis for the row space (as a list of independent row vectors in rref form).
+    pub fn row_space_basis(&self) -> Vec<RatVector> {
+        let (r, pivots) = self.rref();
+        (0..pivots.len()).map(|i| r.row(i)).collect()
+    }
+
+    /// Inverse of a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Singular`] if the matrix is singular, or
+    /// [`NumericError::DimensionMismatch`] if it is not square.
+    pub fn inverse(&self) -> Result<RatMatrix, NumericError> {
+        if self.rows != self.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.rows,
+                found: self.cols,
+            });
+        }
+        let n = self.rows;
+        // Augment with the identity and row-reduce.
+        let mut aug = RatMatrix::zeros(n, 2 * n);
+        for i in 0..n {
+            for j in 0..n {
+                aug[(i, j)] = self[(i, j)];
+            }
+            aug[(i, n + i)] = Rational::ONE;
+        }
+        let (r, pivots) = aug.rref();
+        if pivots.len() < n || pivots.iter().enumerate().any(|(i, &p)| p != i) {
+            return Err(NumericError::Singular);
+        }
+        let mut inv = RatMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                inv[(i, j)] = r[(i, n + j)];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Solves `self * x = b` for a square, non-singular system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Singular`] if no unique solution exists.
+    pub fn solve(&self, b: &RatVector) -> Result<RatVector, NumericError> {
+        let inv = self.inverse()?;
+        Ok(inv.mul_vec(b))
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            let (ia, ib) = (a * self.cols + j, b * self.cols + j);
+            self.data.swap(ia, ib);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for RatMatrix {
+    type Output = Rational;
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RatMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for RatMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RatMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Mul<&RatVector> for &RatMatrix {
+    type Output = RatVector;
+    fn mul(self, v: &RatVector) -> RatVector {
+        self.mul_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_basics() {
+        let v = RatVector::from_i64(&[1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert!(!v.is_zero());
+        assert!(RatVector::zeros(4).is_zero());
+        assert_eq!(v[1], Rational::from(2));
+        assert_eq!(v.as_slice().len(), 3);
+        assert_eq!(v.to_f64_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let v = RatVector::from_i64(&[1, 2, 3]);
+        let w = RatVector::from_i64(&[4, 5, 6]);
+        assert_eq!(&v + &w, RatVector::from_i64(&[5, 7, 9]));
+        assert_eq!(&w - &v, RatVector::from_i64(&[3, 3, 3]));
+        assert_eq!(-&v, RatVector::from_i64(&[-1, -2, -3]));
+        assert_eq!(v.dot(&w), Rational::from(32));
+        assert_eq!(v.scale(Rational::from(2)), RatVector::from_i64(&[2, 4, 6]));
+    }
+
+    #[test]
+    fn basis_vector() {
+        let e1 = RatVector::basis(3, 1);
+        assert_eq!(e1, RatVector::from_i64(&[0, 1, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn basis_out_of_range_panics() {
+        let _ = RatVector::basis(2, 2);
+    }
+
+    #[test]
+    fn normalize_primitive() {
+        let v = RatVector::from_slice(&[Rational::new(1, 2), Rational::new(3, 2), Rational::ONE]);
+        assert_eq!(v.normalize_primitive(), RatVector::from_i64(&[1, 3, 2]));
+        let w = RatVector::from_i64(&[4, 8, 12]);
+        assert_eq!(w.normalize_primitive(), RatVector::from_i64(&[1, 2, 3]));
+        let z = RatVector::zeros(3);
+        assert_eq!(z.normalize_primitive(), z);
+        let neg = RatVector::from_i64(&[-2, -4]);
+        assert_eq!(neg.normalize_primitive(), RatVector::from_i64(&[-1, -2]));
+    }
+
+    #[test]
+    fn matrix_construction_and_indexing() {
+        let m = RatMatrix::from_i64_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m[(1, 2)], Rational::from(6));
+        assert_eq!(m.row(0), RatVector::from_i64(&[1, 2, 3]));
+        assert_eq!(m.col(1), RatVector::from_i64(&[2, 5]));
+    }
+
+    #[test]
+    fn transpose_and_products() {
+        let m = RatMatrix::from_i64_rows(&[&[1, 2], &[3, 4]]);
+        let t = m.transpose();
+        assert_eq!(t, RatMatrix::from_i64_rows(&[&[1, 3], &[2, 4]]));
+        let v = RatVector::from_i64(&[1, 1]);
+        assert_eq!(m.mul_vec(&v), RatVector::from_i64(&[3, 7]));
+        let prod = m.mul_mat(&t);
+        assert_eq!(prod, RatMatrix::from_i64_rows(&[&[5, 11], &[11, 25]]));
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let id = RatMatrix::identity(3);
+        let m = RatMatrix::from_i64_rows(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 10]]);
+        assert_eq!(id.mul_mat(&m), m);
+        assert_eq!(m.mul_mat(&id), m);
+    }
+
+    #[test]
+    fn rref_and_rank() {
+        let m = RatMatrix::from_i64_rows(&[&[1, 2, 3], &[2, 4, 6], &[1, 0, 1]]);
+        assert_eq!(m.rank(), 2);
+        let full = RatMatrix::from_i64_rows(&[&[2, 0], &[0, 3]]);
+        let (r, pivots) = full.rref();
+        assert_eq!(r, RatMatrix::identity(2));
+        assert_eq!(pivots, vec![0, 1]);
+        assert_eq!(RatMatrix::zeros(3, 3).rank(), 0);
+    }
+
+    #[test]
+    fn nullspace_spans_kernel() {
+        // x + y + z = 0 has a 2-dimensional nullspace.
+        let m = RatMatrix::from_i64_rows(&[&[1, 1, 1]]);
+        let ns = m.nullspace();
+        assert_eq!(ns.len(), 2);
+        for v in &ns {
+            assert!(m.mul_vec(v).is_zero());
+        }
+        // Full-rank square matrix has a trivial nullspace.
+        let full = RatMatrix::from_i64_rows(&[&[1, 2], &[3, 5]]);
+        assert!(full.nullspace().is_empty());
+    }
+
+    #[test]
+    fn row_space_basis_has_rank_elements() {
+        let m = RatMatrix::from_i64_rows(&[&[1, 2, 3], &[2, 4, 6], &[0, 1, 1]]);
+        let basis = m.row_space_basis();
+        assert_eq!(basis.len(), 2);
+    }
+
+    #[test]
+    fn inverse_and_solve() {
+        let m = RatMatrix::from_i64_rows(&[&[2, 1], &[1, 1]]);
+        let inv = m.inverse().unwrap();
+        assert_eq!(m.mul_mat(&inv), RatMatrix::identity(2));
+        let b = RatVector::from_i64(&[3, 2]);
+        let x = m.solve(&b).unwrap();
+        assert_eq!(m.mul_vec(&x), b);
+    }
+
+    #[test]
+    fn singular_matrix_errors() {
+        let m = RatMatrix::from_i64_rows(&[&[1, 2], &[2, 4]]);
+        assert_eq!(m.inverse(), Err(NumericError::Singular));
+        let not_square = RatMatrix::from_i64_rows(&[&[1, 2, 3]]);
+        assert!(matches!(
+            not_square.inverse(),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_with_fractions() {
+        let m = RatMatrix::from_i64_rows(&[&[1, 2, 3], &[0, 1, 4], &[5, 6, 0]]);
+        let inv = m.inverse().unwrap();
+        assert_eq!(m.mul_mat(&inv), RatMatrix::identity(3));
+        assert_eq!(inv.mul_mat(&m), RatMatrix::identity(3));
+    }
+}

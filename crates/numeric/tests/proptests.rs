@@ -1,0 +1,137 @@
+//! Property-based tests for the exact-rational substrate.
+
+use counterpoint_numeric::{gcd_i128, jacobi_eigen, FMatrix, RatMatrix, RatVector, Rational};
+use proptest::prelude::*;
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-50i128..=50, 1i128..=12).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn small_rat_vec(len: usize) -> impl Strategy<Value = RatVector> {
+    proptest::collection::vec(small_rational(), len).prop_map(|v| RatVector::from_slice(&v))
+}
+
+proptest! {
+    #[test]
+    fn gcd_divides_both(a in -10_000i128..10_000, b in -10_000i128..10_000) {
+        let g = gcd_i128(a, b);
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!(a, 0);
+            prop_assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn rational_addition_is_commutative(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rational_addition_is_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rational_multiplication_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_sub_then_add_roundtrips(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!((a - b) + b, a);
+    }
+
+    #[test]
+    fn rational_is_always_reduced(n in -1000i128..1000, d in 1i128..1000) {
+        let r = Rational::new(n, d);
+        prop_assert!(r.denom() > 0);
+        prop_assert_eq!(gcd_i128(r.numer(), r.denom()), if r.is_zero() { 1 } else { gcd_i128(r.numer(), r.denom()) });
+        // Numerator and denominator share no factor > 1.
+        if !r.is_zero() {
+            prop_assert_eq!(gcd_i128(r.numer(), r.denom()), 1);
+        }
+    }
+
+    #[test]
+    fn rational_ordering_consistent_with_f64(a in small_rational(), b in small_rational()) {
+        if (a.to_f64() - b.to_f64()).abs() > 1e-9 {
+            prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+        }
+    }
+
+    #[test]
+    fn dot_product_is_symmetric(v in small_rat_vec(5), w in small_rat_vec(5)) {
+        prop_assert_eq!(v.dot(&w), w.dot(&v));
+    }
+
+    #[test]
+    fn normalize_primitive_preserves_direction(v in small_rat_vec(4)) {
+        let n = v.normalize_primitive();
+        // n must be an integer vector.
+        for x in n.iter() {
+            prop_assert!(x.is_integer());
+        }
+        // n and v must be parallel: cross-ratios equal componentwise.
+        if !v.is_zero() {
+            // Find a non-zero component of v to compute the scale factor.
+            let idx = (0..v.len()).find(|&i| !v[i].is_zero()).unwrap();
+            let scale = v[idx] / n[idx];
+            for i in 0..v.len() {
+                prop_assert_eq!(n[i] * scale, v[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrips(
+        a in -5i64..=5, b in -5i64..=5, c in -5i64..=5, d in -5i64..=5,
+    ) {
+        let det = a * d - b * c;
+        prop_assume!(det != 0);
+        let m = RatMatrix::from_i64_rows(&[&[a, b], &[c, d]]);
+        let inv = m.inverse().unwrap();
+        prop_assert_eq!(m.mul_mat(&inv), RatMatrix::identity(2));
+        prop_assert_eq!(inv.mul_mat(&m), RatMatrix::identity(2));
+    }
+
+    #[test]
+    fn rank_is_at_most_min_dimension(rows in proptest::collection::vec(proptest::collection::vec(-4i64..=4, 4), 1..6)) {
+        let row_refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = RatMatrix::from_i64_rows(&row_refs);
+        prop_assert!(m.rank() <= m.nrows().min(m.ncols()));
+    }
+
+    #[test]
+    fn nullspace_vectors_are_in_kernel(rows in proptest::collection::vec(proptest::collection::vec(-4i64..=4, 4), 1..5)) {
+        let row_refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = RatMatrix::from_i64_rows(&row_refs);
+        let ns = m.nullspace();
+        prop_assert_eq!(ns.len() + m.rank(), m.ncols());
+        for v in &ns {
+            prop_assert!(m.mul_vec(v).is_zero());
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvalue_sum_equals_trace(diag in proptest::collection::vec(0.1f64..10.0, 3), off in 0.0f64..0.5) {
+        let n = diag.len();
+        let mut m = FMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, diag[i]);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m.set(i, j, off);
+                }
+            }
+        }
+        let eig = jacobi_eigen(&m);
+        let trace: f64 = diag.iter().sum();
+        let sum: f64 = eig.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,360 @@
+//! Counter confidence regions.
+//!
+//! CounterPoint treats each HEC observation not as a point but as a region of
+//! values the true (noise-free) counts are likely to lie in.  Given time-series
+//! samples `{Yᵢ}` of the counter vector, the sample mean `Ȳ` is asymptotically
+//! Gaussian, so the region is the confidence ellipsoid
+//! `{ v : (v − Ȳ)ᵀ Σ_Ȳ⁻¹ (v − Ȳ) ≤ χ²_{N,α} }` where `Σ_Ȳ = Σ_Y / M` is the plugin
+//! estimate of the sample-mean covariance.  Because the ellipsoid is a quadratic
+//! form, the LP feasibility test uses its bounding box aligned with the ellipsoid's
+//! principal axes: the half-length of axis `k` is `sqrt(λₖ · χ²_{N,α})` where `λₖ`
+//! is the corresponding eigenvalue (paper, Appendix A and Figure 5c).
+//!
+//! The [`NoiseModel::Independent`] variant reproduces the naive baseline the paper
+//! compares against: each counter gets its own interval and correlations are
+//! ignored, which inflates the region and hides constraint violations.
+
+use crate::descriptive::{covariance_matrix, sample_mean_vector};
+use crate::special::chi2_quantile;
+use counterpoint_numeric::{jacobi_eigen, FVector};
+
+/// How measurement noise across counters is modelled when constructing a confidence
+/// region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NoiseModel {
+    /// Use the full covariance matrix: axes follow the principal components of the
+    /// data (the paper's approach).
+    Correlated,
+    /// Treat every counter independently: axes are the coordinate axes and each
+    /// width comes from that counter's variance alone (the baseline approach).
+    Independent,
+}
+
+/// A counter confidence region: an ellipsoid summarised by its principal-axis
+/// bounding box.
+///
+/// The region is described by a center (the sample mean), a set of orthonormal
+/// axes, and a half-width per axis.  A point `v` is inside the (boxed) region iff
+/// `|eₖ · (v − center)| ≤ widthₖ` for every axis `k`.
+#[derive(Clone, Debug)]
+pub struct ConfidenceRegion {
+    center: Vec<f64>,
+    axes: Vec<Vec<f64>>,
+    half_widths: Vec<f64>,
+    confidence: f64,
+    num_samples: usize,
+    noise_model: NoiseModel,
+}
+
+impl ConfidenceRegion {
+    /// Builds a confidence region from time-series samples (rows are HEC vectors
+    /// recorded at regular intervals).
+    ///
+    /// `confidence` is the coverage level, e.g. `0.99` for the paper's default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, rows have inconsistent lengths, or
+    /// `confidence` is not in `(0, 1)`.
+    pub fn from_samples(samples: &[Vec<f64>], confidence: f64, noise_model: NoiseModel) -> ConfidenceRegion {
+        assert!(!samples.is_empty(), "confidence region requires at least one sample");
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence level must be in (0, 1)"
+        );
+        let dim = samples[0].len();
+        let center = sample_mean_vector(samples);
+        let m = samples.len() as f64;
+        let chi2 = if dim == 0 { 0.0 } else { chi2_quantile(confidence, dim.max(1)) };
+
+        // Plugin estimator for the covariance of the sample mean.
+        let cov = covariance_matrix(samples);
+
+        let (axes, half_widths) = match noise_model {
+            NoiseModel::Correlated => {
+                let eig = jacobi_eigen(&cov);
+                let axes: Vec<Vec<f64>> = eig.vectors.iter().map(|v| v.as_slice().to_vec()).collect();
+                let widths: Vec<f64> = eig
+                    .values
+                    .iter()
+                    .map(|&lambda| ((lambda.max(0.0) / m) * chi2).sqrt())
+                    .collect();
+                (axes, widths)
+            }
+            NoiseModel::Independent => {
+                let mut axes = Vec::with_capacity(dim);
+                let mut widths = Vec::with_capacity(dim);
+                for i in 0..dim {
+                    let mut e = vec![0.0; dim];
+                    e[i] = 1.0;
+                    axes.push(e);
+                    widths.push(((cov.get(i, i) / m) * chi2).sqrt());
+                }
+                (axes, widths)
+            }
+        };
+
+        ConfidenceRegion {
+            center,
+            axes,
+            half_widths,
+            confidence,
+            num_samples: samples.len(),
+            noise_model,
+        }
+    }
+
+    /// Builds a degenerate, zero-width region centred on a single exact observation.
+    ///
+    /// Useful when feeding noise-free (simulated ground-truth) counter values into
+    /// the feasibility machinery.
+    pub fn exact(point: &[f64]) -> ConfidenceRegion {
+        let dim = point.len();
+        let axes = (0..dim)
+            .map(|i| {
+                let mut e = vec![0.0; dim];
+                e[i] = 1.0;
+                e
+            })
+            .collect();
+        ConfidenceRegion {
+            center: point.to_vec(),
+            axes,
+            half_widths: vec![0.0; dim],
+            confidence: 1.0,
+            num_samples: 1,
+            noise_model: NoiseModel::Independent,
+        }
+    }
+
+    /// The region's center (the sample mean `Ȳ`).
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// The orthonormal axes of the bounding box.
+    pub fn axes(&self) -> &[Vec<f64>] {
+        &self.axes
+    }
+
+    /// The half-width of the box along each axis.
+    pub fn half_widths(&self) -> &[f64] {
+        &self.half_widths
+    }
+
+    /// Number of counters.
+    pub fn dimension(&self) -> usize {
+        self.center.len()
+    }
+
+    /// The confidence level the region was constructed at.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Number of samples the region was estimated from.
+    pub fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    /// Which noise model was used.
+    pub fn noise_model(&self) -> NoiseModel {
+        self.noise_model
+    }
+
+    /// Returns `true` if the point lies inside the bounding box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong dimension.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.dimension(), "point dimension mismatch");
+        let delta = FVector::from_slice(point).sub(&FVector::from_slice(&self.center));
+        self.axes.iter().zip(self.half_widths.iter()).all(|(axis, width)| {
+            let proj = FVector::from_slice(axis).dot(&delta);
+            proj.abs() <= width + 1e-9
+        })
+    }
+
+    /// Projects the region onto a direction `a`, returning the `(min, max)` of
+    /// `a · v` over the bounding box.
+    ///
+    /// This is how individual model constraints are checked against an observation:
+    /// the constraint `a · v ≥ 0` is violated at this confidence level iff the
+    /// interval's maximum is still negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has the wrong dimension.
+    pub fn interval_along(&self, a: &[f64]) -> (f64, f64) {
+        assert_eq!(a.len(), self.dimension(), "direction dimension mismatch");
+        let a_vec = FVector::from_slice(a);
+        let centre_proj = a_vec.dot(&FVector::from_slice(&self.center));
+        let spread: f64 = self
+            .axes
+            .iter()
+            .zip(self.half_widths.iter())
+            .map(|(axis, width)| (a_vec.dot(&FVector::from_slice(axis)) * width).abs())
+            .sum();
+        (centre_proj - spread, centre_proj + spread)
+    }
+
+    /// The corner points of the bounding box (2^k corners for the k axes with
+    /// non-zero width, capped to the first 20 axes to avoid combinatorial blowup).
+    /// Mostly useful for plotting and small-dimension tests.
+    pub fn corners(&self) -> Vec<Vec<f64>> {
+        let active: Vec<usize> = (0..self.axes.len())
+            .filter(|&i| self.half_widths[i] > 0.0)
+            .take(20)
+            .collect();
+        let n = active.len();
+        let mut corners = Vec::with_capacity(1 << n);
+        for mask in 0..(1usize << n) {
+            let mut point = self.center.clone();
+            for (bit, &axis_idx) in active.iter().enumerate() {
+                let sign = if mask & (1 << bit) != 0 { 1.0 } else { -1.0 };
+                for (p, a) in point.iter_mut().zip(self.axes[axis_idx].iter()) {
+                    *p += sign * self.half_widths[axis_idx] * a;
+                }
+            }
+            corners.push(point);
+        }
+        corners
+    }
+
+    /// A scalar proxy for the region's size: the product of the axis extents
+    /// (`2·widthₖ`).  Only meaningful for comparing two regions over the same
+    /// counters — e.g. demonstrating that the correlated construction is tighter
+    /// than the independent one (Figure 3d).
+    pub fn volume_proxy(&self) -> f64 {
+        self.half_widths.iter().map(|w| 2.0 * w).product()
+    }
+
+    /// Sum of half-widths — a blow-up-free alternative to [`volume_proxy`] for
+    /// high-dimensional comparisons.
+    ///
+    /// [`volume_proxy`]: ConfidenceRegion::volume_proxy
+    pub fn total_extent(&self) -> f64 {
+        self.half_widths.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn correlated_samples(n: usize) -> Vec<Vec<f64>> {
+        // Counter 1 tracks counter 0 almost perfectly (plus a fixed offset), like
+        // load.causes_walk and load.walk_done on a workload with few aborts.
+        (0..n)
+            .map(|i| {
+                let x = 1000.0 + (i % 17) as f64 * 10.0;
+                vec![x, x + 50.0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn center_is_sample_mean() {
+        let samples = vec![vec![1.0, 10.0], vec![3.0, 30.0]];
+        let region = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Correlated);
+        assert_eq!(region.center(), &[2.0, 20.0]);
+        assert_eq!(region.dimension(), 2);
+        assert_eq!(region.num_samples(), 2);
+        assert_eq!(region.confidence(), 0.99);
+    }
+
+    #[test]
+    fn correlated_region_is_tighter_than_independent() {
+        let samples = correlated_samples(200);
+        let corr = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Correlated);
+        let indep = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Independent);
+        assert!(corr.volume_proxy() < indep.volume_proxy());
+        assert_eq!(corr.noise_model(), NoiseModel::Correlated);
+        assert_eq!(indep.noise_model(), NoiseModel::Independent);
+    }
+
+    #[test]
+    fn region_contains_its_center_and_mean_of_samples() {
+        let samples = correlated_samples(100);
+        let region = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Correlated);
+        assert!(region.contains(region.center()));
+    }
+
+    #[test]
+    fn region_excludes_distant_points() {
+        let samples = correlated_samples(100);
+        let region = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Correlated);
+        let far = vec![10_000.0, 10.0];
+        assert!(!region.contains(&far));
+    }
+
+    #[test]
+    fn more_samples_shrink_the_region() {
+        let small = ConfidenceRegion::from_samples(&correlated_samples(50), 0.99, NoiseModel::Independent);
+        let large = ConfidenceRegion::from_samples(&correlated_samples(5000), 0.99, NoiseModel::Independent);
+        assert!(large.total_extent() < small.total_extent());
+    }
+
+    #[test]
+    fn higher_confidence_grows_the_region() {
+        let samples = correlated_samples(100);
+        let narrow = ConfidenceRegion::from_samples(&samples, 0.90, NoiseModel::Correlated);
+        let wide = ConfidenceRegion::from_samples(&samples, 0.999, NoiseModel::Correlated);
+        assert!(wide.total_extent() > narrow.total_extent());
+    }
+
+    #[test]
+    fn exact_region_is_a_point() {
+        let region = ConfidenceRegion::exact(&[5.0, 7.0]);
+        assert!(region.contains(&[5.0, 7.0]));
+        assert!(!region.contains(&[5.0, 8.0]));
+        assert_eq!(region.half_widths(), &[0.0, 0.0]);
+        assert_eq!(region.interval_along(&[1.0, 1.0]), (12.0, 12.0));
+    }
+
+    #[test]
+    fn interval_along_contains_projected_samples_mostly() {
+        let samples = correlated_samples(500);
+        let region = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Correlated);
+        // The difference counter1 - counter0 is exactly 50 in every sample, so the
+        // projection along (−1, 1) must be a tight interval around 50.
+        let (lo, hi) = region.interval_along(&[-1.0, 1.0]);
+        assert!(lo <= 50.0 + 1e-6 && hi >= 50.0 - 1e-6);
+        assert!(hi - lo < 1.0, "correlated region should be tight in the correlated direction");
+        // The independent region is far looser in the same direction.
+        let indep = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Independent);
+        let (ilo, ihi) = indep.interval_along(&[-1.0, 1.0]);
+        assert!(ihi - ilo > (hi - lo) * 10.0);
+    }
+
+    #[test]
+    fn corners_are_inside_region() {
+        let samples = correlated_samples(100);
+        let region = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Independent);
+        let corners = region.corners();
+        assert_eq!(corners.len(), 4);
+        for c in &corners {
+            assert!(region.contains(c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = ConfidenceRegion::from_samples(&[], 0.99, NoiseModel::Correlated);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn invalid_confidence_panics() {
+        let _ = ConfidenceRegion::from_samples(&[vec![1.0]], 1.5, NoiseModel::Correlated);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn contains_with_wrong_dimension_panics() {
+        let region = ConfidenceRegion::exact(&[1.0, 2.0]);
+        let _ = region.contains(&[1.0]);
+    }
+}

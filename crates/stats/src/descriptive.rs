@@ -1,0 +1,270 @@
+//! Descriptive statistics over HEC sample matrices.
+//!
+//! A *sample matrix* is a list of HEC vectors recorded at regular intervals over a
+//! program's execution (paper, Section 4): `samples[i][j]` is the value of counter
+//! `j` in the `i`-th time slice.  CounterPoint reduces such a matrix to a sample
+//! mean and a full covariance matrix; the covariance is what distinguishes its
+//! correlated confidence regions from the naive independent-counter treatment.
+
+use counterpoint_numeric::FMatrix;
+
+/// Arithmetic mean of a slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+///
+/// ```
+/// use counterpoint_stats::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of an empty slice is undefined");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Unbiased (n−1) sample variance.
+///
+/// Returns `0.0` for slices with fewer than two elements.
+///
+/// ```
+/// use counterpoint_stats::variance;
+/// assert_eq!(variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]), 32.0 / 7.0);
+/// ```
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Unbiased sample covariance of two equally long series.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are empty.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance requires equal-length series");
+    assert!(!xs.is_empty(), "covariance of empty series is undefined");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter()
+        .zip(ys.iter())
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64
+}
+
+/// Pearson correlation coefficient of two series.
+///
+/// Returns `0.0` when either series has zero variance (the convention used when
+/// scanning HEC pairs for strong correlations: a constant counter correlates with
+/// nothing).
+///
+/// ```
+/// use counterpoint_stats::pearson;
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let vx = variance(xs);
+    let vy = variance(ys);
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    covariance(xs, ys) / (vx.sqrt() * vy.sqrt())
+}
+
+/// Component-wise mean of a sample matrix (rows are observations, columns are
+/// counters).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or rows have inconsistent lengths.
+pub fn sample_mean_vector(samples: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!samples.is_empty(), "sample matrix must be non-empty");
+    let dim = samples[0].len();
+    let mut out = vec![0.0; dim];
+    for row in samples {
+        assert_eq!(row.len(), dim, "inconsistent sample dimensions");
+        for (o, v) in out.iter_mut().zip(row.iter()) {
+            *o += v;
+        }
+    }
+    for o in &mut out {
+        *o /= samples.len() as f64;
+    }
+    out
+}
+
+/// Full sample covariance matrix of a sample matrix (rows are observations).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or rows have inconsistent lengths.
+pub fn covariance_matrix(samples: &[Vec<f64>]) -> FMatrix {
+    assert!(!samples.is_empty(), "sample matrix must be non-empty");
+    let dim = samples[0].len();
+    let means = sample_mean_vector(samples);
+    let mut cov = FMatrix::zeros(dim, dim);
+    if samples.len() < 2 {
+        return cov;
+    }
+    let denom = (samples.len() - 1) as f64;
+    for row in samples {
+        for i in 0..dim {
+            let di = row[i] - means[i];
+            for j in i..dim {
+                let dj = row[j] - means[j];
+                cov.set(i, j, cov.get(i, j) + di * dj / denom);
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..dim {
+        for j in 0..i {
+            cov.set(i, j, cov.get(j, i));
+        }
+    }
+    cov
+}
+
+/// Pearson correlation matrix of a sample matrix.
+///
+/// Entry `(i, j)` is the correlation of counters `i` and `j`; diagonal entries are
+/// `1.0` (or `0.0` for constant counters).  The paper reports that more than 25% of
+/// Haswell counter pairs have a correlation above 0.9 — this is the matrix that
+/// claim is computed from.
+pub fn correlation_matrix(samples: &[Vec<f64>]) -> FMatrix {
+    let cov = covariance_matrix(samples);
+    let dim = cov.nrows();
+    let mut corr = FMatrix::zeros(dim, dim);
+    for i in 0..dim {
+        for j in 0..dim {
+            let denom = (cov.get(i, i) * cov.get(j, j)).sqrt();
+            let value = if denom == 0.0 { 0.0 } else { cov.get(i, j) / denom };
+            corr.set(i, j, value);
+        }
+    }
+    corr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!(close(variance(&[1.0, 2.0, 3.0]), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_of_empty_panics() {
+        let _ = mean(&[]);
+    }
+
+    #[test]
+    fn covariance_of_identical_series_is_variance() {
+        let x = [1.0, 4.0, 2.0, 8.0];
+        assert!(close(covariance(&x, &x), variance(&x)));
+    }
+
+    #[test]
+    fn covariance_sign_reflects_relationship() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_up = [10.0, 20.0, 30.0, 40.0];
+        let y_down = [40.0, 30.0, 20.0, 10.0];
+        assert!(covariance(&x, &y_up) > 0.0);
+        assert!(covariance(&x, &y_down) < 0.0);
+    }
+
+    #[test]
+    fn pearson_bounds_and_special_cases() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!(close(pearson(&x, &x), 1.0));
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!(close(pearson(&x, &neg), -1.0));
+        let constant = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &constant), 0.0);
+        // Uncorrelated-ish series stays within [-1, 1].
+        let y = [1.0, -1.0, 1.0, -1.0];
+        let r = pearson(&x, &y);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn sample_mean_vector_componentwise() {
+        let samples = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        assert_eq!(sample_mean_vector(&samples), vec![3.0, 20.0]);
+    }
+
+    #[test]
+    fn covariance_matrix_matches_pairwise() {
+        let samples = vec![
+            vec![1.0, 2.0, 0.5],
+            vec![2.0, 4.5, 0.0],
+            vec![3.0, 5.5, 1.5],
+            vec![4.0, 8.5, 1.0],
+        ];
+        let cov = covariance_matrix(&samples);
+        let col = |j: usize| -> Vec<f64> { samples.iter().map(|r| r[j]).collect() };
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    close(cov.get(i, j), covariance(&col(i), &col(j))),
+                    "entry ({i},{j})"
+                );
+            }
+        }
+        assert!(cov.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn covariance_matrix_single_sample_is_zero() {
+        let cov = covariance_matrix(&[vec![1.0, 2.0]]);
+        assert_eq!(cov.get(0, 0), 0.0);
+        assert_eq!(cov.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn correlation_matrix_diagonal_is_one() {
+        let samples = vec![
+            vec![1.0, 9.0],
+            vec![2.0, 7.0],
+            vec![3.0, 8.0],
+            vec![4.0, 2.0],
+        ];
+        let corr = correlation_matrix(&samples);
+        assert!(close(corr.get(0, 0), 1.0));
+        assert!(close(corr.get(1, 1), 1.0));
+        assert!(corr.get(0, 1) < 0.0);
+        assert!(close(corr.get(0, 1), corr.get(1, 0)));
+    }
+
+    #[test]
+    fn correlation_matrix_handles_constant_counter() {
+        let samples = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]];
+        let corr = correlation_matrix(&samples);
+        assert_eq!(corr.get(0, 1), 0.0);
+        assert_eq!(corr.get(1, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn ragged_samples_panic() {
+        let _ = sample_mean_vector(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Statistics substrate for CounterPoint.
+//!
+//! Hardware event counters are multiplexed onto a handful of physical counters, so
+//! the logical counts `perf`-style tools report are extrapolations with substantial
+//! noise.  CounterPoint's answer (paper, Section 4) is the *counter confidence
+//! region*: treat each observation as the sample mean of a time series of HEC
+//! vectors, estimate the full covariance matrix (not just per-counter variances),
+//! and build a 99% confidence ellipsoid whose principal-axis bounding box feeds the
+//! LP feasibility test.
+//!
+//! This crate provides everything that pipeline needs:
+//!
+//! * [`special`] — log-gamma, the regularized incomplete gamma function, and χ² /
+//!   normal distribution functions and quantiles,
+//! * [`descriptive`] — means, (co)variances and Pearson correlation of HEC sample
+//!   matrices,
+//! * [`confidence`] — [`ConfidenceRegion`]: the ellipsoid and its principal-axis
+//!   bounding box, with both the paper's correlated construction and the naive
+//!   independent-counter baseline it is compared against.
+//!
+//! # Example
+//!
+//! ```
+//! use counterpoint_stats::{ConfidenceRegion, NoiseModel};
+//!
+//! // Two perfectly correlated counters: the correlated region is much tighter
+//! // in the "anti-correlated" direction than the independent baseline.
+//! let samples: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| {
+//!         let x = 1000.0 + (i % 10) as f64 * 5.0;
+//!         vec![x, x + 3.0]
+//!     })
+//!     .collect();
+//! let correlated = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Correlated);
+//! let independent = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Independent);
+//! assert!(correlated.volume_proxy() < independent.volume_proxy());
+//! ```
+
+pub mod confidence;
+pub mod descriptive;
+pub mod special;
+
+pub use confidence::{ConfidenceRegion, NoiseModel};
+pub use descriptive::{
+    correlation_matrix, covariance, covariance_matrix, mean, pearson, sample_mean_vector, variance,
+};
+pub use special::{chi2_cdf, chi2_quantile, ln_gamma, normal_cdf, regularized_gamma_p};

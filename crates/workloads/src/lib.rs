@@ -1,0 +1,532 @@
+//! Synthetic workloads for the Haswell MMU case study.
+//!
+//! The paper collects HEC data from GAPBS, SPEC2006, PARSEC and YCSB plus two
+//! microbenchmarks (a linear access pattern parametrised by footprint, stride and
+//! load/store ratio, and a random access pattern parametrised by footprint and
+//! load/store ratio), sweeping memory footprints and page sizes.  This crate
+//! provides access-trace generators spanning the same behavioural axes — spatial
+//! locality, page reuse distance, load/store mix and footprint — so that the
+//! simulated MMU is exercised across the same corners:
+//!
+//! * [`LinearAccess`] / [`RandomAccess`] — the paper's two microbenchmarks,
+//! * [`GraphTraversal`] — GAPBS-like neighbour-list scans over a synthetic graph,
+//! * [`PointerChase`] — SPEC-mcf-like dependent pointer chasing,
+//! * [`Streaming`] — PARSEC-like multi-stream sequential processing with stores,
+//! * [`KeyValue`] — YCSB-like Zipfian record accesses with a read/write mix.
+//!
+//! [`standard_suite`] assembles the parameter sweep used by the experiment
+//! harness.
+
+use counterpoint_haswell::mem::MemoryAccess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A workload: a named generator of memory access traces.
+pub trait Workload {
+    /// Human-readable name including the key parameters, used as the observation
+    /// label in experiment reports.
+    fn name(&self) -> String;
+
+    /// Generates `num_accesses` memory accesses.
+    fn generate(&self, num_accesses: usize) -> Vec<MemoryAccess>;
+}
+
+/// The linear-access microbenchmark: a loop over a buffer with a fixed stride and
+/// load/store ratio (the paper's first microbenchmark, and the one whose
+/// sequential page-crossing pattern triggers the TLB prefetcher).
+#[derive(Clone, Debug)]
+pub struct LinearAccess {
+    /// Buffer size in bytes.
+    pub footprint: u64,
+    /// Stride between consecutive accesses in bytes.
+    pub stride: u64,
+    /// Fraction of accesses that are stores (0.0 – 1.0).
+    pub store_ratio: f64,
+}
+
+impl Workload for LinearAccess {
+    fn name(&self) -> String {
+        format!(
+            "linear(footprint={}MiB,stride={},stores={:.0}%)",
+            self.footprint >> 20,
+            self.stride,
+            self.store_ratio * 100.0
+        )
+    }
+
+    fn generate(&self, num_accesses: usize) -> Vec<MemoryAccess> {
+        let steps = (self.footprint / self.stride).max(1);
+        let mut rng = StdRng::seed_from_u64(17);
+        (0..num_accesses as u64)
+            .map(|i| {
+                let addr = (i % steps) * self.stride;
+                if rng.gen_bool(self.store_ratio) {
+                    MemoryAccess::store(addr)
+                } else {
+                    MemoryAccess::load(addr)
+                }
+            })
+            .collect()
+    }
+}
+
+/// The random-access microbenchmark: uniformly random addresses within the
+/// footprint (the paper's second microbenchmark).
+#[derive(Clone, Debug)]
+pub struct RandomAccess {
+    /// Buffer size in bytes.
+    pub footprint: u64,
+    /// Fraction of accesses that are stores.
+    pub store_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Workload for RandomAccess {
+    fn name(&self) -> String {
+        format!(
+            "random(footprint={}MiB,stores={:.0}%)",
+            self.footprint >> 20,
+            self.store_ratio * 100.0
+        )
+    }
+
+    fn generate(&self, num_accesses: usize) -> Vec<MemoryAccess> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..num_accesses)
+            .map(|_| {
+                let addr = rng.gen_range(0..self.footprint) & !0x7;
+                if rng.gen_bool(self.store_ratio) {
+                    MemoryAccess::store(addr)
+                } else {
+                    MemoryAccess::load(addr)
+                }
+            })
+            .collect()
+    }
+}
+
+/// GAPBS-like graph traversal: repeatedly pick a vertex (skewed towards hubs) and
+/// scan a short run of its neighbour list — a burst of spatially local accesses at
+/// an essentially random page, which is the pattern that exercises walk merging and
+/// early PDE-cache lookups.
+#[derive(Clone, Debug)]
+pub struct GraphTraversal {
+    /// Number of vertices in the synthetic graph.
+    pub vertices: u64,
+    /// Average out-degree (length of the neighbour-list burst).
+    pub avg_degree: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Workload for GraphTraversal {
+    fn name(&self) -> String {
+        format!("graph(v={},deg={})", self.vertices, self.avg_degree)
+    }
+
+    fn generate(&self, num_accesses: usize) -> Vec<MemoryAccess> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(num_accesses);
+        // Neighbour lists live in an edge array of 8-byte vertex ids; vertex v's
+        // list starts at v * avg_degree * 8.
+        while out.len() < num_accesses {
+            // Skew vertex selection: square a uniform variate to prefer low ids
+            // ("hub" vertices), as degree-skewed graphs do.
+            let u: f64 = rng.gen();
+            let vertex = ((u * u) * self.vertices as f64) as u64;
+            let burst = rng.gen_range(1..=self.avg_degree.max(1) * 2);
+            let base = vertex * self.avg_degree * 8;
+            for n in 0..burst {
+                if out.len() >= num_accesses {
+                    break;
+                }
+                // Read the neighbour id (sequential within the list)...
+                out.push(MemoryAccess::load(base + n * 8));
+                // ...and occasionally the neighbour's per-vertex data (random page).
+                if rng.gen_bool(0.25) && out.len() < num_accesses {
+                    let neighbour = rng.gen_range(0..self.vertices);
+                    out.push(MemoryAccess::load(0x4000_0000_0000 + neighbour * 64));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// SPEC-mcf-like pointer chasing: follow a pseudo-random permutation through a
+/// large node array, one dependent access per node — minimal spatial locality and a
+/// very high TLB miss rate.
+#[derive(Clone, Debug)]
+pub struct PointerChase {
+    /// Number of 64-byte nodes in the arena.
+    pub nodes: u64,
+    /// RNG seed (also determines the permutation).
+    pub seed: u64,
+}
+
+impl Workload for PointerChase {
+    fn name(&self) -> String {
+        format!("pointer_chase(nodes={})", self.nodes)
+    }
+
+    fn generate(&self, num_accesses: usize) -> Vec<MemoryAccess> {
+        let mut state = self.seed | 1;
+        let mut out = Vec::with_capacity(num_accesses);
+        let mut current = 0u64;
+        for _ in 0..num_accesses {
+            out.push(MemoryAccess::load(current * 64));
+            // Next node from a multiplicative congruential step (cheap stand-in for
+            // an actual stored permutation).
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            current = (state >> 11) % self.nodes.max(1);
+        }
+        out
+    }
+}
+
+/// PARSEC-like streaming: several sequential input streams read in round-robin
+/// with a store-heavy output stream.
+#[derive(Clone, Debug)]
+pub struct Streaming {
+    /// Number of concurrent input streams.
+    pub streams: u64,
+    /// Length of each stream in bytes.
+    pub stream_bytes: u64,
+}
+
+impl Workload for Streaming {
+    fn name(&self) -> String {
+        format!("streaming(streams={},len={}MiB)", self.streams, self.stream_bytes >> 20)
+    }
+
+    fn generate(&self, num_accesses: usize) -> Vec<MemoryAccess> {
+        let mut out = Vec::with_capacity(num_accesses);
+        let mut offsets = vec![0u64; self.streams as usize];
+        let mut i = 0usize;
+        while out.len() < num_accesses {
+            let s = i % self.streams as usize;
+            let base = s as u64 * self.stream_bytes;
+            out.push(MemoryAccess::load(base + offsets[s]));
+            // Every fourth access writes to the output stream.
+            if i % 4 == 3 && out.len() < num_accesses {
+                let out_base = self.streams * self.stream_bytes;
+                out.push(MemoryAccess::store(out_base + offsets[s]));
+            }
+            offsets[s] = (offsets[s] + 64) % self.stream_bytes;
+            i += 1;
+        }
+        out
+    }
+}
+
+/// YCSB-like key-value workload: Zipfian record selection, a few field accesses per
+/// record, and a configurable update fraction.
+#[derive(Clone, Debug)]
+pub struct KeyValue {
+    /// Number of records in the store.
+    pub records: u64,
+    /// Size of one record in bytes.
+    pub record_bytes: u64,
+    /// Fraction of operations that are updates (stores).
+    pub update_ratio: f64,
+    /// Zipfian skew parameter (0 = uniform; 0.99 = YCSB default).
+    pub zipf_theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Workload for KeyValue {
+    fn name(&self) -> String {
+        format!(
+            "kv(records={},update={:.0}%,theta={})",
+            self.records,
+            self.update_ratio * 100.0,
+            self.zipf_theta
+        )
+    }
+
+    fn generate(&self, num_accesses: usize) -> Vec<MemoryAccess> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(num_accesses);
+        while out.len() < num_accesses {
+            // Approximate Zipfian selection: u^(1/(1-theta)) concentrates mass on
+            // low record ids as theta grows.
+            let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+            let skew = if self.zipf_theta >= 1.0 { 0.01 } else { 1.0 - self.zipf_theta };
+            let record = ((u.powf(1.0 / skew)) * self.records as f64) as u64 % self.records.max(1);
+            let base = record * self.record_bytes;
+            let is_update = rng.gen_bool(self.update_ratio);
+            // Touch two or three fields of the record.
+            let fields = rng.gen_range(2..=3);
+            for f in 0..fields {
+                if out.len() >= num_accesses {
+                    break;
+                }
+                let addr = base + f * 128;
+                out.push(if is_update && f == 0 {
+                    MemoryAccess::store(addr)
+                } else {
+                    MemoryAccess::load(addr)
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A named, boxed workload (convenience for building suites).
+pub struct NamedWorkload {
+    /// Observation label.
+    pub label: String,
+    /// The generator.
+    pub workload: Box<dyn Workload>,
+    /// Multiplier applied to the harness's per-workload access budget.  Workloads
+    /// that only show their characteristic behaviour in a steady state (the
+    /// 64-byte-stride linear scan must loop over its buffer many times before the
+    /// TLB prefetcher dominates the walk counts) request a larger budget.
+    pub access_scale: usize,
+}
+
+/// The standard workload suite used by the experiment harness: the two
+/// microbenchmarks swept over footprint/stride, plus the four application-like
+/// generators swept over footprint — a small-scale analogue of the paper's
+/// GAPBS/SPEC/PARSEC/YCSB sweep.
+pub fn standard_suite() -> Vec<NamedWorkload> {
+    let mut suite: Vec<NamedWorkload> = Vec::new();
+    // The prefetcher-exercising linear microbenchmark: 64-byte stride, looped over
+    // the buffer many times so the prefetcher reaches steady state.
+    let prefetch_linear = LinearAccess {
+        footprint: 8 << 20,
+        stride: 64,
+        store_ratio: 0.0,
+    };
+    suite.push(NamedWorkload {
+        label: prefetch_linear.name(),
+        workload: Box::new(prefetch_linear),
+        access_scale: 40,
+    });
+    // Linear microbenchmark: footprint x stride sweep (coarser strides exercise
+    // walk merging without triggering the prefetcher).
+    for footprint in [8u64 << 20, 64 << 20, 512 << 20] {
+        for stride in [256u64, 4096] {
+            let w = LinearAccess {
+                footprint,
+                stride,
+                store_ratio: 0.0,
+            };
+            suite.push(NamedWorkload {
+                label: w.name(),
+                workload: Box::new(w),
+                access_scale: 1,
+            });
+        }
+    }
+    // Store-only linear variant (used by the prefetch-trigger analysis).
+    let store_linear = LinearAccess {
+        footprint: 64 << 20,
+        stride: 64,
+        store_ratio: 1.0,
+    };
+    suite.push(NamedWorkload {
+        label: store_linear.name(),
+        workload: Box::new(store_linear),
+        access_scale: 1,
+    });
+    // Random microbenchmark: footprint sweep.
+    for footprint in [16u64 << 20, 256 << 20, 4 << 30] {
+        let w = RandomAccess {
+            footprint,
+            store_ratio: 0.2,
+            seed: footprint,
+        };
+        suite.push(NamedWorkload {
+            label: w.name(),
+            workload: Box::new(w),
+            access_scale: 1,
+        });
+    }
+    // Application-like workloads.
+    for (vertices, degree) in [(200_000u64, 8u64), (2_000_000, 16)] {
+        let w = GraphTraversal {
+            vertices,
+            avg_degree: degree,
+            seed: vertices,
+        };
+        suite.push(NamedWorkload {
+            label: w.name(),
+            workload: Box::new(w),
+            access_scale: 1,
+        });
+    }
+    for nodes in [500_000u64, 8_000_000] {
+        let w = PointerChase { nodes, seed: nodes | 1 };
+        suite.push(NamedWorkload {
+            label: w.name(),
+            workload: Box::new(w),
+            access_scale: 1,
+        });
+    }
+    let streaming = Streaming {
+        streams: 4,
+        stream_bytes: 32 << 20,
+    };
+    suite.push(NamedWorkload {
+        label: streaming.name(),
+        workload: Box::new(streaming),
+        access_scale: 1,
+    });
+    for update_ratio in [0.05f64, 0.5] {
+        let w = KeyValue {
+            records: 2_000_000,
+            record_bytes: 1024,
+            update_ratio,
+            zipf_theta: 0.99,
+            seed: 99,
+        };
+        suite.push(NamedWorkload {
+            label: w.name(),
+            workload: Box::new(w),
+            access_scale: 1,
+        });
+    }
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn linear_access_is_strided_and_wraps() {
+        let w = LinearAccess {
+            footprint: 1024,
+            stride: 64,
+            store_ratio: 0.0,
+        };
+        let trace = w.generate(40);
+        assert_eq!(trace.len(), 40);
+        assert_eq!(trace[0].addr.raw(), 0);
+        assert_eq!(trace[1].addr.raw(), 64);
+        // Wraps after footprint / stride = 16 accesses.
+        assert_eq!(trace[16].addr.raw(), 0);
+        assert!(trace.iter().all(|a| !a.is_store));
+        assert!(w.name().contains("stride=64"));
+    }
+
+    #[test]
+    fn linear_access_store_ratio_generates_stores() {
+        let w = LinearAccess {
+            footprint: 1 << 20,
+            stride: 64,
+            store_ratio: 1.0,
+        };
+        assert!(w.generate(100).iter().all(|a| a.is_store));
+        let mixed = LinearAccess {
+            footprint: 1 << 20,
+            stride: 64,
+            store_ratio: 0.5,
+        };
+        let trace = mixed.generate(1000);
+        let stores = trace.iter().filter(|a| a.is_store).count();
+        assert!(stores > 300 && stores < 700);
+    }
+
+    #[test]
+    fn random_access_stays_within_footprint() {
+        let w = RandomAccess {
+            footprint: 1 << 20,
+            store_ratio: 0.3,
+            seed: 7,
+        };
+        let trace = w.generate(5000);
+        assert!(trace.iter().all(|a| a.addr.raw() < (1 << 20)));
+        let distinct_pages: HashSet<u64> = trace.iter().map(|a| a.addr.raw() >> 12).collect();
+        assert!(distinct_pages.len() > 100);
+    }
+
+    #[test]
+    fn random_access_is_deterministic_per_seed() {
+        let a = RandomAccess { footprint: 1 << 24, store_ratio: 0.1, seed: 3 }.generate(100);
+        let b = RandomAccess { footprint: 1 << 24, store_ratio: 0.1, seed: 3 }.generate(100);
+        let c = RandomAccess { footprint: 1 << 24, store_ratio: 0.1, seed: 4 }.generate(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn graph_traversal_produces_bursts() {
+        let w = GraphTraversal {
+            vertices: 10_000,
+            avg_degree: 8,
+            seed: 5,
+        };
+        let trace = w.generate(2000);
+        assert_eq!(trace.len(), 2000);
+        // Bursts mean consecutive accesses to the same page are common.
+        let same_page_pairs = trace
+            .windows(2)
+            .filter(|p| p[0].addr.raw() >> 12 == p[1].addr.raw() >> 12)
+            .count();
+        assert!(same_page_pairs > 400);
+    }
+
+    #[test]
+    fn pointer_chase_has_poor_locality() {
+        let w = PointerChase {
+            nodes: 1_000_000,
+            seed: 11,
+        };
+        let trace = w.generate(5000);
+        let same_page_pairs = trace
+            .windows(2)
+            .filter(|p| p[0].addr.raw() >> 12 == p[1].addr.raw() >> 12)
+            .count();
+        assert!(same_page_pairs < 500);
+    }
+
+    #[test]
+    fn streaming_mixes_loads_and_stores() {
+        let w = Streaming {
+            streams: 4,
+            stream_bytes: 1 << 20,
+        };
+        let trace = w.generate(4000);
+        let stores = trace.iter().filter(|a| a.is_store).count();
+        assert!(stores > 0);
+        assert!(stores < trace.len() / 2);
+        assert_eq!(trace.len(), 4000);
+    }
+
+    #[test]
+    fn key_value_is_skewed() {
+        let w = KeyValue {
+            records: 100_000,
+            record_bytes: 1024,
+            update_ratio: 0.2,
+            zipf_theta: 0.99,
+            seed: 1,
+        };
+        let trace = w.generate(10_000);
+        // With heavy skew, a small set of hot records dominates.
+        let hot = trace
+            .iter()
+            .filter(|a| a.addr.raw() < 100 * 1024)
+            .count();
+        assert!(hot > trace.len() / 10, "expected hot-record concentration, got {hot}");
+        assert!(trace.iter().any(|a| a.is_store));
+    }
+
+    #[test]
+    fn standard_suite_is_diverse() {
+        let suite = standard_suite();
+        assert!(suite.len() >= 15);
+        let labels: HashSet<&str> = suite.iter().map(|w| w.label.as_str()).collect();
+        assert_eq!(labels.len(), suite.len(), "labels must be unique");
+        // Every workload can actually generate a trace.
+        for w in &suite {
+            assert_eq!(w.workload.generate(64).len(), 64);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Reverse-engineering the TLB prefetcher's trigger conditions (the paper's
+//! Section 7.1 and Appendix C.2, condensed).
+//!
+//! Runs the linear-access microbenchmark — whose sequential page-crossing pattern
+//! is what exercises the load–store-queue prefetcher — on the simulated Haswell
+//! MMU, then tests the eighteen trigger-condition models `t0`–`t17` against the
+//! resulting observations.
+//!
+//! Run with: `cargo run --release --example prefetcher_discovery`
+
+use counterpoint::haswell::mem::PageSize;
+use counterpoint::models::family::{build_trigger_model, trigger_specs_table5};
+use counterpoint::models::harness::{observe_trace, HarnessConfig};
+use counterpoint::workloads::{LinearAccess, Workload};
+use counterpoint::FeasibilityChecker;
+
+fn main() {
+    let config = HarnessConfig::quick();
+
+    // Linear microbenchmark instances: ascending and descending streams, loads and
+    // a store-heavy variant, run for several passes so the prefetcher reaches
+    // steady state.
+    let mut observations = Vec::new();
+    for (label, store_ratio) in [("loads", 0.0f64), ("stores", 1.0)] {
+        let workload = LinearAccess {
+            footprint: 8 << 20,
+            stride: 64,
+            store_ratio,
+        };
+        let accesses = workload.generate(4_000_000);
+        let obs = observe_trace(
+            &format!("linear-{label}"),
+            &accesses,
+            PageSize::Size4K,
+            &config,
+        );
+        observations.push(obs);
+    }
+
+    println!("trigger-condition models vs linear microbenchmark observations\n");
+    println!("{:<5} {:>5} {:>5} {:>6} {:>9} {:>9}   {}", "model", "spec", "load", "store", "dtlb-miss", "stlb-miss", "#infeasible");
+    let mut feasible_models = Vec::new();
+    for (name, spec) in trigger_specs_table5() {
+        let cone = build_trigger_model(&name, &spec);
+        let checker = FeasibilityChecker::new(&cone);
+        let infeasible = checker.count_infeasible(&observations);
+        println!(
+            "{:<5} {:>5} {:>5} {:>6} {:>9} {:>9}   {}",
+            name,
+            tick(spec.speculative),
+            tick(spec.load),
+            tick(spec.store),
+            tick(spec.dtlb_miss),
+            tick(spec.stlb_miss),
+            infeasible
+        );
+        if infeasible == 0 {
+            feasible_models.push(name);
+        }
+    }
+
+    println!(
+        "\nfeasible models: {}",
+        feasible_models.join(", ")
+    );
+    println!(
+        "\nInterpretation (mirroring the paper): models that require a demand DTLB or STLB \
+         miss to trigger prefetching cannot explain the steady-state linear scan, where \
+         demand accesses hit the TLB precisely because the prefetcher already resolved the \
+         translation — so prefetches must be triggered before the DTLB lookup, in the \
+         load/store queue."
+    );
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}
