@@ -28,9 +28,13 @@ fn bench_feasibility(c: &mut Criterion) {
         let dim = cumulative_group_space(groups).len();
         let checker = FeasibilityChecker::new(&cone);
         let obs = synthetic_observation(dim);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{groups}groups_{dim}counters")), &groups, |b, _| {
-            b.iter(|| checker.is_feasible(&obs));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{groups}groups_{dim}counters")),
+            &groups,
+            |b, _| {
+                b.iter(|| checker.is_feasible(&obs));
+            },
+        );
     }
     group.finish();
 

@@ -4,10 +4,10 @@
 
 use counterpoint::models::family::{build_feature_model, feature_sets_table3};
 use counterpoint::workloads::{LinearAccess, RandomAccess, Workload};
+use counterpoint_haswell::full_counter_space;
 use counterpoint_haswell::mem::PageSize;
 use counterpoint_haswell::mmu::{HaswellMmu, MmuConfig};
 use counterpoint_haswell::pmu::{MultiplexingPmu, PmuConfig};
-use counterpoint_haswell::full_counter_space;
 use counterpoint_lp::{LinearProgram, Relation};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -59,7 +59,9 @@ fn bench_mmu_simulation(c: &mut Criterion) {
 
 fn bench_pmu_sampling(c: &mut Criterion) {
     let space = full_counter_space();
-    let truth: Vec<Vec<f64>> = (0..100).map(|i| vec![1000.0 + i as f64; space.len()]).collect();
+    let truth: Vec<Vec<f64>> = (0..100)
+        .map(|i| vec![1000.0 + i as f64; space.len()])
+        .collect();
     let pmu = MultiplexingPmu::new(PmuConfig::default());
     c.bench_function("pmu_multiplexing_100_intervals_26_events", |b| {
         b.iter(|| pmu.sample_intervals(&truth, space.len()));

@@ -27,11 +27,11 @@ use counterpoint::{
 };
 use counterpoint_bench::{experiment_observations, projected_model, table3_model};
 use counterpoint_haswell::eventdb::{event_database, growth_factor};
+use counterpoint_haswell::full_counter_space;
 use counterpoint_haswell::hec::cumulative_group_space;
 use counterpoint_haswell::mem::PageSize;
 use counterpoint_haswell::mmu::{HaswellMmu, MmuConfig};
 use counterpoint_haswell::pmu::{MultiplexingPmu, PmuConfig};
-use counterpoint_haswell::full_counter_space;
 use counterpoint_mudd::CounterSignature;
 use counterpoint_stats::{pearson, ConfidenceRegion};
 use std::time::Instant;
@@ -39,7 +39,11 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
     let accesses = if quick { 20_000 } else { 60_000 };
 
     let run = |name: &str, f: &dyn Fn(usize)| {
@@ -66,7 +70,10 @@ fn main() {
 
 /// Figure 1a: growth of HEC counts across microarchitecture generations.
 fn fig1a() {
-    println!("{:<8} {:>6} {:>14} {:>8} {:>20}", "uarch", "year", "named events", "cores", "addressable events");
+    println!(
+        "{:<8} {:>6} {:>14} {:>8} {:>20}",
+        "uarch", "year", "named events", "cores", "addressable events"
+    );
     for m in event_database() {
         println!(
             "{:<8} {:>6} {:>14} {:>8} {:>20}",
@@ -77,7 +84,10 @@ fn fig1a() {
             m.addressable_events()
         );
     }
-    println!("growth factor (addressable, oldest -> newest): {:.1}x (paper: >10x)", growth_factor());
+    println!(
+        "growth factor (addressable, oldest -> newest): {:.1}x (paper: >10x)",
+        growth_factor()
+    );
 }
 
 /// Figure 1b: number of model constraints vs. cumulative counter groups.
@@ -88,7 +98,11 @@ fn fig1b() {
         let count = |name: &str| deduce_constraints(&projected_model(name, groups)).len();
         // The Refs group makes the exact hull expensive for the richest model; the
         // paper reports the same exponential blow-up (Figure 9b).
-        let m4 = if groups <= 3 { count("m4").to_string() } else { "(see fig9)".to_string() };
+        let m4 = if groups <= 3 {
+            count("m4").to_string()
+        } else {
+            "(see fig9)".to_string()
+        };
         println!("{:<22} {:>12} {:>12}", labels[groups - 1], count("m0"), m4);
     }
 }
@@ -180,7 +194,8 @@ fn fig3() {
     );
 
     // Figure 3c: substituting pde$_miss for walk_done also hides it.
-    let space_sub = CounterSpace::new(&["load.causes_walk", "load.pde$_miss", "load.ret_stlb_miss"]);
+    let space_sub =
+        CounterSpace::new(&["load.causes_walk", "load.pde$_miss", "load.ret_stlb_miss"]);
     let sub_sigs = vec![
         CounterSignature::from_counts(vec![1, 0, 0]),
         CounterSignature::from_counts(vec![1, 1, 0]),
@@ -268,7 +283,11 @@ fn table1() {
     // included.
     let m1 = projected_model("m1", 3);
     let constraints = deduce_constraints(&m1);
-    println!("model m1 projected onto Ret+L2TLB+Walk ({} counters): {} constraints", m1.dimension(), constraints.len());
+    println!(
+        "model m1 projected onto Ret+L2TLB+Walk ({} counters): {} constraints",
+        m1.dimension(),
+        constraints.len()
+    );
     let mut shown = 0;
     for c in constraints.all_named() {
         if c.involved_counters() >= 2 && shown < 12 {
@@ -313,7 +332,13 @@ fn table3(accesses: usize) {
         .collect();
     let evaluations = evaluate_models(&models, &observations);
     for (model, eval) in models.iter().zip(evaluations.iter()) {
-        let tick = |f: Feature| if model.features.contains(f.name()) { "yes" } else { "-" };
+        let tick = |f: Feature| {
+            if model.features.contains(f.name()) {
+                "yes"
+            } else {
+                "-"
+            }
+        };
         println!(
             "{:<5} {:>8} {:>9} {:>8} {:>11} {:>11} {:>12}{}",
             model.name,
@@ -341,7 +366,12 @@ fn table5(accesses: usize) {
             store_ratio,
         };
         let trace = workload.generate((accesses * 60).max(3_000_000));
-        observations.push(observe_trace(&format!("linear-{label}"), &trace, PageSize::Size4K, &config));
+        observations.push(observe_trace(
+            &format!("linear-{label}"),
+            &trace,
+            PageSize::Size4K,
+            &config,
+        ));
     }
     println!(
         "{:<5} {:>5} {:>5} {:>6} {:>10} {:>10} {:>12}",
@@ -360,7 +390,11 @@ fn table5(accesses: usize) {
             tick(spec.dtlb_miss),
             tick(spec.stlb_miss),
             infeasible,
-            if infeasible == 0 { "   <- feasible" } else { "" }
+            if infeasible == 0 {
+                "   <- feasible"
+            } else {
+                ""
+            }
         );
     }
 }
@@ -369,14 +403,20 @@ fn table5(accesses: usize) {
 fn table7(accesses: usize) {
     let observations = experiment_observations(accesses);
     println!("{} observations collected\n", observations.len());
-    println!("{:<5} {:<55} {:>12}", "model", "abort points", "#infeasible");
+    println!(
+        "{:<5} {:<55} {:>12}",
+        "model", "abort points", "#infeasible"
+    );
     for (name, points) in abort_specs_table7() {
         let cone = build_abort_model(&name, &points);
         let infeasible = FeasibilityChecker::new(&cone).count_infeasible(&observations);
         let labels: Vec<&str> = points.iter().map(|p| p.label()).collect();
         println!("{:<5} {:<55} {:>12}", name, labels.join(", "), infeasible);
     }
-    let t0 = build_trigger_model("t0 (walk bypassing)", &counterpoint::models::TriggerSpec::t0());
+    let t0 = build_trigger_model(
+        "t0 (walk bypassing)",
+        &counterpoint::models::TriggerSpec::t0(),
+    );
     println!(
         "{:<5} {:<55} {:>12}",
         "t0",
@@ -396,8 +436,12 @@ fn stats_correlations(accesses: usize) {
     // values co-vary, which is what the correlated confidence regions exploit.
     let phased: Vec<(String, Vec<counterpoint_haswell::mem::MemoryAccess>)> = (0..4u64)
         .map(|i| {
-            let mut trace = LinearAccess { footprint: 8 << 20, stride: 64, store_ratio: 0.0 }
-                .generate(accesses * 4);
+            let mut trace = LinearAccess {
+                footprint: 8 << 20,
+                stride: 64,
+                store_ratio: 0.0,
+            }
+            .generate(accesses * 4);
             trace.extend(
                 counterpoint::workloads::RandomAccess {
                     footprint: (1 + i) << 30,
@@ -424,7 +468,9 @@ fn stats_correlations(accesses: usize) {
         .map(|entry| {
             (
                 entry.label.clone(),
-                entry.workload.generate(accesses * entry.access_scale.max(1)),
+                entry
+                    .workload
+                    .generate(accesses * entry.access_scale.max(1)),
             )
         })
         .collect();
@@ -450,8 +496,10 @@ fn stats_correlations(accesses: usize) {
             }
         }
 
-        let corr = Observation::from_samples_with_model(&label, &steady, 0.99, NoiseModel::Correlated);
-        let ind = Observation::from_samples_with_model(&label, &steady, 0.99, NoiseModel::Independent);
+        let corr =
+            Observation::from_samples_with_model(&label, &steady, 0.99, NoiseModel::Correlated);
+        let ind =
+            Observation::from_samples_with_model(&label, &steady, 0.99, NoiseModel::Independent);
         for (_, cone) in &models {
             let checker = FeasibilityChecker::new(cone);
             if !checker.is_feasible(&corr) {
@@ -488,11 +536,11 @@ fn fig9(accesses: usize) {
     for groups in 1..=4usize {
         let cone = projected_model("m4", groups);
         let space = cumulative_group_space(groups);
+        let idx: Vec<usize> = full_counter_space().indices_of(space.names());
         let projected: Vec<Observation> = observations
             .iter()
             .take(20)
             .map(|o| {
-                let idx: Vec<usize> = full_counter_space().indices_of(&space.names().to_vec());
                 let mean: Vec<f64> = idx.iter().map(|&i| o.mean()[i]).collect();
                 Observation::exact(o.name(), &mean)
             })
@@ -503,7 +551,12 @@ fn fig9(accesses: usize) {
             let _ = checker.is_feasible(o);
         }
         let per_obs = start.elapsed().as_secs_f64() * 1000.0 / projected.len() as f64;
-        println!("  {:>2} group(s), {:>2} counters: {:>8.3} ms / observation", groups, space.len(), per_obs);
+        println!(
+            "  {:>2} group(s), {:>2} counters: {:>8.3} ms / observation",
+            groups,
+            space.len(),
+            per_obs
+        );
     }
 
     println!("(b) constraint-deduction time vs counter groups (model m0):");
@@ -529,7 +582,11 @@ fn fig10(accesses: usize) {
         &feature_names,
     );
     let graph = search.run(&FeatureSet::new(), &observations);
-    println!("explored {} models, {} edges", graph.steps.len(), graph.edges.len());
+    println!(
+        "explored {} models, {} edges",
+        graph.steps.len(),
+        graph.edges.len()
+    );
     for (i, step) in graph.steps.iter().enumerate() {
         println!(
             "  [{i:>2}] ({:?}) {{{}}}: {} infeasible{}",
@@ -543,6 +600,12 @@ fn fig10(accesses: usize) {
     for set in &graph.minimal_feasible {
         println!("  {{{}}}", set.join(", "));
     }
-    println!("essential features: {{{}}}", graph.essential_features().join(", "));
-    println!("JSON search graph:\n{}", serde_json::to_string_pretty(&graph).unwrap());
+    println!(
+        "essential features: {{{}}}",
+        graph.essential_features().join(", ")
+    );
+    println!(
+        "JSON search graph:\n{}",
+        serde_json::to_string_pretty(&graph).unwrap()
+    );
 }

@@ -30,7 +30,7 @@ pub fn table3_model(name: &str) -> ModelCone {
 pub fn projected_model(name: &str, groups: usize) -> ModelCone {
     let full = table3_model(name);
     let space = cumulative_group_space(groups);
-    full.project(&space.names().to_vec())
+    full.project(space.names())
 }
 
 /// The experiment-scale harness configuration: noisy PMU, all three page sizes.

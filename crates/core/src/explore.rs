@@ -65,7 +65,10 @@ pub struct ModelEvaluation {
 }
 
 /// Evaluates every model against every observation.
-pub fn evaluate_models(models: &[ExplorationModel], observations: &[Observation]) -> Vec<ModelEvaluation> {
+pub fn evaluate_models(
+    models: &[ExplorationModel],
+    observations: &[Observation],
+) -> Vec<ModelEvaluation> {
     models
         .iter()
         .map(|model| {
@@ -199,7 +202,10 @@ where
     pub fn new<S: AsRef<str>>(generator: G, all_features: &[S]) -> GuidedSearch<G> {
         GuidedSearch {
             generator,
-            all_features: all_features.iter().map(|f| f.as_ref().to_string()).collect(),
+            all_features: all_features
+                .iter()
+                .map(|f| f.as_ref().to_string())
+                .collect(),
             max_models: 256,
         }
     }
@@ -228,9 +234,9 @@ where
         let mut evaluated: BTreeSet<Vec<String>> = BTreeSet::new();
 
         let record = |features: &FeatureSet,
-                          infeasible: usize,
-                          phase: SearchPhase,
-                          steps: &mut Vec<SearchStep>| {
+                      infeasible: usize,
+                      phase: SearchPhase,
+                      steps: &mut Vec<SearchStep>| {
             steps.push(SearchStep {
                 features: features.iter().cloned().collect(),
                 infeasible_count: infeasible,
@@ -337,7 +343,15 @@ where
             });
             if count == 0 {
                 any_feasible_child = true;
-                self.eliminate(&candidate, new_idx, observations, steps, edges, evaluated, minimal);
+                self.eliminate(
+                    &candidate,
+                    new_idx,
+                    observations,
+                    steps,
+                    edges,
+                    evaluated,
+                    minimal,
+                );
             }
         }
         if !any_feasible_child {
@@ -381,13 +395,24 @@ mod tests {
     #[test]
     fn evaluate_models_counts_infeasible_observations() {
         let models = vec![
-            ExplorationModel::new("base", feature_set::<&str>(&[]), toy_cone(&feature_set::<&str>(&[]))),
-            ExplorationModel::new("with-fy", feature_set(&["Fy"]), toy_cone(&feature_set(&["Fy"]))),
+            ExplorationModel::new(
+                "base",
+                feature_set::<&str>(&[]),
+                toy_cone(&feature_set::<&str>(&[])),
+            ),
+            ExplorationModel::new(
+                "with-fy",
+                feature_set(&["Fy"]),
+                toy_cone(&feature_set(&["Fy"])),
+            ),
         ];
         let evals = evaluate_models(&models, &observations());
         assert_eq!(evals[0].infeasible_count, 1);
         assert!(!evals[0].feasible);
-        assert_eq!(evals[0].infeasible_observations, vec!["balanced".to_string()]);
+        assert_eq!(
+            evals[0].infeasible_observations,
+            vec!["balanced".to_string()]
+        );
         assert_eq!(evals[1].infeasible_count, 0);
         assert!(evals[1].feasible);
         assert_eq!(evals[1].total_observations, 2);
@@ -402,7 +427,11 @@ mod tests {
                 feature_set(&["Fy", "Fboth"]),
                 toy_cone(&feature_set(&["Fy", "Fboth"])),
             ),
-            ExplorationModel::new("c", feature_set::<&str>(&[]), toy_cone(&feature_set::<&str>(&[]))),
+            ExplorationModel::new(
+                "c",
+                feature_set::<&str>(&[]),
+                toy_cone(&feature_set::<&str>(&[])),
+            ),
         ];
         let evals = evaluate_models(&models, &observations());
         let essential = essential_features(&evals).unwrap();
@@ -435,7 +464,10 @@ mod tests {
             assert_eq!(set.len(), 1);
         }
         // Edges connect consecutive discovery steps.
-        assert!(graph.edges.iter().any(|e| e.phase == SearchPhase::Discovery));
+        assert!(graph
+            .edges
+            .iter()
+            .any(|e| e.phase == SearchPhase::Discovery));
     }
 
     #[test]
@@ -443,7 +475,10 @@ mod tests {
         let search = GuidedSearch::new(toy_cone, &["Fy", "Fboth"]);
         let graph = search.run(&feature_set(&["Fy", "Fboth"]), &observations());
         assert!(graph.steps[0].feasible);
-        assert!(graph.edges.iter().all(|e| e.phase == SearchPhase::Elimination));
+        assert!(graph
+            .edges
+            .iter()
+            .all(|e| e.phase == SearchPhase::Elimination));
         // {} is infeasible, so minimal sets are {Fy} and/or {Fboth}.
         assert!(!graph.minimal_feasible.is_empty());
         for set in &graph.minimal_feasible {

@@ -85,11 +85,7 @@ impl<'a> FeasibilityChecker<'a> {
 
         for (axis, width) in region.axes().iter().zip(region.half_widths().iter()) {
             // Coefficient of flow p: axis · generator_p.
-            let coeffs: Vec<f64> = self
-                .generators
-                .iter()
-                .map(|g| dot(axis, g))
-                .collect();
+            let coeffs: Vec<f64> = self.generators.iter().map(|g| dot(axis, g)).collect();
             // Work with rescaled flows f' = f / scale so both the coefficients and
             // the right-hand sides stay O(1) regardless of the raw counter
             // magnitudes.
@@ -110,7 +106,11 @@ impl<'a> FeasibilityChecker<'a> {
     /// A constraint `a·v ≥ 0` is violated when even the most favourable point of
     /// the confidence region's bounding box has `a·v < 0`; an equality `a·v = 0` is
     /// violated when the box's projection onto `a` excludes zero.
-    pub fn check(&self, observation: &Observation, constraints: Option<&ConstraintSet>) -> FeasibilityReport {
+    pub fn check(
+        &self,
+        observation: &Observation,
+        constraints: Option<&ConstraintSet>,
+    ) -> FeasibilityReport {
         let feasible = self.is_feasible(observation);
         let mut violated = Vec::new();
         if !feasible {
@@ -267,7 +267,9 @@ mod tests {
         assert_eq!(report.model, "fig6a");
         assert_eq!(report.observation, "bad");
         assert_eq!(report.violated.len(), 1);
-        assert!(report.violated[0].text().contains("load.pde$_miss <= load.causes_walk"));
+        assert!(report.violated[0]
+            .text()
+            .contains("load.pde$_miss <= load.causes_walk"));
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub mod observation;
 pub use cone::ModelCone;
 pub use constraints::{deduce_constraints, ConstraintSet, NamedConstraint};
 pub use explore::{
-    essential_features, evaluate_models, ExplorationModel, FeatureSet, GuidedSearch, ModelEvaluation,
-    SearchEdge, SearchGraph, SearchStep,
+    essential_features, evaluate_models, ExplorationModel, FeatureSet, GuidedSearch,
+    ModelEvaluation, SearchEdge, SearchGraph, SearchStep,
 };
 pub use feasibility::{FeasibilityChecker, FeasibilityReport};
 pub use observation::Observation;

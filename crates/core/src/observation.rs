@@ -107,7 +107,8 @@ mod tests {
     #[test]
     fn from_samples_with_explicit_model() {
         let samples: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
-        let obs = Observation::from_samples_with_model("ts", &samples, 0.99, NoiseModel::Independent);
+        let obs =
+            Observation::from_samples_with_model("ts", &samples, 0.99, NoiseModel::Independent);
         assert_eq!(obs.region().noise_model(), NoiseModel::Independent);
     }
 

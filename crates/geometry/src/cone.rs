@@ -102,7 +102,10 @@ impl GeneratorCone {
                 out.push(n);
             }
         }
-        GeneratorCone { dim, generators: out }
+        GeneratorCone {
+            dim,
+            generators: out,
+        }
     }
 
     /// The cone containing only the origin, in the given ambient dimension.
@@ -177,11 +180,7 @@ impl GeneratorCone {
 
         // Reduced generators: y = (B^T B)^{-1} B^T g.
         let reduce = btb_inv.mul_mat(&b.transpose());
-        let reduced: Vec<RatVector> = self
-            .generators
-            .iter()
-            .map(|g| reduce.mul_vec(g))
-            .collect();
+        let reduced: Vec<RatVector> = self.generators.iter().map(|g| reduce.mul_vec(g)).collect();
 
         // Step 4: extreme rays of the polar cone { y : G_red · y <= 0 }.
         let reduced_matrix = RatMatrix::from_rows(&reduced);
@@ -291,7 +290,11 @@ mod tests {
         // Expect exactly: ret >= 0, ret <= walk_done, walk_done <= causes_walk.
         assert_eq!(facets.inequalities.len(), 3);
         let names = ["causes_walk", "walk_done", "ret_stlb_miss"];
-        let rendered: Vec<String> = facets.inequalities.iter().map(|c| c.render(&names)).collect();
+        let rendered: Vec<String> = facets
+            .inequalities
+            .iter()
+            .map(|c| c.render(&names))
+            .collect();
         assert!(rendered.contains(&"0 <= ret_stlb_miss".to_string()));
         assert!(rendered.contains(&"ret_stlb_miss <= walk_done".to_string()));
         assert!(rendered.contains(&"walk_done <= causes_walk".to_string()));
@@ -304,10 +307,7 @@ mod tests {
     fn rank_deficient_cone_produces_equalities() {
         // Generators all satisfy total = a + b, so the facets must include that
         // equality (cf. stlb_hit = stlb_hit_4k + stlb_hit_2m in the paper).
-        let cone = GeneratorCone::new(vec![
-            vec_i64(&[1, 0, 1]),
-            vec_i64(&[0, 1, 1]),
-        ]);
+        let cone = GeneratorCone::new(vec![vec_i64(&[1, 0, 1]), vec_i64(&[0, 1, 1])]);
         let facets = cone.facets();
         assert_eq!(facets.equalities.len(), 1);
         assert_eq!(facets.inequalities.len(), 2);
@@ -328,7 +328,10 @@ mod tests {
         let cone = GeneratorCone::new(gens.clone());
         let facets = cone.facets();
         for g in &gens {
-            assert!(facets.contains(g), "generator {g:?} must satisfy its own facets");
+            assert!(
+                facets.contains(g),
+                "generator {g:?} must satisfy its own facets"
+            );
         }
         let combo = cone.flow_combination(&[
             Rational::from(2),

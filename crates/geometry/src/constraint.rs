@@ -123,7 +123,11 @@ impl ConeConstraint {
     ///
     /// Panics if `names.len()` differs from the constraint dimension.
     pub fn render(&self, names: &[&str]) -> String {
-        assert_eq!(names.len(), self.coeffs.len(), "name list dimension mismatch");
+        assert_eq!(
+            names.len(),
+            self.coeffs.len(),
+            "name list dimension mismatch"
+        );
         let mut lhs: Vec<String> = Vec::new();
         let mut rhs: Vec<String> = Vec::new();
         for (i, c) in self.coeffs.iter().enumerate() {
@@ -142,8 +146,16 @@ impl ConeConstraint {
                 rhs.push(term);
             }
         }
-        let lhs = if lhs.is_empty() { "0".to_string() } else { lhs.join(" + ") };
-        let rhs = if rhs.is_empty() { "0".to_string() } else { rhs.join(" + ") };
+        let lhs = if lhs.is_empty() {
+            "0".to_string()
+        } else {
+            lhs.join(" + ")
+        };
+        let rhs = if rhs.is_empty() {
+            "0".to_string()
+        } else {
+            rhs.join(" + ")
+        };
         match self.sense {
             ConstraintSense::Equality => format!("{lhs} = {rhs}"),
             ConstraintSense::GreaterEqualZero => format!("{lhs} <= {rhs}"),
@@ -211,7 +223,10 @@ mod tests {
     fn render_matches_paper_style() {
         // ret_stlb_miss <= walk_done   ==   [-1, 1] over (ret_stlb_miss, walk_done)
         let c = ConeConstraint::inequality(RatVector::from_i64(&[-1, 1]));
-        assert_eq!(c.render(&["load.ret_stlb_miss", "load.walk_done"]), "load.ret_stlb_miss <= load.walk_done");
+        assert_eq!(
+            c.render(&["load.ret_stlb_miss", "load.walk_done"]),
+            "load.ret_stlb_miss <= load.walk_done"
+        );
 
         let eq = ConeConstraint::equality(RatVector::from_i64(&[1, -1, -1]));
         assert_eq!(
@@ -220,7 +235,10 @@ mod tests {
         );
 
         let scaled = ConeConstraint::inequality(RatVector::from_i64(&[-1, 3]));
-        assert_eq!(scaled.render(&["walk_ref", "pde_miss"]), "walk_ref <= 3*pde_miss");
+        assert_eq!(
+            scaled.render(&["walk_ref", "pde_miss"]),
+            "walk_ref <= 3*pde_miss"
+        );
     }
 
     #[test]

@@ -64,12 +64,7 @@ pub fn extreme_rays(a: &RatMatrix) -> Vec<RatVector> {
 
     // 1. Find k linearly independent rows to seed a simplicial cone.
     let basis_rows = independent_rows(a, k);
-    let a_b = RatMatrix::from_rows(
-        &basis_rows
-            .iter()
-            .map(|&i| a.row(i))
-            .collect::<Vec<_>>(),
-    );
+    let a_b = RatMatrix::from_rows(&basis_rows.iter().map(|&i| a.row(i)).collect::<Vec<_>>());
     let a_b_inv = a_b
         .inverse()
         .expect("independent rows must form an invertible matrix");
@@ -135,8 +130,13 @@ fn add_halfspace(rays: &mut Vec<DdRay>, normal: &RatVector, index: usize) {
             // new = (normal·r_p)·r_n - (normal·r_n)·r_p  (both coefficients > 0).
             let coeff_n = values[p];
             let coeff_p = -values[n];
-            let dir = (&rays[n].dir.scale(coeff_n) + &rays[p].dir.scale(coeff_p)).normalize_primitive();
-            let mut tight: BTreeSet<usize> = rays[p].tight.intersection(&rays[n].tight).copied().collect();
+            let dir =
+                (&rays[n].dir.scale(coeff_n) + &rays[p].dir.scale(coeff_p)).normalize_primitive();
+            let mut tight: BTreeSet<usize> = rays[p]
+                .tight
+                .intersection(&rays[n].tight)
+                .copied()
+                .collect();
             tight.insert(index);
             new_rays.push(DdRay { dir, tight });
         }
@@ -162,7 +162,11 @@ fn add_halfspace(rays: &mut Vec<DdRay>, normal: &RatVector, index: usize) {
 /// Combinatorial adjacency test: rays `p` and `n` are adjacent iff no *other* ray's
 /// tight set contains the intersection of their tight sets.
 fn adjacent(rays: &[DdRay], p: usize, n: usize) -> bool {
-    let common: BTreeSet<usize> = rays[p].tight.intersection(&rays[n].tight).copied().collect();
+    let common: BTreeSet<usize> = rays[p]
+        .tight
+        .intersection(&rays[n].tight)
+        .copied()
+        .collect();
     for (idx, r) in rays.iter().enumerate() {
         if idx == p || idx == n {
             continue;
@@ -260,7 +264,10 @@ mod tests {
     fn redundant_halfspace_does_not_change_result() {
         let a = RatMatrix::from_i64_rows(&[&[-1, 0], &[0, -1]]);
         let with_redundant = RatMatrix::from_i64_rows(&[&[-1, 0], &[0, -1], &[-1, -1], &[-2, -1]]);
-        assert_eq!(sorted(extreme_rays(&a)), sorted(extreme_rays(&with_redundant)));
+        assert_eq!(
+            sorted(extreme_rays(&a)),
+            sorted(extreme_rays(&with_redundant))
+        );
     }
 
     #[test]
@@ -299,12 +306,7 @@ mod tests {
 
     #[test]
     fn rays_satisfy_all_halfspaces() {
-        let a = RatMatrix::from_i64_rows(&[
-            &[-3, 1, 0],
-            &[1, -4, 0],
-            &[0, 0, -1],
-            &[-1, -1, 2],
-        ]);
+        let a = RatMatrix::from_i64_rows(&[&[-3, 1, 0], &[1, -4, 0], &[0, 0, -1], &[-1, -1, 2]]);
         let rays = extreme_rays(&a);
         assert!(!rays.is_empty());
         for r in &rays {

@@ -33,7 +33,10 @@ impl SetAssocCache {
     ///
     /// Panics if `sets` or `ways` is zero.
     pub fn new(sets: usize, ways: usize) -> SetAssocCache {
-        assert!(sets > 0 && ways > 0, "cache must have at least one set and one way");
+        assert!(
+            sets > 0 && ways > 0,
+            "cache must have at least one set and one way"
+        );
         SetAssocCache {
             sets,
             ways,

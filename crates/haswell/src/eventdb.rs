@@ -97,8 +97,14 @@ pub fn event_database() -> Vec<MicroarchEvents> {
 /// the ">10× between 2009 and 2019" headline of Figure 1a.
 pub fn growth_factor() -> f64 {
     let db = event_database();
-    let first = db.first().expect("database is non-empty").addressable_events() as f64;
-    let last = db.last().expect("database is non-empty").addressable_events() as f64;
+    let first = db
+        .first()
+        .expect("database is non-empty")
+        .addressable_events() as f64;
+    let last = db
+        .last()
+        .expect("database is non-empty")
+        .addressable_events() as f64;
     last / first
 }
 
@@ -139,6 +145,10 @@ mod tests {
 
     #[test]
     fn growth_exceeds_an_order_of_magnitude() {
-        assert!(growth_factor() > 10.0, "Figure 1a claims >10× growth, got {}", growth_factor());
+        assert!(
+            growth_factor() > 10.0,
+            "Figure 1a claims >10× growth, got {}",
+            growth_factor()
+        );
     }
 }

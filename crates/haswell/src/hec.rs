@@ -49,7 +49,12 @@ pub enum HecGroup {
 
 impl HecGroup {
     /// All groups in the cumulative order used on the x-axes of Figures 1b and 9.
-    pub const ALL: [HecGroup; 4] = [HecGroup::Ret, HecGroup::Stlb, HecGroup::Walk, HecGroup::Refs];
+    pub const ALL: [HecGroup; 4] = [
+        HecGroup::Ret,
+        HecGroup::Stlb,
+        HecGroup::Walk,
+        HecGroup::Refs,
+    ];
 
     /// Short label used in figures (`Ret`, `L2TLB`, `Walk`, `Refs`).
     pub fn label(&self) -> &'static str {
@@ -126,7 +131,10 @@ pub fn full_counter_space() -> CounterSpace {
 /// Panics if `n` is zero or greater than the number of groups.
 pub fn cumulative_group_space(n: usize) -> CounterSpace {
     assert!(n >= 1 && n <= HecGroup::ALL.len(), "need 1..=4 groups");
-    let names: Vec<String> = HecGroup::ALL[..n].iter().flat_map(|g| g.counters()).collect();
+    let names: Vec<String> = HecGroup::ALL[..n]
+        .iter()
+        .flat_map(|g| g.counters())
+        .collect();
     CounterSpace::new(&names)
 }
 
@@ -298,7 +306,9 @@ mod tests {
     fn group_labels_and_prefixes() {
         assert_eq!(HecGroup::Ret.label(), "Ret");
         assert_eq!(HecGroup::Stlb.label(), "L2TLB");
-        assert!(HecGroup::Refs.perf_event_prefix().contains("page_walker_loads"));
+        assert!(HecGroup::Refs
+            .perf_event_prefix()
+            .contains("page_walker_loads"));
     }
 
     #[test]
@@ -308,7 +318,10 @@ mod tests {
         assert_eq!(names::walk_ref(1), "walk_ref.l1");
         assert_eq!(names::walk_ref(4), "walk_ref.mem");
         assert_eq!(names::ret(AccessType::Load), "load.ret");
-        assert_eq!(names::ret_stlb_miss(AccessType::Store), "store.ret_stlb_miss");
+        assert_eq!(
+            names::ret_stlb_miss(AccessType::Store),
+            "store.ret_stlb_miss"
+        );
         assert_eq!(names::stlb_hit_2m(AccessType::Load), "load.stlb_hit_2m");
         assert_eq!(names::walk_done_1g(AccessType::Load), "load.walk_done_1g");
     }

@@ -448,7 +448,9 @@ mod tests {
     use super::*;
 
     fn linear_accesses(bytes: u64, stride: u64) -> Vec<MemoryAccess> {
-        (0..bytes / stride).map(|i| MemoryAccess::load(i * stride)).collect()
+        (0..bytes / stride)
+            .map(|i| MemoryAccess::load(i * stride))
+            .collect()
     }
 
     #[test]
@@ -462,7 +464,9 @@ mod tests {
     #[test]
     fn stores_use_store_counters() {
         let mut mmu = HaswellMmu::new(MmuConfig::haswell());
-        let accesses: Vec<MemoryAccess> = (0..1000u64).map(|i| MemoryAccess::store(i * 4096)).collect();
+        let accesses: Vec<MemoryAccess> = (0..1000u64)
+            .map(|i| MemoryAccess::store(i * 4096))
+            .collect();
         mmu.run(accesses, PageSize::Size4K);
         assert_eq!(mmu.counts().get("store.ret"), 1000);
         assert_eq!(mmu.counts().get("load.ret"), 0);
@@ -485,10 +489,13 @@ mod tests {
     fn walks_complete_for_every_page_size() {
         for size in PageSize::ALL {
             let mut mmu = HaswellMmu::new(MmuConfig::haswell());
-            let accesses: Vec<MemoryAccess> =
-                (0..64u64).map(|i| MemoryAccess::load(i * size.bytes())).collect();
+            let accesses: Vec<MemoryAccess> = (0..64u64)
+                .map(|i| MemoryAccess::load(i * size.bytes()))
+                .collect();
             mmu.run(accesses, size);
-            let done = mmu.counts().get(&format!("load.walk_done_{}", size.label()));
+            let done = mmu
+                .counts()
+                .get(&format!("load.walk_done_{}", size.label()));
             assert!(done > 0, "no completed walks for {size}");
             assert_eq!(mmu.counts().get("load.walk_done"), done);
         }
@@ -501,7 +508,9 @@ mod tests {
         // large enough to defeat the TLB; prefetcher disabled from triggering by
         // the 256-byte stride which skips lines 51/52 adjacency).
         let mut mmu = HaswellMmu::new(MmuConfig::haswell());
-        let accesses: Vec<MemoryAccess> = (0..200_000u64).map(|i| MemoryAccess::load(i * 256)).collect();
+        let accesses: Vec<MemoryAccess> = (0..200_000u64)
+            .map(|i| MemoryAccess::load(i * 256))
+            .collect();
         mmu.run(accesses, PageSize::Size4K);
         assert!(mmu.merged_walks() > 0);
         assert!(
@@ -516,7 +525,9 @@ mod tests {
         config.walk_merging = false;
         config.tlb_prefetcher = false;
         let mut mmu = HaswellMmu::new(config);
-        let accesses: Vec<MemoryAccess> = (0..100_000u64).map(|i| MemoryAccess::load(i * 256)).collect();
+        let accesses: Vec<MemoryAccess> = (0..100_000u64)
+            .map(|i| MemoryAccess::load(i * 256))
+            .collect();
         mmu.run(accesses, PageSize::Size4K);
         assert_eq!(mmu.merged_walks(), 0);
         assert_eq!(
@@ -559,7 +570,10 @@ mod tests {
         let misses_first = mmu.counts().get("load.ret_stlb_miss");
         mmu.run(pass.clone(), PageSize::Size4K);
         mmu.run(pass, PageSize::Size4K);
-        assert!(mmu.prefetch_walks() > 0, "prefetcher should have issued walks");
+        assert!(
+            mmu.prefetch_walks() > 0,
+            "prefetcher should have issued walks"
+        );
         // In the steady state most pages are covered by prefetch, so walks exceed
         // retired STLB misses accumulated after the first pass.
         let misses_total = mmu.counts().get("load.ret_stlb_miss");
@@ -597,7 +611,9 @@ mod tests {
         let mut mmu = HaswellMmu::new(MmuConfig::haswell());
         // Touch many distinct pages exactly once with a large stride (no prefetch,
         // no merging opportunities).
-        let accesses: Vec<MemoryAccess> = (0..50_000u64).map(|i| MemoryAccess::load(i * 4096)).collect();
+        let accesses: Vec<MemoryAccess> = (0..50_000u64)
+            .map(|i| MemoryAccess::load(i * 4096))
+            .collect();
         mmu.run(accesses, PageSize::Size4K);
         assert!(mmu.replayed_walks() > 0);
         let total_refs: u64 = (1..=4).map(|l| mmu.counts().get(&names::walk_ref(l))).sum();
@@ -614,7 +630,9 @@ mod tests {
         config.walk_replay = false;
         config.tlb_prefetcher = false;
         let mut mmu = HaswellMmu::new(config);
-        let accesses: Vec<MemoryAccess> = (0..20_000u64).map(|i| MemoryAccess::load(i * 4096)).collect();
+        let accesses: Vec<MemoryAccess> = (0..20_000u64)
+            .map(|i| MemoryAccess::load(i * 4096))
+            .collect();
         mmu.run(accesses, PageSize::Size4K);
         let total_refs: u64 = (1..=4).map(|l| mmu.counts().get(&names::walk_ref(l))).sum();
         assert!(total_refs >= mmu.counts().get("load.causes_walk"));
@@ -630,10 +648,13 @@ mod tests {
             let mut mmu = HaswellMmu::new(config);
             // Two 1 GiB pages accessed alternately; the 4-entry 1G L1 TLB holds
             // them, so force misses by touching many distinct 1G pages.
-            let accesses: Vec<MemoryAccess> =
-                (0..2_000u64).map(|i| MemoryAccess::load((i % 64) << 30)).collect();
+            let accesses: Vec<MemoryAccess> = (0..2_000u64)
+                .map(|i| MemoryAccess::load((i % 64) << 30))
+                .collect();
             mmu.run(accesses, PageSize::Size1G);
-            (1..=4).map(|l| mmu.counts().get(&names::walk_ref(l))).sum::<u64>()
+            (1..=4)
+                .map(|l| mmu.counts().get(&names::walk_ref(l)))
+                .sum::<u64>()
         };
         assert!(run_refs(true) < run_refs(false));
     }
@@ -675,13 +696,19 @@ mod tests {
     fn access_outcome_reflects_resolution() {
         let mut mmu = HaswellMmu::new(MmuConfig::haswell());
         let first = mmu.access(&MemoryAccess::load(0x5000), PageSize::Size4K);
-        assert!(matches!(first, AccessOutcome::MissReplayed | AccessOutcome::MissWalked(_)));
+        assert!(matches!(
+            first,
+            AccessOutcome::MissReplayed | AccessOutcome::MissWalked(_)
+        ));
         // Walk latency has not elapsed: a second access to the same page merges.
         let second = mmu.access(&MemoryAccess::load(0x5040), PageSize::Size4K);
         assert_eq!(second, AccessOutcome::MissMerged);
         // After enough unrelated accesses the fill becomes visible and we hit.
         for i in 0..10u64 {
-            mmu.access(&MemoryAccess::load(0x9000_0000 + i * 4096), PageSize::Size4K);
+            mmu.access(
+                &MemoryAccess::load(0x9000_0000 + i * 4096),
+                PageSize::Size4K,
+            );
         }
         let third = mmu.access(&MemoryAccess::load(0x5080), PageSize::Size4K);
         assert_eq!(third, AccessOutcome::L1TlbHit);

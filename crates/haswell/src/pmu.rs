@@ -87,7 +87,11 @@ impl MultiplexingPmu {
     /// # Panics
     ///
     /// Panics if `num_events` is zero or the input rows have inconsistent lengths.
-    pub fn sample_intervals(&self, true_increments: &[Vec<f64>], num_events: usize) -> Vec<Vec<f64>> {
+    pub fn sample_intervals(
+        &self,
+        true_increments: &[Vec<f64>],
+        num_events: usize,
+    ) -> Vec<Vec<f64>> {
         assert!(num_events > 0, "at least one event must be programmed");
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let slices = self.config.slices_per_interval.max(1);
@@ -224,7 +228,8 @@ mod tests {
             let samples = pmu.sample_intervals(&truth, num_events);
             let values: Vec<f64> = samples.iter().map(|r| r[0]).collect();
             let mean = values.iter().sum::<f64>() / values.len() as f64;
-            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+            let var =
+                values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
             var.sqrt()
         };
         let few = spread(4);
@@ -254,7 +259,8 @@ mod tests {
         let space = crate::hec::full_counter_space();
         let pmu = MultiplexingPmu::new(PmuConfig::noiseless());
         let mut mmu = HaswellMmu::new(MmuConfig::haswell());
-        let accesses: Vec<MemoryAccess> = (0..10_000u64).map(|i| MemoryAccess::load(i * 64)).collect();
+        let accesses: Vec<MemoryAccess> =
+            (0..10_000u64).map(|i| MemoryAccess::load(i * 64)).collect();
         let samples = pmu.collect(&mut mmu, &accesses, PageSize::Size4K, &space, 8);
         assert_eq!(samples.len(), 8);
         assert_eq!(samples[0].len(), 26);

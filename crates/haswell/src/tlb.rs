@@ -207,7 +207,10 @@ mod tests {
         tlb.fill(VirtAddr(0), PageSize::Size1G);
         tlb.fill(VirtAddr(1 << 30), PageSize::Size1G);
         assert_eq!(tlb.lookup(VirtAddr(0), PageSize::Size1G), TlbOutcome::Miss);
-        assert_eq!(tlb.lookup(VirtAddr(1 << 30), PageSize::Size1G), TlbOutcome::L1Hit);
+        assert_eq!(
+            tlb.lookup(VirtAddr(1 << 30), PageSize::Size1G),
+            TlbOutcome::L1Hit
+        );
     }
 
     #[test]
@@ -215,7 +218,10 @@ mod tests {
         let mut tlb = TlbHierarchy::haswell();
         // VPN 5 as a 4K page and VPN 5 as a 2M page are different translations.
         tlb.fill(VirtAddr(5 << 12), PageSize::Size4K);
-        assert_eq!(tlb.lookup(VirtAddr(5 << 21), PageSize::Size2M), TlbOutcome::Miss);
+        assert_eq!(
+            tlb.lookup(VirtAddr(5 << 21), PageSize::Size2M),
+            TlbOutcome::Miss
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::DimensionMismatch { expected, found } => {
-                write!(f, "coefficient vector has length {found}, expected {expected}")
+                write!(
+                    f,
+                    "coefficient vector has length {found}, expected {expected}"
+                )
             }
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
         }
@@ -242,14 +245,8 @@ impl Tableau {
             norm.push(c);
         }
 
-        let num_slack = norm
-            .iter()
-            .filter(|c| c.relation != Relation::Eq)
-            .count();
-        let num_artificial = norm
-            .iter()
-            .filter(|c| c.relation != Relation::Le)
-            .count();
+        let num_slack = norm.iter().filter(|c| c.relation != Relation::Eq).count();
+        let num_artificial = norm.iter().filter(|c| c.relation != Relation::Le).count();
         let num_total = n + num_slack + num_artificial;
         let artificial_start = n + num_slack;
 
@@ -297,8 +294,8 @@ impl Tableau {
         // Phase 1: minimise the sum of artificial variables.
         if num_artificial > 0 {
             let mut phase1_cost = vec![0.0; num_total];
-            for j in artificial_start..num_total {
-                phase1_cost[j] = 1.0;
+            for slot in phase1_cost.iter_mut().skip(artificial_start) {
+                *slot = 1.0;
             }
             let value = tableau.optimize(&phase1_cost, true)?;
             if value > lp.epsilon.max(1e-7) {
@@ -329,7 +326,10 @@ impl Tableau {
             }
         }
         let objective = if lp.maximise { -value } else { value };
-        Ok(LpOutcome::Optimal { objective, solution })
+        Ok(LpOutcome::Optimal {
+            objective,
+            solution,
+        })
     }
 
     /// Runs primal simplex minimising `cost`; returns the optimal objective value,
@@ -350,6 +350,7 @@ impl Tableau {
 
             let mut entering: Option<usize> = None;
             let mut best = -self.epsilon;
+            #[allow(clippy::needless_range_loop)]
             for j in 0..self.num_total {
                 // In phase 2, artificial variables may never re-enter the basis.
                 if !phase_one && j >= self.artificial_start {
@@ -461,7 +462,10 @@ mod tests {
         lp.add_constraint(&[3.0, 2.0], Relation::Le, 18.0);
         lp.set_objective_maximize(&[3.0, 5.0]);
         match lp.solve() {
-            LpOutcome::Optimal { objective, solution } => {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
                 assert_close(objective, 36.0);
                 assert_close(solution[0], 2.0);
                 assert_close(solution[1], 6.0);
@@ -478,7 +482,10 @@ mod tests {
         lp.add_constraint(&[1.0, 0.0], Relation::Ge, 1.0);
         lp.set_objective_minimize(&[2.0, 3.0]);
         match lp.solve() {
-            LpOutcome::Optimal { objective, solution } => {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
                 assert_close(objective, 8.0);
                 assert_close(solution[0], 4.0);
                 assert_close(solution[1], 0.0);
@@ -495,7 +502,10 @@ mod tests {
         lp.add_constraint(&[1.0, -1.0], Relation::Eq, 1.0);
         lp.set_objective_minimize(&[1.0, 1.0]);
         match lp.solve() {
-            LpOutcome::Optimal { objective, solution } => {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
                 assert_close(objective, 3.0);
                 assert_close(solution[0], 2.0);
                 assert_close(solution[1], 1.0);
@@ -629,7 +639,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = LpError::DimensionMismatch { expected: 3, found: 2 };
+        let e = LpError::DimensionMismatch {
+            expected: 3,
+            found: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         assert!(LpError::IterationLimit.to_string().contains("iteration"));
     }

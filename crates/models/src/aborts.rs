@@ -88,7 +88,10 @@ pub fn abort_request_mudd(space: &CounterSpace, points: &[AbortPoint]) -> Option
             }
         }
     }
-    Some(b.build().expect("abort μDD construction is structurally valid"))
+    Some(
+        b.build()
+            .expect("abort μDD construction is structurally valid"),
+    )
 }
 
 /// An aborted walk makes 0–3 walker references (at a single level, reduced
@@ -154,24 +157,35 @@ mod tests {
         }));
         // Walk started with some references.
         assert!(paths.iter().any(|p| {
-            p.signature().get(causes) == 1 && refs.iter().map(|&r| p.signature().get(r)).sum::<u32>() == 3
+            p.signature().get(causes) == 1
+                && refs.iter().map(|&r| p.signature().get(r)).sum::<u32>() == 3
         }));
     }
 
     #[test]
     fn early_abort_points_add_low_information_paths() {
         let space = full_counter_space();
-        let mudd = abort_request_mudd(&space, &[AbortPoint::AfterL1Tlb, AbortPoint::AfterL2Tlb, AbortPoint::AfterPsc])
-            .unwrap();
+        let mudd = abort_request_mudd(
+            &space,
+            &[
+                AbortPoint::AfterL1Tlb,
+                AbortPoint::AfterL2Tlb,
+                AbortPoint::AfterPsc,
+            ],
+        )
+        .unwrap();
         let paths = mudd.enumerate_paths().unwrap();
         assert!(paths.iter().any(|p| p.signature().is_zero()));
         let pde = space.index_of("load.pde$_miss").unwrap();
-        assert!(paths.iter().any(|p| p.signature().get(pde) == 1 && p.signature().total() == 1));
+        assert!(paths
+            .iter()
+            .any(|p| p.signature().get(pde) == 1 && p.signature().total() == 1));
     }
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<&str> = AbortPoint::ALL.iter().map(|p| p.label()).collect();
+        let labels: std::collections::HashSet<&str> =
+            AbortPoint::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 }

@@ -116,7 +116,8 @@ pub fn demand_mudd(space: &CounterSpace, opts: &DemandOptions) -> MuDd {
     for size in PageSize::ALL {
         size_branch(&mut b, &mut ctx, psize, size);
     }
-    b.build().expect("demand μDD construction is structurally valid")
+    b.build()
+        .expect("demand μDD construction is structurally valid")
 }
 
 fn size_branch(b: &mut MuDdBuilder, ctx: &mut Ctx<'_>, from: NodeId, size: PageSize) {
@@ -346,7 +347,13 @@ fn walk_done(
 
 /// Terminates a path, attaching an inline prefetch trigger if the model's trigger
 /// condition applies to a μop that got this far.
-fn terminate(b: &mut MuDdBuilder, ctx: &mut Ctx<'_>, from: NodeId, label: Option<&str>, progress: Progress) {
+fn terminate(
+    b: &mut MuDdBuilder,
+    ctx: &mut Ctx<'_>,
+    from: NodeId,
+    label: Option<&str>,
+    progress: Progress,
+) {
     let attach = match ctx.opts.inline_prefetch {
         None => false,
         Some(PrefetchAttachPoint::Always) => true,
@@ -395,9 +402,16 @@ mod tests {
 
     #[test]
     fn full_featured_load_mudd_builds_and_enumerates() {
-        let mudd = demand_mudd(&space(), &DemandOptions::new(AccessType::Load, &all_features()));
+        let mudd = demand_mudd(
+            &space(),
+            &DemandOptions::new(AccessType::Load, &all_features()),
+        );
         let paths = mudd.enumerate_paths().unwrap();
-        assert!(paths.len() >= 40 && paths.len() <= 200, "unexpected path count {}", paths.len());
+        assert!(
+            paths.len() >= 40 && paths.len() <= 200,
+            "unexpected path count {}",
+            paths.len()
+        );
         // Every path increments the retirement counter exactly once.
         let ret_idx = space().index_of("load.ret").unwrap();
         for p in &paths {
@@ -407,7 +421,10 @@ mod tests {
 
     #[test]
     fn featureless_model_ties_misses_to_walks() {
-        let mudd = demand_mudd(&space(), &DemandOptions::new(AccessType::Load, &no_features()));
+        let mudd = demand_mudd(
+            &space(),
+            &DemandOptions::new(AccessType::Load, &no_features()),
+        );
         let s = space();
         let miss = s.index_of("load.ret_stlb_miss").unwrap();
         let walk = s.index_of("load.walk_done").unwrap();
@@ -465,7 +482,9 @@ mod tests {
         );
         let s = space();
         let done = s.index_of("load.walk_done").unwrap();
-        let refs: Vec<usize> = (1..=4).map(|l| s.index_of(&names::walk_ref(l)).unwrap()).collect();
+        let refs: Vec<usize> = (1..=4)
+            .map(|l| s.index_of(&names::walk_ref(l)).unwrap())
+            .collect();
         assert!(with.enumerate_paths().unwrap().iter().any(|p| {
             p.signature().get(done) == 1 && refs.iter().all(|&r| p.signature().get(r) == 0)
         }));
@@ -477,7 +496,9 @@ mod tests {
         let count_min_1g_refs = |features: &FeatureSet| {
             let mudd = demand_mudd(&s, &DemandOptions::new(AccessType::Load, features));
             let done_1g = s.index_of("load.walk_done_1g").unwrap();
-            let refs: Vec<usize> = (1..=4).map(|l| s.index_of(&names::walk_ref(l)).unwrap()).collect();
+            let refs: Vec<usize> = (1..=4)
+                .map(|l| s.index_of(&names::walk_ref(l)).unwrap())
+                .collect();
             mudd.enumerate_paths()
                 .unwrap()
                 .iter()
@@ -486,13 +507,19 @@ mod tests {
                 .min()
                 .unwrap()
         };
-        assert_eq!(count_min_1g_refs(&to_feature_set(&[Feature::Pml4eCache])), 1);
+        assert_eq!(
+            count_min_1g_refs(&to_feature_set(&[Feature::Pml4eCache])),
+            1
+        );
         assert_eq!(count_min_1g_refs(&to_feature_set(&[])), 2);
     }
 
     #[test]
     fn store_mudd_uses_store_counters() {
-        let mudd = demand_mudd(&space(), &DemandOptions::new(AccessType::Store, &all_features()));
+        let mudd = demand_mudd(
+            &space(),
+            &DemandOptions::new(AccessType::Store, &all_features()),
+        );
         let s = space();
         let load_ret = s.index_of("load.ret").unwrap();
         let store_ret = s.index_of("store.ret").unwrap();
@@ -504,7 +531,10 @@ mod tests {
 
     #[test]
     fn stlb_hit_equality_holds_on_every_path() {
-        let mudd = demand_mudd(&space(), &DemandOptions::new(AccessType::Load, &all_features()));
+        let mudd = demand_mudd(
+            &space(),
+            &DemandOptions::new(AccessType::Load, &all_features()),
+        );
         let s = space();
         let hit = s.index_of("load.stlb_hit").unwrap();
         let hit4k = s.index_of("load.stlb_hit_4k").unwrap();
@@ -519,7 +549,10 @@ mod tests {
 
     #[test]
     fn inline_prefetch_multiplies_paths_and_adds_prefetch_signatures() {
-        let base = demand_mudd(&space(), &DemandOptions::new(AccessType::Load, &all_features()));
+        let base = demand_mudd(
+            &space(),
+            &DemandOptions::new(AccessType::Load, &all_features()),
+        );
         let mut opts = DemandOptions::new(AccessType::Load, &all_features());
         opts.inline_prefetch = Some(PrefetchAttachPoint::Always);
         let inlined = demand_mudd(&space(), &opts);

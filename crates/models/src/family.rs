@@ -36,7 +36,10 @@ pub fn feature_sets_table3() -> Vec<(String, FeatureSet)> {
         ("m1", vec![TlbPrefetch]),
         ("m2", vec![TlbPrefetch, EarlyPsc, Merging]),
         ("m3", vec![TlbPrefetch, EarlyPsc, Merging, Pml4eCache]),
-        ("m4", vec![TlbPrefetch, EarlyPsc, Merging, Pml4eCache, WalkBypass]),
+        (
+            "m4",
+            vec![TlbPrefetch, EarlyPsc, Merging, Pml4eCache, WalkBypass],
+        ),
         ("m5", vec![EarlyPsc, Merging, Pml4eCache, WalkBypass]),
         ("m6", vec![TlbPrefetch, Merging, Pml4eCache, WalkBypass]),
         ("m7", vec![TlbPrefetch, EarlyPsc, Pml4eCache, WalkBypass]),
@@ -154,10 +157,17 @@ pub fn build_abort_model(name: &str, points: &[AbortPoint]) -> ModelCone {
 pub fn abort_specs_table7() -> Vec<(String, Vec<AbortPoint>)> {
     vec![
         ("a0".to_string(), vec![AbortPoint::DuringWalk]),
-        ("a1".to_string(), vec![AbortPoint::DuringWalk, AbortPoint::AfterPsc]),
+        (
+            "a1".to_string(),
+            vec![AbortPoint::DuringWalk, AbortPoint::AfterPsc],
+        ),
         (
             "a2".to_string(),
-            vec![AbortPoint::DuringWalk, AbortPoint::AfterPsc, AbortPoint::AfterL2Tlb],
+            vec![
+                AbortPoint::DuringWalk,
+                AbortPoint::AfterPsc,
+                AbortPoint::AfterL2Tlb,
+            ],
         ),
         (
             "a3".to_string(),

@@ -49,7 +49,9 @@ impl Feature {
             Feature::TlbPrefetch => "Prefetches form an additional kind of translation request",
             Feature::EarlyPsc => "Paging structure caches are looked up before starting a walk",
             Feature::Merging => "Page table walks can be merged by an L2TLB MSHR",
-            Feature::Pml4eCache => "There exists a paging structure cache for the root (PML4E) level",
+            Feature::Pml4eCache => {
+                "There exists a paging structure cache for the root (PML4E) level"
+            }
             Feature::WalkBypass => "Walks can complete without making a visible memory access",
         }
     }

@@ -9,10 +9,10 @@
 //! axes — locality, footprint, load/store mix, page size — are the same.
 
 use counterpoint_core::Observation;
+use counterpoint_haswell::full_counter_space;
 use counterpoint_haswell::mem::PageSize;
 use counterpoint_haswell::mmu::{HaswellMmu, MmuConfig};
 use counterpoint_haswell::pmu::{MultiplexingPmu, PmuConfig};
-use counterpoint_haswell::full_counter_space;
 use counterpoint_workloads::standard_suite;
 
 /// Configuration of the data-collection harness.
@@ -109,8 +109,8 @@ pub fn observe_trace(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use counterpoint_core::FeasibilityChecker;
     use crate::family::{build_feature_model, feature_sets_table3};
+    use counterpoint_core::FeasibilityChecker;
     use counterpoint_workloads::{LinearAccess, Workload};
 
     #[test]
@@ -122,7 +122,9 @@ mod tests {
         assert_eq!(observations[0].dimension(), 26);
         assert!(observations[0].name().contains("@4k"));
         // Counter means are non-trivial.
-        assert!(observations.iter().any(|o| o.mean().iter().sum::<f64>() > 1000.0));
+        assert!(observations
+            .iter()
+            .any(|o| o.mean().iter().sum::<f64>() > 1000.0));
     }
 
     #[test]
@@ -133,7 +135,12 @@ mod tests {
             stride: 64,
             store_ratio: 0.0,
         };
-        let obs = observe_trace("linear", &workload.generate(20_000), PageSize::Size4K, &config);
+        let obs = observe_trace(
+            "linear",
+            &workload.generate(20_000),
+            PageSize::Size4K,
+            &config,
+        );
         assert_eq!(obs.name(), "linear");
         assert_eq!(obs.dimension(), 26);
     }

@@ -62,7 +62,8 @@ pub fn standalone_prefetch_mudd(space: &CounterSpace, early_psc: bool, pml4e: bo
     let mut b = MuDdBuilder::new("prefetch", space);
     let start = b.start();
     build_prefetch_request(&mut b, start, None, early_psc, pml4e);
-    b.build().expect("prefetch μDD construction is structurally valid")
+    b.build()
+        .expect("prefetch μDD construction is structurally valid")
 }
 
 /// Attaches a prefetch *trigger* (a decision whether this retiring μop issues a
@@ -133,7 +134,13 @@ fn prefetch_outcome(
     }
 }
 
-fn prefetch_walk(b: &mut MuDdBuilder, from: NodeId, label: Option<&str>, pde_hit: bool, pml4e: bool) {
+fn prefetch_walk(
+    b: &mut MuDdBuilder,
+    from: NodeId,
+    label: Option<&str>,
+    pde_hit: bool,
+    pml4e: bool,
+) {
     let causes = b.counter(&names::causes_walk(AccessType::Load));
     connect(b, from, label, causes);
     if pde_hit {

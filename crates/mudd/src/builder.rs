@@ -101,7 +101,8 @@ impl MuDdBuilder {
     /// Adds a causality edge labelled with a property value (for edges out of
     /// decision nodes).
     pub fn causal_labeled(&mut self, from: NodeId, to: NodeId, label: &str) {
-        self.causal.push((from.index(), to.index(), Some(label.to_string())));
+        self.causal
+            .push((from.index(), to.index(), Some(label.to_string())));
     }
 
     /// Adds a happens-before edge.  Happens-before edges document additional
@@ -374,7 +375,10 @@ mod tests {
         let e2 = b.end();
         b.causal(s, e);
         b.causal(e, e2);
-        assert!(matches!(b.build().unwrap_err(), MuDdError::BadFanout { node: 1, .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            MuDdError::BadFanout { node: 1, .. }
+        ));
     }
 
     #[test]
@@ -398,7 +402,10 @@ mod tests {
         let e2 = b.end();
         b.causal(s, e);
         b.causal(orphan, e2);
-        assert!(matches!(b.build().unwrap_err(), MuDdError::Unreachable { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            MuDdError::Unreachable { .. }
+        ));
     }
 
     #[test]
@@ -408,7 +415,10 @@ mod tests {
         let e = b.end();
         b.causal(s, e);
         b.causal(s, NodeId(99));
-        assert!(matches!(b.build().unwrap_err(), MuDdError::InvalidNode { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            MuDdError::InvalidNode { .. }
+        ));
     }
 
     #[test]
@@ -418,7 +428,10 @@ mod tests {
         let e = b.end();
         b.causal(s, e);
         b.happens_before(s, NodeId(42));
-        assert!(matches!(b.build().unwrap_err(), MuDdError::InvalidNode { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            MuDdError::InvalidNode { .. }
+        ));
     }
 
     #[test]

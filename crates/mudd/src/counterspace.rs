@@ -136,7 +136,10 @@ mod tests {
         assert!(s.contains("c"));
         assert!(!s.contains("d"));
         assert_eq!(s.name(2), "c");
-        assert_eq!(s.names(), &["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(
+            s.names(),
+            &["a".to_string(), "b".to_string(), "c".to_string()]
+        );
         assert_eq!(s.name_refs(), vec!["a", "b", "c"]);
     }
 

@@ -52,9 +52,13 @@ pub enum DslError {
 impl fmt::Display for DslError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DslError::Lex { position, message } => write!(f, "lex error at byte {position}: {message}"),
+            DslError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
             DslError::Parse { message } => write!(f, "parse error: {message}"),
-            DslError::UnreachableCode => write!(f, "unreachable statements after all paths ended with done"),
+            DslError::UnreachableCode => {
+                write!(f, "unreachable statements after all paths ended with done")
+            }
             DslError::EmptyProgram => write!(f, "empty model program"),
             DslError::Graph(e) => write!(f, "model graph error: {e}"),
         }
@@ -366,11 +370,8 @@ fn compile_stmts(
                 }
                 let mut outgoing = Vec::new();
                 for (value, body) in arms {
-                    let arm_tails = compile_stmts(
-                        builder,
-                        body,
-                        vec![Tail::Labeled(decision, value.clone())],
-                    )?;
+                    let arm_tails =
+                        compile_stmts(builder, body, vec![Tail::Labeled(decision, value.clone())])?;
                     outgoing.extend(arm_tails);
                 }
                 incoming = outgoing;
@@ -427,10 +428,8 @@ pub fn compile_auto(name: &str, src: &str) -> Result<MuDd, DslError> {
 fn collect_counters(stmts: &[Stmt], names: &mut Vec<String>) {
     for stmt in stmts {
         match stmt {
-            Stmt::Incr(counter) => {
-                if !names.contains(counter) {
-                    names.push(counter.clone());
-                }
+            Stmt::Incr(counter) if !names.contains(counter) => {
+                names.push(counter.clone());
             }
             Stmt::Switch { arms, .. } => {
                 for (_, body) in arms {
@@ -532,9 +531,15 @@ mod tests {
     #[test]
     fn parser_errors_are_reported() {
         assert!(matches!(parse("bogus x;"), Err(DslError::Parse { .. })));
-        assert!(matches!(parse("switch P { };"), Err(DslError::Parse { .. })));
+        assert!(matches!(
+            parse("switch P { };"),
+            Err(DslError::Parse { .. })
+        ));
         assert!(matches!(parse("incr;"), Err(DslError::Parse { .. })));
-        assert!(matches!(parse("switch P Hit => pass;"), Err(DslError::Parse { .. })));
+        assert!(matches!(
+            parse("switch P Hit => pass;"),
+            Err(DslError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -542,7 +547,10 @@ mod tests {
         let mudd = compile_uop("fig2", FIGURE2, &pde_space()).unwrap();
         let paths = mudd.enumerate_paths().unwrap();
         assert_eq!(paths.len(), 2);
-        let mut sigs: Vec<Vec<u32>> = paths.iter().map(|p| p.signature().counts().to_vec()).collect();
+        let mut sigs: Vec<Vec<u32>> = paths
+            .iter()
+            .map(|p| p.signature().counts().to_vec())
+            .collect();
         sigs.sort();
         assert_eq!(sigs, vec![vec![1, 0], vec![1, 1]]);
     }
@@ -598,8 +606,14 @@ mod tests {
 
     #[test]
     fn empty_program_is_rejected() {
-        assert_eq!(compile_uop("bad", "   ", &pde_space()).unwrap_err(), DslError::EmptyProgram);
-        assert_eq!(compile_auto("bad", "// nothing").unwrap_err(), DslError::EmptyProgram);
+        assert_eq!(
+            compile_uop("bad", "   ", &pde_space()).unwrap_err(),
+            DslError::EmptyProgram
+        );
+        assert_eq!(
+            compile_auto("bad", "// nothing").unwrap_err(),
+            DslError::EmptyProgram
+        );
     }
 
     #[test]
@@ -624,10 +638,19 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = DslError::Parse { message: "boom".into() };
+        let e = DslError::Parse {
+            message: "boom".into(),
+        };
         assert!(e.to_string().contains("boom"));
-        assert!(DslError::UnreachableCode.to_string().contains("unreachable"));
+        assert!(DslError::UnreachableCode
+            .to_string()
+            .contains("unreachable"));
         assert!(DslError::EmptyProgram.to_string().contains("empty"));
-        assert!(DslError::Lex { position: 3, message: "x".into() }.to_string().contains("byte 3"));
+        assert!(DslError::Lex {
+            position: 3,
+            message: "x".into()
+        }
+        .to_string()
+        .contains("byte 3"));
     }
 }

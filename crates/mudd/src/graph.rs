@@ -107,15 +107,23 @@ impl fmt::Display for MuDdError {
             MuDdError::NoStartNode => write!(f, "μDD has no start node"),
             MuDdError::MultipleStartNodes => write!(f, "μDD has more than one start node"),
             MuDdError::UnknownCounter(name) => write!(f, "unknown counter name: {name}"),
-            MuDdError::BadEdgeLabel { node } => write!(f, "node {node} has an invalid edge labelling"),
+            MuDdError::BadEdgeLabel { node } => {
+                write!(f, "node {node} has an invalid edge labelling")
+            }
             MuDdError::DuplicateDecisionLabel { node, label } => {
                 write!(f, "decision node {node} has duplicate label {label}")
             }
             MuDdError::BadFanout { node, found } => {
-                write!(f, "node {node} has {found} outgoing causality edges, expected exactly 1")
+                write!(
+                    f,
+                    "node {node} has {found} outgoing causality edges, expected exactly 1"
+                )
             }
             MuDdError::DeadEnd { node } => {
-                write!(f, "node {node} has no outgoing causality edges but is not an end node")
+                write!(
+                    f,
+                    "node {node} has no outgoing causality edges but is not an end node"
+                )
             }
             MuDdError::Cycle => write!(f, "causality edges contain a cycle"),
             MuDdError::Unreachable { node } => write!(f, "node {node} is unreachable from start"),
@@ -205,7 +213,13 @@ impl MuDd {
         let mut signature = CounterSignature::zero(self.counters.len());
         let mut node_trail = Vec::new();
         let assignment = BTreeMap::new();
-        self.visit(self.start, &assignment, &mut signature, &mut node_trail, &mut paths)?;
+        self.visit(
+            self.start,
+            &assignment,
+            &mut signature,
+            &mut node_trail,
+            &mut paths,
+        )?;
         Ok(paths)
     }
 
@@ -230,7 +244,11 @@ impl MuDd {
                         limit: self.max_paths,
                     });
                 }
-                paths.push(MuPath::new(trail.clone(), assignment.clone(), signature.clone()));
+                paths.push(MuPath::new(
+                    trail.clone(),
+                    assignment.clone(),
+                    signature.clone(),
+                ));
                 trail.pop();
                 return Ok(());
             }
@@ -253,7 +271,9 @@ impl MuDd {
                     }
                 } else {
                     for (target, label) in &self.causal_out[node] {
-                        let value = label.as_ref().expect("validated: decision edges are labelled");
+                        let value = label
+                            .as_ref()
+                            .expect("validated: decision edges are labelled");
                         let mut extended = assignment.clone();
                         extended.insert(property.clone(), value.clone());
                         self.visit(*target, &extended, signature, trail, paths)?;
@@ -284,7 +304,11 @@ impl MuDd {
     ///
     /// Propagates [`MuDdError::PathExplosion`] from path enumeration.
     pub fn path_signatures(&self) -> Result<Vec<CounterSignature>, MuDdError> {
-        Ok(self.enumerate_paths()?.into_iter().map(MuPath::into_signature).collect())
+        Ok(self
+            .enumerate_paths()?
+            .into_iter()
+            .map(MuPath::into_signature)
+            .collect())
     }
 
     /// Number of μpaths (equal to `enumerate_paths()?.len()`).
@@ -333,7 +357,10 @@ mod tests {
         assert_eq!(mudd.name(), "fig6a");
         let paths = mudd.enumerate_paths().unwrap();
         assert_eq!(paths.len(), 2);
-        let sigs: Vec<Vec<u32>> = paths.iter().map(|p| p.signature().counts().to_vec()).collect();
+        let sigs: Vec<Vec<u32>> = paths
+            .iter()
+            .map(|p| p.signature().counts().to_vec())
+            .collect();
         assert!(sigs.contains(&vec![1, 0])); // Hit path
         assert!(sigs.contains(&vec![1, 1])); // Miss path
     }
@@ -346,7 +373,10 @@ mod tests {
             .iter()
             .find(|p| p.signature().get(1) == 1)
             .expect("miss path exists");
-        assert_eq!(miss_path.assignment().get("Pde$Status"), Some(&"Miss".to_string()));
+        assert_eq!(
+            miss_path.assignment().get("Pde$Status"),
+            Some(&"Miss".to_string())
+        );
     }
 
     #[test]
@@ -374,7 +404,10 @@ mod tests {
         let mudd = b.build().unwrap();
         let paths = mudd.enumerate_paths().unwrap();
         assert_eq!(paths.len(), 2);
-        let sigs: Vec<Vec<u32>> = paths.iter().map(|p| p.signature().counts().to_vec()).collect();
+        let sigs: Vec<Vec<u32>> = paths
+            .iter()
+            .map(|p| p.signature().counts().to_vec())
+            .collect();
         assert!(sigs.contains(&vec![1, 1])); // P = Yes on both decisions
         assert!(sigs.contains(&vec![0, 0])); // P = No on both decisions
     }
@@ -495,7 +528,11 @@ mod tests {
     fn error_display_messages() {
         assert!(MuDdError::NoStartNode.to_string().contains("no start"));
         assert!(MuDdError::Cycle.to_string().contains("cycle"));
-        assert!(MuDdError::UnknownCounter("x".into()).to_string().contains("x"));
-        assert!(MuDdError::PathExplosion { limit: 5 }.to_string().contains('5'));
+        assert!(MuDdError::UnknownCounter("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(MuDdError::PathExplosion { limit: 5 }
+            .to_string()
+            .contains('5'));
     }
 }

@@ -132,7 +132,11 @@ impl CounterSignature {
     ///
     /// Panics if the space dimension differs.
     pub fn render(&self, space: &CounterSpace) -> String {
-        assert_eq!(space.len(), self.dimension(), "counter space dimension mismatch");
+        assert_eq!(
+            space.len(),
+            self.dimension(),
+            "counter space dimension mismatch"
+        );
         let terms: Vec<String> = self
             .counts
             .iter()

@@ -56,7 +56,11 @@ impl EigenDecomposition {
 /// ```
 pub fn jacobi_eigen(matrix: &FMatrix) -> EigenDecomposition {
     let n = matrix.nrows();
-    assert_eq!(n, matrix.ncols(), "eigendecomposition requires a square matrix");
+    assert_eq!(
+        n,
+        matrix.ncols(),
+        "eigendecomposition requires a square matrix"
+    );
     let scale = matrix.frobenius_norm().max(1.0);
     assert!(
         matrix.is_symmetric(1e-6 * scale),
@@ -136,7 +140,11 @@ mod tests {
 
     #[test]
     fn diagonal_matrix() {
-        let m = FMatrix::from_rows(&[vec![5.0, 0.0, 0.0], vec![0.0, 2.0, 0.0], vec![0.0, 0.0, 7.0]]);
+        let m = FMatrix::from_rows(&[
+            vec![5.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0],
+            vec![0.0, 0.0, 7.0],
+        ]);
         let eig = jacobi_eigen(&m);
         assert!(approx(eig.values[0], 7.0, 1e-12));
         assert!(approx(eig.values[1], 5.0, 1e-12));
@@ -200,7 +208,10 @@ mod tests {
             let mv = m.mul_vec(&eig.vectors[k]);
             let lv = eig.vectors[k].scale(eig.values[k]);
             for i in 0..4 {
-                assert!(approx(mv[i], lv[i], 1e-7), "eigen equation failed at ({k},{i})");
+                assert!(
+                    approx(mv[i], lv[i], 1e-7),
+                    "eigen equation failed at ({k},{i})"
+                );
             }
         }
     }

@@ -24,7 +24,9 @@ pub struct FVector {
 impl FVector {
     /// Creates a zero vector of length `len`.
     pub fn zeros(len: usize) -> FVector {
-        FVector { data: vec![0.0; len] }
+        FVector {
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a vector from a slice.
@@ -80,7 +82,11 @@ impl FVector {
 
     /// Component-wise addition.
     pub fn add(&self, other: &FVector) -> FVector {
-        assert_eq!(self.len(), other.len(), "vector addition dimension mismatch");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "vector addition dimension mismatch"
+        );
         FVector {
             data: self
                 .data
@@ -93,7 +99,11 @@ impl FVector {
 
     /// Component-wise subtraction.
     pub fn sub(&self, other: &FVector) -> FVector {
-        assert_eq!(self.len(), other.len(), "vector subtraction dimension mismatch");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "vector subtraction dimension mismatch"
+        );
         FVector {
             data: self
                 .data
@@ -409,10 +419,7 @@ mod tests {
         let a = FMatrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 3.0]]);
         assert!(!a.is_symmetric(1e-12));
         assert!(!FMatrix::zeros(2, 3).is_symmetric(1e-12));
-        assert!(approx(
-            FMatrix::identity(3).frobenius_norm(),
-            3.0f64.sqrt()
-        ));
+        assert!(approx(FMatrix::identity(3).frobenius_norm(), 3.0f64.sqrt()));
         assert!(approx(a.max_off_diagonal(), 1.0));
     }
 

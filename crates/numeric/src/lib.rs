@@ -27,10 +27,10 @@
 
 pub mod eigen;
 pub mod fmat;
-pub mod ratmat;
 pub mod rational;
+pub mod ratmat;
 
 pub use eigen::{jacobi_eigen, EigenDecomposition};
 pub use fmat::{FMatrix, FVector};
-pub use ratmat::{RatMatrix, RatVector};
 pub use rational::{gcd_i128, lcm_i128, NumericError, Rational};
+pub use ratmat::{RatMatrix, RatVector};

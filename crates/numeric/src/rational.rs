@@ -35,7 +35,9 @@ impl fmt::Display for NumericError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NumericError::ZeroDenominator => write!(f, "denominator must be non-zero"),
-            NumericError::Overflow => write!(f, "arithmetic overflow in exact rational computation"),
+            NumericError::Overflow => {
+                write!(f, "arithmetic overflow in exact rational computation")
+            }
             NumericError::DimensionMismatch { expected, found } => {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
             }
@@ -80,7 +82,10 @@ pub fn lcm_i128(a: i128, b: i128) -> i128 {
         return 0;
     }
     let g = gcd_i128(a, b);
-    (a / g).checked_mul(b).expect("overflow computing lcm").abs()
+    (a / g)
+        .checked_mul(b)
+        .expect("overflow computing lcm")
+        .abs()
 }
 
 /// An exact rational number `num / den` with `den > 0` and `gcd(num, den) == 1`.
@@ -310,8 +315,14 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
-        let lhs = self.num.checked_mul(other.den).expect("overflow in comparison");
-        let rhs = other.num.checked_mul(self.den).expect("overflow in comparison");
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("overflow in comparison");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("overflow in comparison");
         lhs.cmp(&rhs)
     }
 }
@@ -319,21 +330,24 @@ impl Ord for Rational {
 impl Add for Rational {
     type Output = Rational;
     fn add(self, other: Rational) -> Rational {
-        self.checked_add(other).expect("overflow in rational addition")
+        self.checked_add(other)
+            .expect("overflow in rational addition")
     }
 }
 
 impl Sub for Rational {
     type Output = Rational;
     fn sub(self, other: Rational) -> Rational {
-        self.checked_add(-other).expect("overflow in rational subtraction")
+        self.checked_add(-other)
+            .expect("overflow in rational subtraction")
     }
 }
 
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, other: Rational) -> Rational {
-        self.checked_mul_impl(other).expect("overflow in rational multiplication")
+        self.checked_mul_impl(other)
+            .expect("overflow in rational multiplication")
     }
 }
 
@@ -460,7 +474,10 @@ mod tests {
         assert!(Rational::new(7, 3) > Rational::from(2));
         let mut v = vec![Rational::new(3, 2), Rational::new(-1, 4), Rational::ONE];
         v.sort();
-        assert_eq!(v, vec![Rational::new(-1, 4), Rational::ONE, Rational::new(3, 2)]);
+        assert_eq!(
+            v,
+            vec![Rational::new(-1, 4), Rational::ONE, Rational::new(3, 2)]
+        );
     }
 
     #[test]

@@ -123,7 +123,9 @@ impl RatVector {
         for x in &self.data {
             let d = x.denom();
             let g = gcd_i128(lcm, d);
-            lcm = (lcm / g).checked_mul(d).expect("overflow clearing denominators");
+            lcm = (lcm / g)
+                .checked_mul(d)
+                .expect("overflow clearing denominators");
         }
         let ints: Vec<i128> = self
             .data
@@ -174,7 +176,11 @@ impl fmt::Debug for RatVector {
 impl Add for &RatVector {
     type Output = RatVector;
     fn add(self, other: &RatVector) -> RatVector {
-        assert_eq!(self.len(), other.len(), "vector addition dimension mismatch");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "vector addition dimension mismatch"
+        );
         RatVector {
             data: self
                 .data
@@ -189,7 +195,11 @@ impl Add for &RatVector {
 impl Sub for &RatVector {
     type Output = RatVector;
     fn sub(self, other: &RatVector) -> RatVector {
-        assert_eq!(self.len(), other.len(), "vector subtraction dimension mismatch");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "vector subtraction dimension mismatch"
+        );
         RatVector {
             data: self
                 .data

@@ -119,8 +119,8 @@ proptest! {
     fn jacobi_eigenvalue_sum_equals_trace(diag in proptest::collection::vec(0.1f64..10.0, 3), off in 0.0f64..0.5) {
         let n = diag.len();
         let mut m = FMatrix::zeros(n, n);
-        for i in 0..n {
-            m.set(i, i, diag[i]);
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
         }
         for i in 0..n {
             for j in 0..n {
@@ -133,5 +133,110 @@ proptest! {
         let trace: f64 = diag.iter().sum();
         let sum: f64 = eig.values.iter().sum();
         prop_assert!((trace - sum).abs() < 1e-6);
+    }
+
+    // --- rational round-trip identities ---
+
+    #[test]
+    fn rational_reciprocal_roundtrips(a in small_rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.recip().recip(), a);
+        prop_assert_eq!(a * a.recip(), Rational::from_integer(1));
+    }
+
+    #[test]
+    fn rational_double_negation_roundtrips(a in small_rational()) {
+        prop_assert_eq!(-(-a), a);
+        prop_assert_eq!(a + (-a), Rational::from_integer(0));
+    }
+
+    #[test]
+    fn rational_integer_roundtrips(n in -10_000i128..10_000) {
+        let r = Rational::from_integer(n);
+        prop_assert!(r.is_integer());
+        prop_assert_eq!(r.to_integer(), Some(n));
+        prop_assert_eq!(Rational::new(n, 1), r);
+    }
+
+    #[test]
+    fn rational_division_inverts_multiplication(a in small_rational(), b in small_rational()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!((a * b) / b, a);
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn rational_f64_conversion_is_exact_for_dyadic_denominators(n in -500i128..500, k in 0u32..8) {
+        // Denominators 2^k are exactly representable in binary floating point.
+        let r = Rational::new(n, 1i128 << k);
+        prop_assert_eq!(r.to_f64(), n as f64 / (1i128 << k) as f64);
+    }
+
+    // --- rational matrix round-trips ---
+
+    /// Random nonsingular matrices via strict diagonal dominance: every row's
+    /// diagonal entry exceeds the sum of the row's off-diagonal magnitudes.
+    #[test]
+    fn inverse_roundtrips_on_random_nonsingular_matrices(
+        rows in proptest::collection::vec(proptest::collection::vec(-3i64..=3, 4), 4..=4),
+        sign in 0u32..2,
+    ) {
+        let n = rows.len();
+        let dominant: Vec<Vec<i64>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let bound: i64 = row.iter().map(|x| x.abs()).sum::<i64>() + 1;
+                let mut row = row.clone();
+                row[i] = if sign == 0 { bound } else { -bound };
+                row
+            })
+            .collect();
+        let row_refs: Vec<&[i64]> = dominant.iter().map(|r| r.as_slice()).collect();
+        let m = RatMatrix::from_i64_rows(&row_refs);
+        let inv = m.inverse().unwrap();
+        prop_assert_eq!(m.mul_mat(&inv), RatMatrix::identity(n));
+        prop_assert_eq!(inv.mul_mat(&m), RatMatrix::identity(n));
+        // Inverting twice returns the original matrix exactly.
+        prop_assert_eq!(inv.inverse().unwrap(), m);
+    }
+
+    #[test]
+    fn solve_roundtrips_against_mul_vec(
+        rows in proptest::collection::vec(proptest::collection::vec(-3i64..=3, 3), 3..=3),
+        x in proptest::collection::vec(-6i64..=6, 3),
+    ) {
+        let dominant: Vec<Vec<i64>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let bound: i64 = row.iter().map(|v| v.abs()).sum::<i64>() + 1;
+                let mut row = row.clone();
+                row[i] = bound;
+                row
+            })
+            .collect();
+        let row_refs: Vec<&[i64]> = dominant.iter().map(|r| r.as_slice()).collect();
+        let m = RatMatrix::from_i64_rows(&row_refs);
+        let x = RatVector::from_i64(&x);
+        // Solving A·y = A·x must recover exactly y = x (A is nonsingular).
+        let b = m.mul_vec(&x);
+        let y = m.solve(&b).unwrap();
+        prop_assert_eq!(y, x);
+    }
+
+    #[test]
+    fn transpose_is_an_involution(rows in proptest::collection::vec(proptest::collection::vec(-9i64..=9, 4), 1..6)) {
+        let row_refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = RatMatrix::from_i64_rows(&row_refs);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn from_rows_roundtrips_through_row_accessor(rows in proptest::collection::vec(proptest::collection::vec(-9i64..=9, 3), 1..5)) {
+        let row_refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = RatMatrix::from_i64_rows(&row_refs);
+        let rebuilt = RatMatrix::from_rows(&(0..m.nrows()).map(|i| m.row(i)).collect::<Vec<_>>());
+        prop_assert_eq!(rebuilt, m);
     }
 }

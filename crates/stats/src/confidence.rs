@@ -56,8 +56,15 @@ impl ConfidenceRegion {
     ///
     /// Panics if `samples` is empty, rows have inconsistent lengths, or
     /// `confidence` is not in `(0, 1)`.
-    pub fn from_samples(samples: &[Vec<f64>], confidence: f64, noise_model: NoiseModel) -> ConfidenceRegion {
-        assert!(!samples.is_empty(), "confidence region requires at least one sample");
+    pub fn from_samples(
+        samples: &[Vec<f64>],
+        confidence: f64,
+        noise_model: NoiseModel,
+    ) -> ConfidenceRegion {
+        assert!(
+            !samples.is_empty(),
+            "confidence region requires at least one sample"
+        );
         assert!(
             confidence > 0.0 && confidence < 1.0,
             "confidence level must be in (0, 1)"
@@ -65,7 +72,11 @@ impl ConfidenceRegion {
         let dim = samples[0].len();
         let center = sample_mean_vector(samples);
         let m = samples.len() as f64;
-        let chi2 = if dim == 0 { 0.0 } else { chi2_quantile(confidence, dim.max(1)) };
+        let chi2 = if dim == 0 {
+            0.0
+        } else {
+            chi2_quantile(confidence, dim.max(1))
+        };
 
         // Plugin estimator for the covariance of the sample mean.
         let cov = covariance_matrix(samples);
@@ -73,7 +84,8 @@ impl ConfidenceRegion {
         let (axes, half_widths) = match noise_model {
             NoiseModel::Correlated => {
                 let eig = jacobi_eigen(&cov);
-                let axes: Vec<Vec<f64>> = eig.vectors.iter().map(|v| v.as_slice().to_vec()).collect();
+                let axes: Vec<Vec<f64>> =
+                    eig.vectors.iter().map(|v| v.as_slice().to_vec()).collect();
                 let widths: Vec<f64> = eig
                     .values
                     .iter()
@@ -170,10 +182,13 @@ impl ConfidenceRegion {
     pub fn contains(&self, point: &[f64]) -> bool {
         assert_eq!(point.len(), self.dimension(), "point dimension mismatch");
         let delta = FVector::from_slice(point).sub(&FVector::from_slice(&self.center));
-        self.axes.iter().zip(self.half_widths.iter()).all(|(axis, width)| {
-            let proj = FVector::from_slice(axis).dot(&delta);
-            proj.abs() <= width + 1e-9
-        })
+        self.axes
+            .iter()
+            .zip(self.half_widths.iter())
+            .all(|(axis, width)| {
+                let proj = FVector::from_slice(axis).dot(&delta);
+                proj.abs() <= width + 1e-9
+            })
     }
 
     /// Projects the region onto a direction `a`, returning the `(min, max)` of
@@ -291,8 +306,13 @@ mod tests {
 
     #[test]
     fn more_samples_shrink_the_region() {
-        let small = ConfidenceRegion::from_samples(&correlated_samples(50), 0.99, NoiseModel::Independent);
-        let large = ConfidenceRegion::from_samples(&correlated_samples(5000), 0.99, NoiseModel::Independent);
+        let small =
+            ConfidenceRegion::from_samples(&correlated_samples(50), 0.99, NoiseModel::Independent);
+        let large = ConfidenceRegion::from_samples(
+            &correlated_samples(5000),
+            0.99,
+            NoiseModel::Independent,
+        );
         assert!(large.total_extent() < small.total_extent());
     }
 
@@ -321,7 +341,10 @@ mod tests {
         // projection along (−1, 1) must be a tight interval around 50.
         let (lo, hi) = region.interval_along(&[-1.0, 1.0]);
         assert!(lo <= 50.0 + 1e-6 && hi >= 50.0 - 1e-6);
-        assert!(hi - lo < 1.0, "correlated region should be tight in the correlated direction");
+        assert!(
+            hi - lo < 1.0,
+            "correlated region should be tight in the correlated direction"
+        );
         // The independent region is far looser in the same direction.
         let indep = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Independent);
         let (ilo, ihi) = indep.interval_along(&[-1.0, 1.0]);

@@ -45,7 +45,11 @@ pub fn variance(values: &[f64]) -> f64 {
 ///
 /// Panics if the series lengths differ or are empty.
 pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
-    assert_eq!(xs.len(), ys.len(), "covariance requires equal-length series");
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "covariance requires equal-length series"
+    );
     assert!(!xs.is_empty(), "covariance of empty series is undefined");
     if xs.len() < 2 {
         return 0.0;
@@ -147,7 +151,11 @@ pub fn correlation_matrix(samples: &[Vec<f64>]) -> FMatrix {
     for i in 0..dim {
         for j in 0..dim {
             let denom = (cov.get(i, i) * cov.get(j, j)).sqrt();
-            let value = if denom == 0.0 { 0.0 } else { cov.get(i, j) / denom };
+            let value = if denom == 0.0 {
+                0.0
+            } else {
+                cov.get(i, j) / denom
+            };
             corr.set(i, j, value);
         }
     }

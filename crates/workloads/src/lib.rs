@@ -178,7 +178,9 @@ impl Workload for PointerChase {
             out.push(MemoryAccess::load(current * 64));
             // Next node from a multiplicative congruential step (cheap stand-in for
             // an actual stored permutation).
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             current = (state >> 11) % self.nodes.max(1);
         }
         out
@@ -197,7 +199,11 @@ pub struct Streaming {
 
 impl Workload for Streaming {
     fn name(&self) -> String {
-        format!("streaming(streams={},len={}MiB)", self.streams, self.stream_bytes >> 20)
+        format!(
+            "streaming(streams={},len={}MiB)",
+            self.streams,
+            self.stream_bytes >> 20
+        )
     }
 
     fn generate(&self, num_accesses: usize) -> Vec<MemoryAccess> {
@@ -253,7 +259,11 @@ impl Workload for KeyValue {
             // Approximate Zipfian selection: u^(1/(1-theta)) concentrates mass on
             // low record ids as theta grows.
             let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
-            let skew = if self.zipf_theta >= 1.0 { 0.01 } else { 1.0 - self.zipf_theta };
+            let skew = if self.zipf_theta >= 1.0 {
+                0.01
+            } else {
+                1.0 - self.zipf_theta
+            };
             let record = ((u.powf(1.0 / skew)) * self.records as f64) as u64 % self.records.max(1);
             let base = record * self.record_bytes;
             let is_update = rng.gen_bool(self.update_ratio);
@@ -360,7 +370,10 @@ pub fn standard_suite() -> Vec<NamedWorkload> {
         });
     }
     for nodes in [500_000u64, 8_000_000] {
-        let w = PointerChase { nodes, seed: nodes | 1 };
+        let w = PointerChase {
+            nodes,
+            seed: nodes | 1,
+        };
         suite.push(NamedWorkload {
             label: w.name(),
             workload: Box::new(w),
@@ -448,9 +461,24 @@ mod tests {
 
     #[test]
     fn random_access_is_deterministic_per_seed() {
-        let a = RandomAccess { footprint: 1 << 24, store_ratio: 0.1, seed: 3 }.generate(100);
-        let b = RandomAccess { footprint: 1 << 24, store_ratio: 0.1, seed: 3 }.generate(100);
-        let c = RandomAccess { footprint: 1 << 24, store_ratio: 0.1, seed: 4 }.generate(100);
+        let a = RandomAccess {
+            footprint: 1 << 24,
+            store_ratio: 0.1,
+            seed: 3,
+        }
+        .generate(100);
+        let b = RandomAccess {
+            footprint: 1 << 24,
+            store_ratio: 0.1,
+            seed: 3,
+        }
+        .generate(100);
+        let c = RandomAccess {
+            footprint: 1 << 24,
+            store_ratio: 0.1,
+            seed: 4,
+        }
+        .generate(100);
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -510,11 +538,11 @@ mod tests {
         };
         let trace = w.generate(10_000);
         // With heavy skew, a small set of hot records dominates.
-        let hot = trace
-            .iter()
-            .filter(|a| a.addr.raw() < 100 * 1024)
-            .count();
-        assert!(hot > trace.len() / 10, "expected hot-record concentration, got {hot}");
+        let hot = trace.iter().filter(|a| a.addr.raw() < 100 * 1024).count();
+        assert!(
+            hot > trace.len() / 10,
+            "expected hot-record concentration, got {hot}"
+        );
         assert!(trace.iter().any(|a| a.is_store));
     }
 

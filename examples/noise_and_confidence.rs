@@ -9,10 +9,10 @@
 //!
 //! Run with: `cargo run --release --example noise_and_confidence`
 
+use counterpoint::haswell::full_counter_space;
 use counterpoint::haswell::mem::PageSize;
 use counterpoint::haswell::mmu::{HaswellMmu, MmuConfig};
 use counterpoint::haswell::pmu::{MultiplexingPmu, PmuConfig};
-use counterpoint::haswell::full_counter_space;
 use counterpoint::models::family::{build_feature_model, feature_sets_table3};
 use counterpoint::workloads::{GraphTraversal, Workload};
 use counterpoint::{FeasibilityChecker, NoiseModel, Observation};
@@ -40,12 +40,20 @@ fn main() {
     let mut mmu = HaswellMmu::new(MmuConfig::haswell());
     let samples = pmu.collect(&mut mmu, &accesses, PageSize::Size4K, &space, 40);
 
-    let correlated = Observation::from_samples_with_model("graph", &samples, 0.99, NoiseModel::Correlated);
-    let independent = Observation::from_samples_with_model("graph", &samples, 0.99, NoiseModel::Independent);
+    let correlated =
+        Observation::from_samples_with_model("graph", &samples, 0.99, NoiseModel::Correlated);
+    let independent =
+        Observation::from_samples_with_model("graph", &samples, 0.99, NoiseModel::Independent);
 
     println!("confidence-region extent (sum of half-widths) at 99% confidence:");
-    println!("  independent counters : {:>12.1}", independent.region().total_extent());
-    println!("  correlated counters  : {:>12.1}", correlated.region().total_extent());
+    println!(
+        "  independent counters : {:>12.1}",
+        independent.region().total_extent()
+    );
+    println!(
+        "  correlated counters  : {:>12.1}",
+        correlated.region().total_extent()
+    );
     println!(
         "  tightening factor    : {:>12.2}x",
         independent.region().total_extent() / correlated.region().total_extent().max(1e-9)

@@ -38,7 +38,10 @@ fn main() {
     }
 
     println!("trigger-condition models vs linear microbenchmark observations\n");
-    println!("{:<5} {:>5} {:>5} {:>6} {:>9} {:>9}   {}", "model", "spec", "load", "store", "dtlb-miss", "stlb-miss", "#infeasible");
+    println!(
+        "{:<5} {:>5} {:>5} {:>6} {:>9} {:>9}   #infeasible",
+        "model", "spec", "load", "store", "dtlb-miss", "stlb-miss"
+    );
     let mut feasible_models = Vec::new();
     for (name, spec) in trigger_specs_table5() {
         let cone = build_trigger_model(&name, &spec);
@@ -59,10 +62,7 @@ fn main() {
         }
     }
 
-    println!(
-        "\nfeasible models: {}",
-        feasible_models.join(", ")
-    );
+    println!("\nfeasible models: {}", feasible_models.join(", "));
     println!(
         "\nInterpretation (mirroring the paper): models that require a demand DTLB or STLB \
          miss to trigger prefetching cannot explain the steady-state linear scan, where \

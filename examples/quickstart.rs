@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use counterpoint::{compile_uop, deduce_constraints, CounterSpace, FeasibilityChecker, ModelCone, Observation};
+use counterpoint::{
+    compile_uop, deduce_constraints, CounterSpace, FeasibilityChecker, ModelCone, Observation,
+};
 
 fn main() {
     let counters = CounterSpace::new(&["load.causes_walk", "load.pde$_miss"]);

@@ -38,17 +38,26 @@ fn projected_m0_implies_table1_constraint_1() {
     assert!(!constraints.is_empty());
 
     // ret=1000, miss=120, causes=100, done=100 (4k), pde=40: violates (1).
-    let violating = counterpoint_numeric::RatVector::from_i64(&[1000, 120, 100, 100, 100, 0, 0, 40]);
-    assert!(constraints.all_named().any(|c| !c.constraint().is_satisfied_by(&violating)));
+    let violating =
+        counterpoint_numeric::RatVector::from_i64(&[1000, 120, 100, 100, 100, 0, 0, 40]);
+    assert!(constraints
+        .all_named()
+        .any(|c| !c.constraint().is_satisfied_by(&violating)));
 
     // Same profile with miss=80 <= done=100 satisfies the model.
-    let satisfying = counterpoint_numeric::RatVector::from_i64(&[1000, 80, 100, 100, 100, 0, 0, 40]);
-    assert!(constraints.all_named().all(|c| c.constraint().is_satisfied_by(&satisfying)));
+    let satisfying =
+        counterpoint_numeric::RatVector::from_i64(&[1000, 80, 100, 100, 100, 0, 0, 40]);
+    assert!(constraints
+        .all_named()
+        .all(|c| c.constraint().is_satisfied_by(&satisfying)));
 
     // The introduction's PDE-cache sanity check: pde$_miss <= causes_walk is also
     // implied (violating point rejected).
-    let pde_violation = counterpoint_numeric::RatVector::from_i64(&[1000, 80, 100, 100, 100, 0, 0, 140]);
-    assert!(constraints.all_named().any(|c| !c.constraint().is_satisfied_by(&pde_violation)));
+    let pde_violation =
+        counterpoint_numeric::RatVector::from_i64(&[1000, 80, 100, 100, 100, 0, 0, 140]);
+    assert!(constraints
+        .all_named()
+        .any(|c| !c.constraint().is_satisfied_by(&pde_violation)));
 }
 
 #[test]
@@ -66,9 +75,16 @@ fn feature_complete_model_drops_the_violated_constraints() {
         "load.pde$_miss",
     ]);
     let constraints = deduce_constraints(&m4);
-    let texts: Vec<String> = constraints.all_named().map(|c| c.text().to_string()).collect();
-    assert!(!texts.iter().any(|t| t == "load.ret_stlb_miss <= load.walk_done"));
-    assert!(!texts.iter().any(|t| t == "load.pde$_miss <= load.causes_walk"));
+    let texts: Vec<String> = constraints
+        .all_named()
+        .map(|c| c.text().to_string())
+        .collect();
+    assert!(!texts
+        .iter()
+        .any(|t| t == "load.ret_stlb_miss <= load.walk_done"));
+    assert!(!texts
+        .iter()
+        .any(|t| t == "load.pde$_miss <= load.causes_walk"));
 }
 
 #[test]
@@ -78,7 +94,7 @@ fn constraint_count_grows_with_counter_groups() {
     let mut previous = 0usize;
     for groups in 1..=3usize {
         let space = cumulative_group_space(groups);
-        let projected = m0_full.project(&space.names().to_vec());
+        let projected = m0_full.project(space.names());
         let count = deduce_constraints(&projected).len();
         assert!(
             count >= previous,
@@ -86,7 +102,10 @@ fn constraint_count_grows_with_counter_groups() {
         );
         previous = count;
     }
-    assert!(previous >= 10, "three groups should imply a double-digit constraint count");
+    assert!(
+        previous >= 10,
+        "three groups should imply a double-digit constraint count"
+    );
 }
 
 #[test]
@@ -120,7 +139,10 @@ fn violated_constraints_explain_lp_infeasibility() {
         .any(|c| c.text().contains("load.pde$_miss") || c.text().contains("load.ret_stlb_miss")));
 
     // Feasible: a conventional profile.
-    let good = Observation::exact("good", &[1000.0, 100.0, 100.0, 100.0, 100.0, 0.0, 0.0, 40.0]);
+    let good = Observation::exact(
+        "good",
+        &[1000.0, 100.0, 100.0, 100.0, 100.0, 0.0, 0.0, 40.0],
+    );
     let report = checker.check(&good, Some(&constraints));
     assert!(report.feasible);
     assert!(report.violated.is_empty());
@@ -130,7 +152,12 @@ fn violated_constraints_explain_lp_infeasibility() {
 fn equalities_capture_counter_identities() {
     // stlb_hit = stlb_hit_4k + stlb_hit_2m must appear as an equality once the STLB
     // group is included.
-    let m4 = model("m4").project(&["load.stlb_hit", "load.stlb_hit_4k", "load.stlb_hit_2m", "load.ret"]);
+    let m4 = model("m4").project(&[
+        "load.stlb_hit",
+        "load.stlb_hit_4k",
+        "load.stlb_hit_2m",
+        "load.ret",
+    ]);
     let constraints = deduce_constraints(&m4);
     assert!(constraints
         .all_named()
@@ -141,7 +168,7 @@ fn equalities_capture_counter_identities() {
 fn full_model_constraint_deduction_is_consistent_with_generators() {
     // Every generator of the cone satisfies every deduced constraint (on a
     // projected space to keep the hull computation fast).
-    let projected = model("m4").project(&cumulative_group_space(2).names().to_vec());
+    let projected = model("m4").project(cumulative_group_space(2).names());
     let constraints = deduce_constraints(&projected);
     assert!(!constraints.is_empty());
     for sig in projected.signatures() {

@@ -1,11 +1,13 @@
 //! End-to-end integration tests spanning the whole stack: workloads → simulated
 //! Haswell MMU → PMU sampling → confidence regions → model cones → feasibility.
 
+use counterpoint::haswell::full_counter_space;
 use counterpoint::haswell::mem::PageSize;
 use counterpoint::haswell::mmu::{HaswellMmu, MmuConfig};
 use counterpoint::haswell::pmu::{MultiplexingPmu, PmuConfig};
-use counterpoint::haswell::full_counter_space;
-use counterpoint::models::family::{build_feature_model, build_trigger_model, feature_sets_table3, trigger_specs_table5};
+use counterpoint::models::family::{
+    build_feature_model, build_trigger_model, feature_sets_table3, trigger_specs_table5,
+};
 use counterpoint::models::harness::{collect_case_study_observations, HarnessConfig};
 use counterpoint::workloads::{LinearAccess, RandomAccess, Workload};
 use counterpoint::{FeasibilityChecker, NoiseModel, Observation};
@@ -22,7 +24,10 @@ fn feature_complete_model_explains_noiseless_ground_truth() {
     config.accesses_per_workload = 15_000;
     let observations = collect_case_study_observations(&config);
     let m4 = model("m4");
-    assert_eq!(FeasibilityChecker::new(&m4).count_infeasible(&observations), 0);
+    assert_eq!(
+        FeasibilityChecker::new(&m4).count_infeasible(&observations),
+        0
+    );
 }
 
 #[test]
@@ -109,7 +114,10 @@ fn m8_without_pml4e_cache_still_explains_ground_truth() {
     config.page_sizes = vec![PageSize::Size4K, PageSize::Size1G];
     let observations = collect_case_study_observations(&config);
     let m8 = model("m8");
-    assert_eq!(FeasibilityChecker::new(&m8).count_infeasible(&observations), 0);
+    assert_eq!(
+        FeasibilityChecker::new(&m8).count_infeasible(&observations),
+        0
+    );
 }
 
 #[test]
@@ -127,7 +135,12 @@ fn noisy_multiplexed_observations_still_accept_the_true_model() {
     let pmu = MultiplexingPmu::new(PmuConfig::default());
     let mut mmu = HaswellMmu::new(MmuConfig::haswell());
     let samples = pmu.collect(&mut mmu, &accesses, PageSize::Size4K, &space, 30);
-    let obs = Observation::from_samples_with_model("random-noisy", &samples, 0.99, NoiseModel::Correlated);
+    let obs = Observation::from_samples_with_model(
+        "random-noisy",
+        &samples,
+        0.99,
+        NoiseModel::Correlated,
+    );
     assert!(FeasibilityChecker::new(&model("m4")).is_feasible(&obs));
 }
 
@@ -139,5 +152,8 @@ fn speculative_trigger_models_accept_everything_the_abstract_model_accepts() {
     let specs = trigger_specs_table5();
     let (name, spec) = &specs[0]; // t0
     let t0 = build_trigger_model(name, spec);
-    assert_eq!(FeasibilityChecker::new(&t0).count_infeasible(&observations), 0);
+    assert_eq!(
+        FeasibilityChecker::new(&t0).count_infeasible(&observations),
+        0
+    );
 }

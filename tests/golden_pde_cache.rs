@@ -1,0 +1,108 @@
+//! Golden end-to-end reproduction of the paper's running example (Figures 2
+//! and 6): the expert's PDE-cache model is refuted by the microbenchmark
+//! observation, and the refined model (early PDE-cache lookup + aborts) is
+//! feasible for the same data.
+
+use counterpoint::{
+    compile_uop, deduce_constraints, CounterSpace, FeasibilityChecker, ModelCone, Observation,
+};
+
+/// The expert's initial mental model: the walker is initialised before the PDE
+/// cache is consulted, so every PDE-cache miss implies a walk.
+const INITIAL_MODEL: &str = r#"
+    incr load.causes_walk;
+    do LookupPde$;
+    switch Pde$Status { Hit => pass; Miss => incr load.pde$_miss };
+    done;
+"#;
+
+/// The refinement of the paper's Figure 6c: the PDE cache is looked up before
+/// the walk starts, and translation requests may abort in between.
+const REFINED_MODEL: &str = r#"
+    do LookupPde$;
+    switch Pde$Status { Hit => pass; Miss => incr load.pde$_miss };
+    switch Abort { Yes => done; No => incr load.causes_walk };
+    done;
+"#;
+
+fn counters() -> CounterSpace {
+    CounterSpace::new(&["load.causes_walk", "load.pde$_miss"])
+}
+
+fn cone(name: &str, source: &str) -> ModelCone {
+    let space = counters();
+    let model = compile_uop(name, source, &space).expect("model source compiles");
+    ModelCone::from_mudd(&model).expect("μpath enumeration succeeds")
+}
+
+/// The observation of the paper's running example: the hardware reports more
+/// PDE-cache misses than walks (1000 walks, 1400 misses).
+fn microbenchmark() -> Observation {
+    Observation::exact("microbenchmark", &[1_000.0, 1_400.0])
+}
+
+#[test]
+fn initial_pde_cache_model_is_refuted_by_the_microbenchmark() {
+    let cone = cone("initial", INITIAL_MODEL);
+    assert!(!FeasibilityChecker::new(&cone).is_feasible(&microbenchmark()));
+}
+
+#[test]
+fn initial_model_implies_misses_bounded_by_walks() {
+    // The Table 1 style constraint behind the refutation: under the initial
+    // model, `load.pde$_miss <= load.causes_walk` must be among the deduced
+    // facets, and it is exactly the constraint the microbenchmark violates.
+    let cone = cone("initial", INITIAL_MODEL);
+    let constraints = deduce_constraints(&cone);
+    let rendered: Vec<String> = constraints
+        .all_named()
+        .map(|c| c.text().to_string())
+        .collect();
+    assert!(
+        rendered
+            .iter()
+            .any(|t| t.contains("load.pde$_miss") && t.contains("load.causes_walk")),
+        "expected a pde$_miss / causes_walk facet, got: {rendered:?}"
+    );
+
+    let report = FeasibilityChecker::new(&cone).check(&microbenchmark(), Some(&constraints));
+    assert!(!report.feasible);
+    assert!(
+        !report.violated.is_empty(),
+        "the refutation must name at least one violated constraint"
+    );
+}
+
+#[test]
+fn refined_model_is_feasible_for_the_same_observation() {
+    let cone = cone("refined", REFINED_MODEL);
+    assert!(FeasibilityChecker::new(&cone).is_feasible(&microbenchmark()));
+}
+
+#[test]
+fn refinement_strictly_relaxes_the_initial_model() {
+    // Every observation feasible under the initial model stays feasible under
+    // the refined one (the refinement only adds behaviours): spot-check the
+    // lattice of small integer observations.
+    let initial = cone("initial", INITIAL_MODEL);
+    let refined = cone("refined", REFINED_MODEL);
+    let initial_checker = FeasibilityChecker::new(&initial);
+    let refined_checker = FeasibilityChecker::new(&refined);
+    let mut initial_feasible = 0usize;
+    for walks in 0..8u32 {
+        for misses in 0..8u32 {
+            let obs = Observation::exact("grid", &[f64::from(walks), f64::from(misses)]);
+            if initial_checker.is_feasible(&obs) {
+                initial_feasible += 1;
+                assert!(
+                    refined_checker.is_feasible(&obs),
+                    "refinement must not refute ({walks}, {misses})"
+                );
+            }
+        }
+    }
+    assert!(
+        initial_feasible > 0,
+        "the grid must exercise the initial cone"
+    );
+}

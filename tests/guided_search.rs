@@ -4,7 +4,9 @@
 use counterpoint::models::family::{build_feature_model, feature_sets_table3};
 use counterpoint::models::harness::{collect_case_study_observations, HarnessConfig};
 use counterpoint::models::Feature;
-use counterpoint::{essential_features, evaluate_models, ExplorationModel, FeatureSet, GuidedSearch};
+use counterpoint::{
+    essential_features, evaluate_models, ExplorationModel, FeatureSet, GuidedSearch,
+};
 
 fn observations() -> Vec<counterpoint::Observation> {
     let mut config = HarnessConfig::quick();
@@ -36,7 +38,11 @@ fn table3_evaluation_reproduces_the_qualitative_ranking() {
     assert_eq!(count("m4"), 0);
     assert_eq!(count("m8"), 0);
     // The conventional-wisdom model is the worst or tied-worst.
-    let worst = evaluations.iter().map(|e| e.infeasible_count).max().unwrap();
+    let worst = evaluations
+        .iter()
+        .map(|e| e.infeasible_count)
+        .max()
+        .unwrap();
     assert_eq!(count("m0"), worst);
     assert!(worst > 0);
     // Dropping merging or early PSC lookup from the full model reintroduces
@@ -61,7 +67,12 @@ fn essential_features_match_the_papers_conclusions() {
     let essential = essential_features(&evaluations).expect("at least one feasible model");
     // Every feasible Table 3 model includes early PSC lookup, merging, prefetching
     // and walk bypassing; the PML4E cache is not essential (m8 lacks it).
-    for feature in [Feature::EarlyPsc, Feature::Merging, Feature::TlbPrefetch, Feature::WalkBypass] {
+    for feature in [
+        Feature::EarlyPsc,
+        Feature::Merging,
+        Feature::TlbPrefetch,
+        Feature::WalkBypass,
+    ] {
         assert!(
             essential.contains(&feature.name().to_string()),
             "{feature} should be essential, got {essential:?}"
@@ -80,7 +91,10 @@ fn guided_search_discovers_a_feasible_model_from_scratch() {
     );
     let graph = search.run(&FeatureSet::new(), &observations);
 
-    assert!(!graph.steps[0].feasible, "the empty model must start infeasible");
+    assert!(
+        !graph.steps[0].feasible,
+        "the empty model must start infeasible"
+    );
     assert!(
         graph.steps.iter().any(|s| s.feasible),
         "discovery must reach a feasible model"
@@ -89,7 +103,10 @@ fn guided_search_discovers_a_feasible_model_from_scratch() {
     // The discovery chain is connected: every non-initial discovery step has an
     // incoming edge.
     for (idx, step) in graph.steps.iter().enumerate().skip(1) {
-        if matches!(step.phase, counterpoint::core::explore::SearchPhase::Discovery) {
+        if matches!(
+            step.phase,
+            counterpoint::core::explore::SearchPhase::Discovery
+        ) {
             assert!(graph.edges.iter().any(|e| e.to == idx));
         }
     }
@@ -98,7 +115,8 @@ fn guided_search_discovers_a_feasible_model_from_scratch() {
     for set in &graph.minimal_feasible {
         let features: FeatureSet = set.iter().cloned().collect();
         let cone = build_feature_model("minimal", &features);
-        let infeasible = counterpoint::FeasibilityChecker::new(&cone).count_infeasible(&observations);
+        let infeasible =
+            counterpoint::FeasibilityChecker::new(&cone).count_infeasible(&observations);
         assert_eq!(infeasible, 0, "minimal set {set:?} must be feasible");
     }
 }

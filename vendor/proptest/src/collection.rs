@@ -1,0 +1,69 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: an exact size, `lo..hi` or `lo..=hi`.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (min, max) = r.into_inner();
+        assert!(min <= max, "empty size range");
+        SizeRange { min, max }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.min == self.size.max {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..=self.size.max)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

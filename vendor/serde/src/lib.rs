@@ -1,0 +1,171 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real `serde` models serialization through a visitor-style `Serializer`
+//! trait; this workspace only ever serializes plain data structures to JSON, so
+//! the stand-in collapses the design to a single question — "what is your JSON
+//! value?" — answered by [`Serialize::to_value`]. The derive macro (re-exported
+//! from `serde_derive`) generates that answer field-by-field for structs and
+//! variant-by-name for enums, honouring `#[serde(skip)]`.
+//!
+//! Only the API surface this workspace uses is provided.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::Serialize;
+
+/// A JSON-like value: the universal serialization target of this stand-in.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Integers (kept exact; rendered without a decimal point).
+    Int(i128),
+    /// Floating-point numbers.
+    Float(f64),
+    /// JSON strings.
+    String(String),
+    /// JSON arrays.
+    Array(Vec<Value>),
+    /// JSON objects with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the JSON-like value model.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Int(i128::try_from(*self).unwrap_or(i128::MAX))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )+};
+}
+
+impl_serialize_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));

@@ -1,0 +1,239 @@
+//! Derive macro for the offline `serde` stand-in.
+//!
+//! Parses the derive input token stream by hand (no `syn`/`quote` available in
+//! this hermetic workspace) and generates a `Serialize::to_value` impl:
+//!
+//! * named-field structs serialize to a JSON object, skipping `#[serde(skip)]`
+//!   fields;
+//! * one-field tuple structs (newtypes) serialize transparently as their inner
+//!   value; longer tuple structs as an array;
+//! * enums serialize each variant as its name string (data-carrying variants
+//!   also serialize as just the variant name — none of this workspace's types
+//!   need payload serialization).
+//!
+//! Generics are not supported; deriving on a generic type is a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for plain (non-generic) structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    skip_attributes_and_visibility(tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("#[derive(Serialize)] on generic type `{name}` is not supported by the offline serde stand-in"));
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                named_struct_body(&name, &collect(g.stream()))?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tuple_struct_body(&collect(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                "::serde::Value::Object(::std::vec::Vec::new())".to_string()
+            }
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                enum_body(&name, &collect(g.stream()))?
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive Serialize for `{other}` items")),
+    };
+
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    ))
+}
+
+fn collect(stream: TokenStream) -> Vec<TokenTree> {
+    stream.into_iter().collect()
+}
+
+/// Advances past outer attributes (`#[...]`, including doc comments) and an
+/// optional `pub` / `pub(...)` visibility qualifier.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes one attribute starting at `#` and reports whether it is
+/// `#[serde(skip)]` (or any `#[serde(...)]` list containing `skip`).
+fn attribute_is_serde_skip(tokens: &[TokenTree], i: &mut usize) -> bool {
+    debug_assert!(matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#'));
+    *i += 1;
+    let Some(TokenTree::Group(outer)) = tokens.get(*i) else {
+        return false;
+    };
+    *i += 1;
+    let inner = collect(outer.stream());
+    let is_serde = matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return false;
+    }
+    inner.iter().any(|t| match t {
+        TokenTree::Group(g) => collect(g.stream())
+            .iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    })
+}
+
+/// Skips tokens up to and including the next comma at angle-bracket depth 0.
+fn skip_past_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        *i += 1;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth <= 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn named_struct_body(name: &str, tokens: &[TokenTree]) -> Result<String, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            skip |= attribute_is_serde_skip(tokens, &mut i);
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        skip_attributes_and_visibility(tokens, &mut i);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name in `{name}`, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        skip_past_top_level_comma(tokens, &mut i);
+        if !skip {
+            fields.push(field);
+        }
+    }
+
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))")
+        })
+        .collect();
+    Ok(format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        entries.join(", ")
+    ))
+}
+
+fn tuple_struct_body(tokens: &[TokenTree]) -> String {
+    // Count the top-level type slots of the tuple struct.
+    let mut slots = 0usize;
+    let mut i = 0;
+    while i < tokens.len() {
+        slots += 1;
+        skip_past_top_level_comma(tokens, &mut i);
+    }
+    if slots == 1 {
+        // Newtype: serialize transparently as the inner value.
+        return "::serde::Serialize::to_value(&self.0)".to_string();
+    }
+    let entries: Vec<String> = (0..slots)
+        .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+        .collect();
+    format!(
+        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+        entries.join(", ")
+    )
+}
+
+fn enum_body(name: &str, tokens: &[TokenTree]) -> Result<String, String> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "expected variant name in `{name}`, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let pattern = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                format!("{name}::{variant}(..)")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                format!("{name}::{variant}{{..}}")
+            }
+            _ => format!("{name}::{variant}"),
+        };
+        skip_past_top_level_comma(tokens, &mut i);
+        arms.push(format!(
+            "{pattern} => ::serde::Value::String(::std::string::String::from({variant:?}))"
+        ));
+    }
+    if arms.is_empty() {
+        return Ok("match *self {}".to_string());
+    }
+    Ok(format!("match self {{ {} }}", arms.join(", ")))
+}
