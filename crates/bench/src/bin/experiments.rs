@@ -3,12 +3,18 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p counterpoint-bench --bin experiments -- <which> [--quick]
+//! cargo run --release -p counterpoint-bench --bin experiments -- \
+//!     <which> [--quick] [--seed <u64>] [--threads <n>]
 //! ```
 //!
 //! where `<which>` is one of `fig1a`, `fig1b`, `fig1c`, `fig3`, `fig5`, `fig6`,
 //! `fig9`, `fig10`, `table1`, `table3`, `table5`, `table7`, `stats`, or `all`.
 //! `--quick` reduces the simulated access counts (for smoke testing).
+//! `--seed` overrides the PMU multiplexing-scheduler seed on the campaign-driven
+//! experiments (default unchanged, so output stays reproducible), and
+//! `--threads` fans the observation campaign across worker threads through the
+//! `counterpoint-collect` runner (`0` = available parallelism; output is
+//! identical for every thread count).
 //!
 //! The mapping from experiment to paper table/figure, and the measured-vs-paper
 //! comparison, is recorded in `EXPERIMENTS.md`.
@@ -25,7 +31,7 @@ use counterpoint::{
     compile_uop, deduce_constraints, CounterSpace, FeasibilityChecker, FeatureSet, GuidedSearch,
     ModelCone, NoiseModel, Observation,
 };
-use counterpoint_bench::{experiment_observations, projected_model, table3_model};
+use counterpoint_bench::{experiment_observations_opts, projected_model, table3_model};
 use counterpoint_haswell::eventdb::{event_database, growth_factor};
 use counterpoint_haswell::full_counter_space;
 use counterpoint_haswell::hec::cumulative_group_space;
@@ -36,36 +42,103 @@ use counterpoint_mudd::CounterSignature;
 use counterpoint_stats::{pearson, ConfidenceRegion};
 use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
-    let accesses = if quick { 20_000 } else { 60_000 };
+/// Run-wide options parsed from the command line.
+#[derive(Clone, Copy)]
+struct Opts {
+    /// Per-workload access budget.
+    accesses: usize,
+    /// PMU multiplexing-scheduler seed override (`--seed`).
+    seed: Option<u64>,
+    /// Campaign worker threads (`--threads`; 0 = available parallelism).
+    threads: usize,
+}
 
-    let run = |name: &str, f: &dyn Fn(usize)| {
+impl Opts {
+    /// Collects the case-study observation set honouring `--seed`/`--threads`.
+    fn observations(&self, accesses: usize) -> Vec<Observation> {
+        experiment_observations_opts(accesses, self.seed, self.threads)
+    }
+}
+
+fn parse_args() -> (String, bool, Option<u64>, usize) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed = None;
+    let mut threads = 1usize;
+    let mut which = None;
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!("usage: experiments <which> [--quick] [--seed <u64>] [--threads <n>]");
+        std::process::exit(2);
+    };
+    let parse = |flag: &str, value: Option<&String>| -> u64 {
+        let Some(value) = value else {
+            fail(format!("{flag} requires a value"));
+        };
+        value
+            .parse()
+            .unwrap_or_else(|_| fail(format!("invalid {flag} value `{value}`")))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = Some(parse("--seed", args.get(i + 1)));
+                i += 1;
+            }
+            "--threads" => {
+                threads = parse("--threads", args.get(i + 1)) as usize;
+                i += 1;
+            }
+            flag if flag.starts_with("--seed=") => {
+                seed = Some(parse("--seed", Some(&flag["--seed=".len()..].to_string())));
+            }
+            flag if flag.starts_with("--threads=") => {
+                threads =
+                    parse("--threads", Some(&flag["--threads=".len()..].to_string())) as usize;
+            }
+            flag if flag.starts_with("--") => fail(format!("unknown flag `{flag}`")),
+            name => which = Some(name.to_string()),
+        }
+        i += 1;
+    }
+    (
+        which.unwrap_or_else(|| "all".to_string()),
+        quick,
+        seed,
+        threads,
+    )
+}
+
+fn main() {
+    let (which, quick, seed, threads) = parse_args();
+    let opts = Opts {
+        accesses: if quick { 20_000 } else { 60_000 },
+        seed,
+        threads,
+    };
+
+    let run = |name: &str, f: &dyn Fn(Opts)| {
         if which == "all" || which == name {
             println!("\n================ {name} ================");
-            f(accesses);
+            f(opts);
         }
     };
 
     run("fig1a", &|_| fig1a());
     run("fig1b", &|_| fig1b());
-    run("fig1c", &|a| fig1c(a));
+    run("fig1c", &|o| fig1c(o.accesses));
     run("fig3", &|_| fig3());
-    run("fig5", &|a| fig5(a));
+    run("fig5", &|o| fig5(o.accesses));
     run("fig6", &|_| fig6());
     run("table1", &|_| table1());
-    run("table3", &|a| table3(a));
-    run("table5", &|a| table5(a));
-    run("table7", &|a| table7(a));
-    run("stats", &|a| stats_correlations(a));
-    run("fig9", &|a| fig9(a));
-    run("fig10", &|a| fig10(a));
+    run("table3", &|o| table3(&o));
+    run("table5", &|o| table5(&o));
+    run("table7", &|o| table7(&o));
+    run("stats", &|o| stats_correlations(o.accesses));
+    run("fig9", &|o| fig9(&o));
+    run("fig10", &|o| fig10(&o));
 }
 
 /// Figure 1a: growth of HEC counts across microarchitecture generations.
@@ -316,8 +389,8 @@ fn table1() {
 }
 
 /// Table 3: the initial model search.
-fn table3(accesses: usize) {
-    let observations = experiment_observations(accesses);
+fn table3(opts: &Opts) {
+    let observations = opts.observations(opts.accesses);
     println!("{} observations collected\n", observations.len());
     println!(
         "{:<5} {:>8} {:>9} {:>8} {:>11} {:>11} {:>12}",
@@ -354,10 +427,14 @@ fn table3(accesses: usize) {
 }
 
 /// Table 5: TLB prefetch trigger conditions.
-fn table5(accesses: usize) {
+fn table5(opts: &Opts) {
     // The trigger analysis focuses on the linear microbenchmark instances (paper,
     // Appendix C.2), run to steady state.
-    let config = HarnessConfig::quick();
+    let accesses = opts.accesses;
+    let mut config = HarnessConfig::quick();
+    if let Some(seed) = opts.seed {
+        config.pmu.seed = seed;
+    }
     let mut observations = Vec::new();
     for (label, store_ratio) in [("loads", 0.0f64), ("stores", 1.0)] {
         let workload = LinearAccess {
@@ -400,8 +477,8 @@ fn table5(accesses: usize) {
 }
 
 /// Table 7: translation-request abort points as an alternative to walk bypassing.
-fn table7(accesses: usize) {
-    let observations = experiment_observations(accesses);
+fn table7(opts: &Opts) {
+    let observations = opts.observations(opts.accesses);
     println!("{} observations collected\n", observations.len());
     println!(
         "{:<5} {:<55} {:>12}",
@@ -530,8 +607,8 @@ fn stats_correlations(accesses: usize) {
 }
 
 /// Figure 9: CounterPoint performance characterisation.
-fn fig9(accesses: usize) {
-    let observations = experiment_observations(accesses / 2);
+fn fig9(opts: &Opts) {
+    let observations = opts.observations(opts.accesses / 2);
     println!("(a) feasibility-testing time per observation vs counter groups (model m4):");
     for groups in 1..=4usize {
         let cone = projected_model("m4", groups);
@@ -574,8 +651,8 @@ fn fig9(accesses: usize) {
 }
 
 /// Figure 10: the guided discovery/elimination search graph.
-fn fig10(accesses: usize) {
-    let observations = experiment_observations(accesses / 2);
+fn fig10(opts: &Opts) {
+    let observations = opts.observations(opts.accesses / 2);
     let feature_names: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
     let search = GuidedSearch::new(
         |features: &FeatureSet| build_feature_model("candidate", features),

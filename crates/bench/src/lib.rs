@@ -6,7 +6,7 @@
 //! quantities of Figure 9.
 
 use counterpoint::models::family::{build_feature_model, feature_sets_table3};
-use counterpoint::models::harness::{collect_case_study_observations, HarnessConfig};
+use counterpoint::models::harness::{case_study_campaign, HarnessConfig};
 use counterpoint::{FeatureSet, ModelCone, Observation};
 use counterpoint_haswell::hec::cumulative_group_space;
 use counterpoint_haswell::mem::PageSize;
@@ -50,7 +50,28 @@ pub fn experiment_config(accesses: usize) -> HarnessConfig {
 
 /// Collects the case-study observation set at experiment scale.
 pub fn experiment_observations(accesses: usize) -> Vec<Observation> {
-    collect_case_study_observations(&experiment_config(accesses))
+    experiment_observations_opts(accesses, None, 1)
+}
+
+/// Like [`experiment_observations`], but with the experiment binary's knobs:
+/// an optional PMU scheduling seed override (`--seed`) and a worker-thread
+/// budget (`--threads`, `0` = available parallelism) applied through the
+/// `counterpoint-collect` campaign runner.
+///
+/// With `seed = None` the default PMU seed is used and the output is
+/// bit-identical to [`experiment_observations`] for every thread count.
+pub fn experiment_observations_opts(
+    accesses: usize,
+    seed: Option<u64>,
+    threads: usize,
+) -> Vec<Observation> {
+    let mut config = experiment_config(accesses);
+    if let Some(seed) = seed {
+        config.pmu.seed = seed;
+    }
+    case_study_campaign(&config)
+        .with_threads(threads)
+        .run_sim(&config.mmu, &config.pmu)
 }
 
 #[cfg(test)]
@@ -73,5 +94,20 @@ mod tests {
     #[should_panic(expected = "unknown Table 3 model")]
     fn unknown_model_panics() {
         let _ = table3_model("m99");
+    }
+
+    #[test]
+    fn threaded_experiment_observations_match_default() {
+        let base = experiment_observations(1_000);
+        let threaded = experiment_observations_opts(1_000, None, 4);
+        assert_eq!(base.len(), threaded.len());
+        for (a, b) in base.iter().zip(&threaded) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.mean(), b.mean());
+            assert_eq!(a.region().half_widths(), b.region().half_widths());
+        }
+        // A seed override changes the multiplexed samples.
+        let reseeded = experiment_observations_opts(1_000, Some(42), 2);
+        assert_ne!(base[0].mean(), reseeded[0].mean());
     }
 }

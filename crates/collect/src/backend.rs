@@ -1,0 +1,216 @@
+//! The backend seam: *what* to measure vs. *how* it is measured.
+//!
+//! A [`CounterBackend`] turns a workload plus an event schedule into
+//! per-interval counter samples. The rest of the pipeline (campaign fan-out,
+//! confidence regions, feasibility tests) is backend-agnostic, so the same
+//! campaign can run against the Haswell simulator, a recorded trace, or — once
+//! a real harness is wired in — live `perf_event_open` groups.
+
+use crate::error::CollectError;
+use crate::schedule::EventSchedule;
+use counterpoint_core::Observation;
+use counterpoint_haswell::mem::{MemoryAccess, PageSize};
+use serde::{Deserialize, Serialize};
+
+/// One unit of measurement work handed to a backend: a labelled access trace
+/// plus the measurement geometry (page size, interval count).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadRun<'a> {
+    /// Label identifying the workload/configuration (also the trace-record and
+    /// observation name).
+    pub label: &'a str,
+    /// The memory accesses to measure.
+    pub accesses: &'a [MemoryAccess],
+    /// Translation page size the workload runs under.
+    pub page_size: PageSize,
+    /// Number of measurement intervals to split the run into.
+    pub intervals: usize,
+}
+
+/// Per-interval counter samples, as a perf-style tool would report them:
+/// one row per measurement interval, one column per logical event of the
+/// schedule (already extrapolated across multiplexing rounds).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSamples {
+    counters: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl IntervalSamples {
+    /// Wraps sample rows with their counter names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the number of counters.
+    pub fn new(counters: Vec<String>, rows: Vec<Vec<f64>>) -> IntervalSamples {
+        for row in &rows {
+            assert_eq!(
+                row.len(),
+                counters.len(),
+                "sample row dimension does not match the counter list"
+            );
+        }
+        IntervalSamples { counters, rows }
+    }
+
+    /// The counter names, in column order.
+    pub fn counters(&self) -> &[String] {
+        &self.counters
+    }
+
+    /// The per-interval sample rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Number of measurement intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of counters per row.
+    pub fn dimension(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The rows after discarding `warmup` leading intervals (at least one row
+    /// is always kept, matching the harness's historical slicing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no rows at all.
+    pub fn steady(&self, warmup: usize) -> &[Vec<f64>] {
+        assert!(!self.rows.is_empty(), "no sample rows recorded");
+        &self.rows[warmup.min(self.rows.len() - 1)..]
+    }
+
+    /// Summarises the steady-state rows into an [`Observation`] with the
+    /// paper's correlated confidence-region construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no rows or `confidence` is not in `(0, 1)`.
+    pub fn observation(&self, name: &str, warmup: usize, confidence: f64) -> Observation {
+        Observation::from_samples(name, self.steady(warmup), confidence)
+    }
+
+    /// Like [`observation`](Self::observation), but widens the confidence
+    /// region by the schedule's extrapolation-noise
+    /// [`inflation_factor`](EventSchedule::inflation_factor) — the conservative
+    /// construction for heavily multiplexed schedules whose per-interval noise
+    /// is underestimated by few samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no rows or `confidence` is not in `(0, 1)`.
+    pub fn observation_inflated(
+        &self,
+        name: &str,
+        warmup: usize,
+        confidence: f64,
+        schedule: &EventSchedule,
+    ) -> Observation {
+        let base = self.observation(name, warmup, confidence);
+        Observation::from_region(name, base.region().inflated(schedule.inflation_factor()))
+    }
+}
+
+/// A counter-acquisition backend.
+///
+/// Backends own the "how": the Haswell simulator ([`SimBackend`]), recorded
+/// traces ([`ReplayBackend`]), or real hardware (the feature-gated
+/// `LinuxPerfBackend` stub). They take `&mut self` because real acquisition is
+/// stateful (open perf fds, a warm simulator); implementations define what, if
+/// anything, persists between runs.
+///
+/// [`SimBackend`]: crate::SimBackend
+/// [`ReplayBackend`]: crate::ReplayBackend
+pub trait CounterBackend {
+    /// A short stable name for reports and error messages.
+    fn name(&self) -> &str;
+
+    /// The multiplexing schedule this backend would use, given its event list
+    /// and physical-counter budget.
+    fn schedule(&self) -> Result<EventSchedule, CollectError>;
+
+    /// Whether [`run`](Self::run) actually reads [`WorkloadRun::accesses`].
+    ///
+    /// Backends that measure a workload (simulator, real hardware) return
+    /// `true` (the default). Backends that answer from a recording return
+    /// `false`, which lets a campaign skip generating the access trace
+    /// entirely — replay cost then scales with the trace, not with the original
+    /// workload.
+    fn consumes_accesses(&self) -> bool {
+        true
+    }
+
+    /// Measures one workload under the given schedule.
+    fn run(
+        &mut self,
+        workload: &WorkloadRun<'_>,
+        schedule: &EventSchedule,
+    ) -> Result<IntervalSamples, CollectError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_samples_expose_geometry() {
+        let s = IntervalSamples::new(
+            vec!["a".to_string(), "b".to_string()],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+        );
+        assert_eq!(s.dimension(), 2);
+        assert_eq!(s.num_intervals(), 3);
+        assert_eq!(s.counters()[1], "b");
+        assert_eq!(s.steady(1).len(), 2);
+        // Warm-up never discards the final row.
+        assert_eq!(s.steady(10), &[vec![5.0, 6.0]]);
+    }
+
+    #[test]
+    fn observation_matches_direct_construction() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 100.0 + i as f64]).collect();
+        let s = IntervalSamples::new(vec!["a".to_string(), "b".to_string()], rows.clone());
+        let obs = s.observation("w", 2, 0.99);
+        let direct = Observation::from_samples("w", &rows[2..], 0.99);
+        assert_eq!(obs.mean(), direct.mean());
+        assert_eq!(obs.region().half_widths(), direct.region().half_widths());
+    }
+
+    #[test]
+    fn inflated_observation_widens_by_schedule_factor() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64]).collect();
+        let s = IntervalSamples::new(vec!["a".to_string()], rows);
+        let schedule = EventSchedule::plan(
+            (0..16).map(|i| format!("e{i}")).collect(),
+            4, // 4 rounds -> inflation factor 2
+        );
+        let base = s.observation("w", 0, 0.99);
+        let wide = s.observation_inflated("w", 0, 0.99, &schedule);
+        for (w, b) in wide
+            .region()
+            .half_widths()
+            .iter()
+            .zip(base.region().half_widths())
+        {
+            assert_eq!(*w, b * 2.0);
+        }
+    }
+
+    #[test]
+    fn interval_samples_serde_round_trips() {
+        let s = IntervalSamples::new(vec!["x".to_string()], vec![vec![0.1], vec![1.0 / 3.0]]);
+        let text = serde_json::to_string(&s).unwrap();
+        let back: IntervalSamples = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension does not match")]
+    fn ragged_rows_panic() {
+        let _ = IntervalSamples::new(vec!["a".to_string()], vec![vec![1.0, 2.0]]);
+    }
+}

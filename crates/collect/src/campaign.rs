@@ -1,0 +1,473 @@
+//! Campaign fan-out: a workload × page-size × schedule matrix over worker
+//! threads, with deterministic per-cell seeds and stable observation order.
+
+use crate::backend::{CounterBackend, WorkloadRun};
+use crate::error::CollectError;
+use crate::replay::ReplayBackend;
+use crate::sim::SimBackend;
+use crate::trace::{Trace, TraceRecord};
+use counterpoint_core::Observation;
+use counterpoint_haswell::mem::PageSize;
+use counterpoint_haswell::mmu::MmuConfig;
+use counterpoint_haswell::pmu::PmuConfig;
+use counterpoint_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cell of the campaign matrix: a labelled workload at a page size, with
+/// its own access budget and PMU scheduling seed.
+#[derive(Clone)]
+pub struct CampaignCell {
+    /// The cell's label — becomes the observation name and trace-record key, so
+    /// it must be unique within a campaign (the harness uses `workload@pagesize`).
+    pub label: String,
+    /// The access-trace generator.
+    pub workload: Arc<dyn Workload>,
+    /// Number of accesses to generate for this cell.
+    pub accesses: usize,
+    /// Page size the cell runs under.
+    pub page_size: PageSize,
+    /// PMU scheduling seed for this cell (backends that model multiplexing use
+    /// it; replay ignores it).
+    pub seed: u64,
+}
+
+impl std::fmt::Debug for CampaignCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignCell")
+            .field("label", &self.label)
+            .field("accesses", &self.accesses)
+            .field("page_size", &self.page_size)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A measurement campaign: an ordered list of cells plus the shared measurement
+/// geometry (intervals, warm-up, confidence level) and a worker-thread budget.
+///
+/// Observations are returned in cell order regardless of the thread count, and
+/// every cell's result depends only on its own inputs (workload parameters and
+/// seed), so a campaign is reproducible: `threads = 8` produces bit-identical
+/// output to `threads = 1`.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    cells: Vec<CampaignCell>,
+    intervals: usize,
+    warmup_intervals: usize,
+    confidence: f64,
+    threads: usize,
+}
+
+impl Campaign {
+    /// An empty campaign with the given measurement geometry, running on one
+    /// thread until [`with_threads`](Self::with_threads) raises the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is zero or `confidence` is not in `(0, 1)`.
+    pub fn new(intervals: usize, warmup_intervals: usize, confidence: f64) -> Campaign {
+        assert!(intervals > 0, "need at least one measurement interval");
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence level must be in (0, 1)"
+        );
+        Campaign {
+            cells: Vec::new(),
+            intervals,
+            warmup_intervals,
+            confidence,
+            threads: 1,
+        }
+    }
+
+    /// Appends a cell.
+    pub fn push(&mut self, cell: CampaignCell) {
+        self.cells.push(cell);
+    }
+
+    /// The cells, in run order.
+    pub fn cells(&self) -> &[CampaignCell] {
+        &self.cells
+    }
+
+    /// Number of measurement intervals per cell.
+    pub fn intervals(&self) -> usize {
+        self.intervals
+    }
+
+    /// Leading intervals discarded before the confidence region is estimated.
+    pub fn warmup_intervals(&self) -> usize {
+        self.warmup_intervals
+    }
+
+    /// Confidence level of the constructed regions.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the worker-thread budget. `0` means "use the host's available
+    /// parallelism".
+    pub fn with_threads(mut self, threads: usize) -> Campaign {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Overrides every cell's seed with the same value (the `--seed` flag of
+    /// the experiments binary).
+    pub fn with_seed(mut self, seed: u64) -> Campaign {
+        for cell in &mut self.cells {
+            cell.seed = seed;
+        }
+        self
+    }
+
+    /// Derives a distinct deterministic seed per cell from `base` (SplitMix64
+    /// over the cell index), modelling repeated measurement runs whose PMU
+    /// scheduling phases differ.
+    pub fn with_per_cell_seeds(mut self, base: u64) -> Campaign {
+        for (idx, cell) in self.cells.iter_mut().enumerate() {
+            cell.seed = splitmix64(base.wrapping_add(idx as u64));
+        }
+        self
+    }
+
+    /// Runs every cell through backends produced by `make_backend` and returns
+    /// one observation per cell, in cell order.
+    ///
+    /// `make_backend` is called once per cell (on the worker thread that picked
+    /// the cell up), so backends need not be `Send` — only the factory must be
+    /// `Sync`.
+    pub fn run<B, F>(&self, make_backend: F) -> Result<Vec<Observation>, CollectError>
+    where
+        B: CounterBackend,
+        F: Fn(&CampaignCell) -> B + Sync,
+    {
+        Ok(self
+            .run_cells(&make_backend)?
+            .into_iter()
+            .map(|(obs, _)| obs)
+            .collect())
+    }
+
+    /// Like [`run`](Self::run), but also records every cell's raw samples into
+    /// a [`Trace`] that replays to identical observations.
+    pub fn run_recorded<B, F>(
+        &self,
+        make_backend: F,
+    ) -> Result<(Vec<Observation>, Trace), CollectError>
+    where
+        B: CounterBackend,
+        F: Fn(&CampaignCell) -> B + Sync,
+    {
+        let mut observations = Vec::with_capacity(self.cells.len());
+        let mut trace = Trace::new();
+        for (obs, record) in self.run_cells(&make_backend)? {
+            observations.push(obs);
+            trace.push(record);
+        }
+        Ok((observations, trace))
+    }
+
+    /// Runs the campaign on the Haswell simulator (the default backend): each
+    /// cell gets a cold simulator with the cell's seed. Simulation cannot fail,
+    /// so this returns the observations directly.
+    pub fn run_sim(&self, mmu: &MmuConfig, pmu: &PmuConfig) -> Vec<Observation> {
+        self.run(|cell| SimBackend::new(mmu.clone(), pmu.clone()).with_seed(cell.seed))
+            .expect("the simulated backend is infallible")
+    }
+
+    /// [`run_sim`](Self::run_sim) plus trace recording.
+    pub fn run_sim_recorded(&self, mmu: &MmuConfig, pmu: &PmuConfig) -> (Vec<Observation>, Trace) {
+        self.run_recorded(|cell| SimBackend::new(mmu.clone(), pmu.clone()).with_seed(cell.seed))
+            .expect("the simulated backend is infallible")
+    }
+
+    /// Replays a recorded trace through the campaign, reproducing the original
+    /// observations bit-for-bit (or failing loudly on any mismatch between the
+    /// campaign and the recording).
+    pub fn replay(&self, trace: &Trace) -> Result<Vec<Observation>, CollectError> {
+        let shared = Arc::new(trace.clone());
+        self.run(move |_cell| ReplayBackend::shared(Arc::clone(&shared)))
+    }
+
+    fn run_cells<B, F>(
+        &self,
+        make_backend: &F,
+    ) -> Result<Vec<(Observation, TraceRecord)>, CollectError>
+    where
+        B: CounterBackend,
+        F: Fn(&CampaignCell) -> B + Sync,
+    {
+        let run_one = |cell: &CampaignCell| -> Result<(Observation, TraceRecord), CollectError> {
+            let mut backend = make_backend(cell);
+            let schedule = backend.schedule()?;
+            // Backends that answer from a recording never read the accesses, so
+            // skip the (potentially expensive) trace generation for them.
+            let accesses = if backend.consumes_accesses() {
+                let accesses = cell.workload.generate(cell.accesses);
+                if accesses.is_empty() {
+                    return Err(CollectError::EmptyWorkload {
+                        label: cell.label.clone(),
+                    });
+                }
+                accesses
+            } else {
+                Vec::new()
+            };
+            let run = WorkloadRun {
+                label: &cell.label,
+                accesses: &accesses,
+                page_size: cell.page_size,
+                intervals: self.intervals,
+            };
+            let samples = backend.run(&run, &schedule)?;
+            let observation =
+                samples.observation(&cell.label, self.warmup_intervals, self.confidence);
+            let record = TraceRecord {
+                label: cell.label.clone(),
+                page_size: cell.page_size,
+                intervals: self.intervals,
+                num_events: schedule.num_events(),
+                physical_counters: schedule.physical_counters(),
+                samples,
+            };
+            Ok((observation, record))
+        };
+
+        let workers = self.threads.min(self.cells.len()).max(1);
+        let mut slots: Vec<Option<Result<(Observation, TraceRecord), CollectError>>> =
+            if workers <= 1 {
+                self.cells.iter().map(|cell| Some(run_one(cell))).collect()
+            } else {
+                let slots: Vec<Mutex<Option<_>>> =
+                    self.cells.iter().map(|_| Mutex::new(None)).collect();
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(cell) = self.cells.get(idx) else {
+                                break;
+                            };
+                            let outcome = run_one(cell);
+                            *slots[idx].lock().expect("campaign worker panicked") = Some(outcome);
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|slot| slot.into_inner().expect("campaign worker panicked"))
+                    .collect()
+            };
+
+        // Surface the first failure in cell order (deterministic regardless of
+        // which worker hit it first).
+        slots
+            .iter_mut()
+            .map(|slot| slot.take().expect("every cell was scheduled"))
+            .collect()
+    }
+}
+
+/// SplitMix64: the standard 64-bit mixer, used to derive independent per-cell
+/// seeds from a base seed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counterpoint_workloads::LinearAccess;
+
+    fn small_campaign(cells: usize) -> Campaign {
+        let mut campaign = Campaign::new(6, 1, 0.99);
+        for i in 0..cells {
+            let workload = LinearAccess {
+                footprint: (1 + i as u64) << 20,
+                stride: 64,
+                store_ratio: 0.0,
+            };
+            campaign.push(CampaignCell {
+                label: format!("cell-{i}@4k"),
+                workload: Arc::new(workload),
+                accesses: 4_000,
+                page_size: PageSize::Size4K,
+                seed: PmuConfig::default().seed,
+            });
+        }
+        campaign
+    }
+
+    fn assert_observations_identical(a: &[Observation], b: &[Observation]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(x.mean(), y.mean());
+            assert_eq!(x.region().axes(), y.region().axes());
+            assert_eq!(x.region().half_widths(), y.region().half_widths());
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential_run() {
+        let mmu = MmuConfig::haswell();
+        let pmu = PmuConfig::default();
+        let campaign = small_campaign(5);
+        let sequential = campaign.run_sim(&mmu, &pmu);
+        let threaded = campaign.clone().with_threads(4).run_sim(&mmu, &pmu);
+        assert_observations_identical(&sequential, &threaded);
+        // Order is cell order, not completion order.
+        for (i, obs) in sequential.iter().enumerate() {
+            assert_eq!(obs.name(), format!("cell-{i}@4k"));
+        }
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_observations() {
+        let mmu = MmuConfig::haswell();
+        let pmu = PmuConfig::default();
+        let campaign = small_campaign(3);
+        let (live, trace) = campaign.run_sim_recorded(&mmu, &pmu);
+        assert_eq!(trace.len(), 3);
+        let replayed = campaign.replay(&trace).unwrap();
+        assert_observations_identical(&live, &replayed);
+        // Replay through threads too.
+        let replayed_mt = campaign.clone().with_threads(3).replay(&trace).unwrap();
+        assert_observations_identical(&live, &replayed_mt);
+    }
+
+    #[test]
+    fn replay_of_a_different_campaign_fails() {
+        let mmu = MmuConfig::haswell();
+        let pmu = PmuConfig::default();
+        let (_, trace) = small_campaign(2).run_sim_recorded(&mmu, &pmu);
+        let bigger = small_campaign(3);
+        let err = bigger.replay(&trace).unwrap_err();
+        assert!(matches!(err, CollectError::MissingRecord { .. }));
+    }
+
+    #[test]
+    fn seed_overrides_apply() {
+        let campaign = small_campaign(4).with_seed(7);
+        assert!(campaign.cells().iter().all(|c| c.seed == 7));
+        let per_cell = small_campaign(4).with_per_cell_seeds(7);
+        let seeds: Vec<u64> = per_cell.cells().iter().map(|c| c.seed).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "per-cell seeds must be distinct");
+        // Deterministic: same base, same seeds.
+        let again: Vec<u64> = small_campaign(4)
+            .with_per_cell_seeds(7)
+            .cells()
+            .iter()
+            .map(|c| c.seed)
+            .collect();
+        assert_eq!(seeds, again);
+    }
+
+    #[test]
+    fn per_cell_seeds_change_multiplexed_observations() {
+        let mmu = MmuConfig::haswell();
+        let pmu = PmuConfig::default();
+        let fixed = small_campaign(2).run_sim(&mmu, &pmu);
+        let reseeded = small_campaign(2)
+            .with_per_cell_seeds(99)
+            .run_sim(&mmu, &pmu);
+        // Means differ because the PMU scheduling phases differ.
+        assert_ne!(fixed[0].mean(), reseeded[0].mean());
+    }
+
+    #[test]
+    fn zero_access_cells_error_instead_of_panicking() {
+        let mmu = MmuConfig::haswell();
+        let pmu = PmuConfig::default();
+        let mut campaign = Campaign::new(4, 0, 0.99);
+        campaign.push(CampaignCell {
+            label: "empty@4k".to_string(),
+            workload: Arc::new(LinearAccess {
+                footprint: 1 << 20,
+                stride: 64,
+                store_ratio: 0.0,
+            }),
+            accesses: 0,
+            page_size: PageSize::Size4K,
+            seed: 0,
+        });
+        let err = campaign
+            .run(|cell| SimBackend::new(mmu.clone(), pmu.clone()).with_seed(cell.seed))
+            .unwrap_err();
+        assert!(matches!(err, CollectError::EmptyWorkload { .. }));
+        // The threaded path surfaces the same error instead of aborting.
+        let err = campaign
+            .with_threads(2)
+            .run(|cell| SimBackend::new(mmu.clone(), pmu.clone()).with_seed(cell.seed))
+            .unwrap_err();
+        assert!(matches!(err, CollectError::EmptyWorkload { .. }));
+    }
+
+    /// A workload that must never be asked to generate accesses (stands in for
+    /// an expensive generator during replay).
+    struct PanickingWorkload;
+
+    impl counterpoint_workloads::Workload for PanickingWorkload {
+        fn name(&self) -> String {
+            "panicking".to_string()
+        }
+
+        fn generate(&self, _num_accesses: usize) -> Vec<counterpoint_haswell::mem::MemoryAccess> {
+            panic!("replay must not regenerate workload accesses");
+        }
+    }
+
+    #[test]
+    fn replay_does_not_regenerate_workload_accesses() {
+        let mmu = MmuConfig::haswell();
+        let pmu = PmuConfig::default();
+        let recorded = small_campaign(2);
+        let (live, trace) = recorded.run_sim_recorded(&mmu, &pmu);
+
+        // Same labels/geometry, but workloads that panic if generated from.
+        let mut replay_campaign = Campaign::new(6, 1, 0.99);
+        for i in 0..2 {
+            replay_campaign.push(CampaignCell {
+                label: format!("cell-{i}@4k"),
+                workload: Arc::new(PanickingWorkload),
+                accesses: 4_000,
+                page_size: PageSize::Size4K,
+                seed: 0,
+            });
+        }
+        let replayed = replay_campaign.replay(&trace).unwrap();
+        assert_observations_identical(&live, &replayed);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let campaign = small_campaign(1).with_threads(0);
+        assert!(campaign.threads() >= 1);
+        assert_eq!(campaign.intervals(), 6);
+        assert_eq!(campaign.warmup_intervals(), 1);
+        assert_eq!(campaign.confidence(), 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn invalid_confidence_panics() {
+        let _ = Campaign::new(5, 0, 1.5);
+    }
+}

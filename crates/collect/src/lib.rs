@@ -1,0 +1,68 @@
+//! Counter collection: the acquisition layer of the CounterPoint pipeline.
+//!
+//! The paper's pipeline starts with a *measurement campaign* — workloads swept
+//! over page sizes, event groups multiplexed onto a handful of physical
+//! counters, samples summarised into counter confidence regions. This crate
+//! owns that stage end to end and separates *what* to measure from *how* it is
+//! measured:
+//!
+//! * [`CounterBackend`] — the acquisition seam. [`SimBackend`] measures the
+//!   functional Haswell simulator, [`ReplayBackend`] plays back recorded
+//!   traces, and the feature-gated `LinuxPerfBackend` stub (`--features perf`)
+//!   reserves the surface for a real `perf_event_open` harness.
+//! * [`EventSchedule`] — plans multiplexing rounds for N logical events under a
+//!   K-physical-counter budget and reports the extrapolation-noise
+//!   [`inflation factor`](EventSchedule::inflation_factor) consumed by
+//!   `counterpoint_stats::ConfidenceRegion::inflated`.
+//! * [`Campaign`] — fans a workload × page-size matrix across worker threads
+//!   with deterministic per-cell seeds and stable observation order
+//!   (`threads = 8` is bit-identical to `threads = 1`).
+//! * [`Trace`] — serde-based JSON record/replay, so any campaign can be
+//!   captured once and re-run bit-exactly anywhere.
+//!
+//! # Example
+//!
+//! Record a two-cell campaign on the simulator and replay it:
+//!
+//! ```
+//! use counterpoint_collect::{Campaign, CampaignCell, Trace};
+//! use counterpoint_haswell::mem::PageSize;
+//! use counterpoint_haswell::mmu::MmuConfig;
+//! use counterpoint_haswell::pmu::PmuConfig;
+//! use counterpoint_workloads::LinearAccess;
+//! use std::sync::Arc;
+//!
+//! let mut campaign = Campaign::new(6, 1, 0.99);
+//! for (i, stride) in [64u64, 4096].into_iter().enumerate() {
+//!     campaign.push(CampaignCell {
+//!         label: format!("linear-{stride}@4k"),
+//!         workload: Arc::new(LinearAccess { footprint: 4 << 20, stride, store_ratio: 0.0 }),
+//!         accesses: 3_000,
+//!         page_size: PageSize::Size4K,
+//!         seed: 17 + i as u64,
+//!     });
+//! }
+//! let (live, trace) = campaign.run_sim_recorded(&MmuConfig::haswell(), &PmuConfig::default());
+//! let replayed = campaign.replay(&Trace::from_json(&trace.to_json()).unwrap()).unwrap();
+//! assert_eq!(live[0].mean(), replayed[0].mean());
+//! ```
+
+mod backend;
+mod campaign;
+mod error;
+#[cfg(feature = "perf")]
+mod perf;
+mod replay;
+mod schedule;
+mod sim;
+mod trace;
+
+pub use backend::{CounterBackend, IntervalSamples, WorkloadRun};
+pub use campaign::{Campaign, CampaignCell};
+pub use error::CollectError;
+#[cfg(feature = "perf")]
+pub use perf::{LinuxPerfBackend, DEFAULT_PHYSICAL_COUNTERS};
+pub use replay::ReplayBackend;
+pub use schedule::EventSchedule;
+pub use sim::SimBackend;
+pub use trace::{Trace, TraceRecord, TRACE_FORMAT_VERSION};

@@ -1,0 +1,153 @@
+//! The Linux `perf_event_open` backend stub (behind the `perf` cargo feature).
+//!
+//! Real HEC acquisition programs each multiplexing round as a perf event
+//! *group*: the round's first event is opened with `group_fd = -1` and becomes
+//! the leader, the rest join it, and the kernel then schedules the whole group
+//! onto the physical counters atomically — which is exactly the unit
+//! [`EventSchedule`] plans. The extrapolation this crate models as multiplexing
+//! noise corresponds to the kernel's `time_enabled / time_running` scaling
+//! (`PERF_FORMAT_TOTAL_TIME_ENABLED` / `..._RUNNING`).
+//!
+//! This build is a *stub*: it compiles on every host, performs the host probe a
+//! real harness would start with, and reports a structured
+//! [`CollectError::Unsupported`] instead of opening events. That keeps the
+//! backend surface (and this crate's feature wiring) honest and CI-covered
+//! until a real syscall harness lands, without ever producing numbers that
+//! could be mistaken for hardware measurements.
+
+use crate::backend::{CounterBackend, IntervalSamples, WorkloadRun};
+use crate::error::CollectError;
+use crate::schedule::EventSchedule;
+
+/// Default physical general-purpose counters per Haswell hyperthread.
+pub const DEFAULT_PHYSICAL_COUNTERS: usize = 4;
+
+/// The `perf_event_open` backend stub.
+///
+/// Construction always succeeds (so campaigns can be *planned* against it on
+/// any machine); [`run`](CounterBackend::run) reports why acquisition is
+/// unavailable on this host.
+#[derive(Clone, Debug)]
+pub struct LinuxPerfBackend {
+    events: Vec<String>,
+    physical_counters: usize,
+}
+
+impl LinuxPerfBackend {
+    /// A perf backend programming the given event names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty.
+    pub fn new(events: Vec<String>) -> LinuxPerfBackend {
+        assert!(!events.is_empty(), "cannot program zero perf events");
+        LinuxPerfBackend {
+            events,
+            physical_counters: DEFAULT_PHYSICAL_COUNTERS,
+        }
+    }
+
+    /// Overrides the physical-counter budget (8 with SMT off on Haswell).
+    pub fn with_physical_counters(mut self, physical_counters: usize) -> LinuxPerfBackend {
+        self.physical_counters = physical_counters;
+        self
+    }
+
+    /// The programmed event names.
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    /// Describes why live perf acquisition is unavailable, as a real harness's
+    /// preflight probe would: wrong OS, or (on Linux) the fact that this build
+    /// does not include the syscall harness — alongside what the host's
+    /// `perf_event_paranoid` setting reports, since that is the first thing to
+    /// check when wiring the real backend in.
+    pub fn host_probe() -> String {
+        if cfg!(not(target_os = "linux")) {
+            return format!(
+                "perf_event_open requires Linux (this host: {})",
+                std::env::consts::OS
+            );
+        }
+        let paranoid = std::fs::read_to_string("/proc/sys/kernel/perf_event_paranoid");
+        let perf_iface = match paranoid {
+            Ok(level) => format!("perf_event_paranoid={}", level.trim()),
+            Err(_) => "no /proc/sys/kernel/perf_event_paranoid (perf interface absent)".to_string(),
+        };
+        format!(
+            "this build is the API stub — the perf_event_open syscall harness is not wired in \
+             (host: linux, {perf_iface})"
+        )
+    }
+}
+
+impl CounterBackend for LinuxPerfBackend {
+    fn name(&self) -> &str {
+        "linux-perf"
+    }
+
+    fn schedule(&self) -> Result<EventSchedule, CollectError> {
+        Ok(EventSchedule::plan(
+            self.events.clone(),
+            self.physical_counters,
+        ))
+    }
+
+    fn run(
+        &mut self,
+        _workload: &WorkloadRun<'_>,
+        _schedule: &EventSchedule,
+    ) -> Result<IntervalSamples, CollectError> {
+        Err(CollectError::Unsupported {
+            backend: self.name().to_string(),
+            reason: LinuxPerfBackend::host_probe(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counterpoint_haswell::full_counter_space;
+    use counterpoint_haswell::mem::PageSize;
+
+    #[test]
+    fn plans_groups_within_the_physical_budget() {
+        let backend = LinuxPerfBackend::new(full_counter_space().names().to_vec());
+        let schedule = backend.schedule().unwrap();
+        assert_eq!(schedule.num_events(), 26);
+        assert_eq!(schedule.num_rounds(), 7);
+        for group in schedule.rounds() {
+            assert!(group.len() <= DEFAULT_PHYSICAL_COUNTERS);
+        }
+        let smt_off = backend.with_physical_counters(8);
+        assert_eq!(smt_off.schedule().unwrap().num_rounds(), 4);
+    }
+
+    #[test]
+    fn run_reports_a_structured_unsupported_error() {
+        let mut backend = LinuxPerfBackend::new(vec!["load.ret".to_string()]);
+        let schedule = backend.schedule().unwrap();
+        let run = WorkloadRun {
+            label: "w",
+            accesses: &[],
+            page_size: PageSize::Size4K,
+            intervals: 1,
+        };
+        match backend.run(&run, &schedule) {
+            Err(CollectError::Unsupported { backend, reason }) => {
+                assert_eq!(backend, "linux-perf");
+                assert!(!reason.is_empty());
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        assert_eq!(backend.events().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero perf events")]
+    fn empty_event_list_panics() {
+        let _ = LinuxPerfBackend::new(Vec::new());
+    }
+}

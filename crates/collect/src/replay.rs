@@ -1,0 +1,202 @@
+//! The replay backend: plays a recorded [`Trace`] back as if it were live
+//! hardware.
+
+use crate::backend::{CounterBackend, IntervalSamples, WorkloadRun};
+use crate::error::CollectError;
+use crate::schedule::EventSchedule;
+use crate::trace::Trace;
+use std::sync::Arc;
+
+/// A backend that answers every run from a recorded trace.
+///
+/// Lookup is by workload label; the record's measurement geometry (page size,
+/// interval count, schedule parameters) is cross-checked against the replay
+/// request so a trace can never silently masquerade as a different campaign.
+/// Cloning is cheap (the trace is shared), so one trace can serve many
+/// campaign workers.
+#[derive(Clone, Debug)]
+pub struct ReplayBackend {
+    trace: Arc<Trace>,
+}
+
+impl ReplayBackend {
+    /// Wraps a trace for replay.
+    pub fn new(trace: Trace) -> ReplayBackend {
+        ReplayBackend {
+            trace: Arc::new(trace),
+        }
+    }
+
+    /// Wraps an already-shared trace (avoids cloning record payloads).
+    pub fn shared(trace: Arc<Trace>) -> ReplayBackend {
+        ReplayBackend { trace }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl CounterBackend for ReplayBackend {
+    fn name(&self) -> &str {
+        "replay"
+    }
+
+    fn consumes_accesses(&self) -> bool {
+        false
+    }
+
+    fn schedule(&self) -> Result<EventSchedule, CollectError> {
+        let first = self.trace.records.first().ok_or(CollectError::EmptyTrace)?;
+        Ok(EventSchedule::plan(
+            first.samples.counters().to_vec(),
+            first.physical_counters,
+        ))
+    }
+
+    fn run(
+        &mut self,
+        workload: &WorkloadRun<'_>,
+        schedule: &EventSchedule,
+    ) -> Result<IntervalSamples, CollectError> {
+        let record = self
+            .trace
+            .get(workload.label)
+            .ok_or_else(|| CollectError::MissingRecord {
+                label: workload.label.to_string(),
+            })?;
+        let mismatch = |reason: String| CollectError::TraceMismatch {
+            label: workload.label.to_string(),
+            reason,
+        };
+        if record.page_size != workload.page_size {
+            return Err(mismatch(format!(
+                "recorded at page size {}, replayed at {}",
+                record.page_size, workload.page_size
+            )));
+        }
+        if record.intervals != workload.intervals {
+            return Err(mismatch(format!(
+                "recorded with {} intervals, replayed with {}",
+                record.intervals, workload.intervals
+            )));
+        }
+        if record.num_events != schedule.num_events() {
+            return Err(mismatch(format!(
+                "recorded with {} events, replay schedule has {}",
+                record.num_events,
+                schedule.num_events()
+            )));
+        }
+        if record.physical_counters != schedule.physical_counters() {
+            return Err(mismatch(format!(
+                "recorded on {} physical counters, replay schedule assumes {}",
+                record.physical_counters,
+                schedule.physical_counters()
+            )));
+        }
+        Ok(record.samples.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecord;
+    use counterpoint_haswell::mem::PageSize;
+
+    fn record(label: &str) -> TraceRecord {
+        TraceRecord {
+            label: label.to_string(),
+            page_size: PageSize::Size4K,
+            intervals: 2,
+            num_events: 2,
+            physical_counters: 4,
+            samples: IntervalSamples::new(
+                vec!["a".to_string(), "b".to_string()],
+                vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            ),
+        }
+    }
+
+    fn backend() -> ReplayBackend {
+        let mut trace = Trace::new();
+        trace.push(record("w@4k"));
+        ReplayBackend::new(trace)
+    }
+
+    #[test]
+    fn replays_recorded_samples() {
+        let mut b = backend();
+        let schedule = b.schedule().unwrap();
+        assert_eq!(schedule.num_events(), 2);
+        let run = WorkloadRun {
+            label: "w@4k",
+            accesses: &[],
+            page_size: PageSize::Size4K,
+            intervals: 2,
+        };
+        let samples = b.run(&run, &schedule).unwrap();
+        assert_eq!(samples.rows()[1], vec![3.0, 4.0]);
+        assert_eq!(b.name(), "replay");
+        assert_eq!(b.trace().len(), 1);
+    }
+
+    #[test]
+    fn missing_label_and_empty_trace_error() {
+        let mut b = backend();
+        let schedule = b.schedule().unwrap();
+        let run = WorkloadRun {
+            label: "unknown",
+            accesses: &[],
+            page_size: PageSize::Size4K,
+            intervals: 2,
+        };
+        assert!(matches!(
+            b.run(&run, &schedule),
+            Err(CollectError::MissingRecord { .. })
+        ));
+        assert!(matches!(
+            ReplayBackend::new(Trace::new()).schedule(),
+            Err(CollectError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn geometry_mismatches_are_detected() {
+        let mut b = backend();
+        let schedule = b.schedule().unwrap();
+        let wrong_page = WorkloadRun {
+            label: "w@4k",
+            accesses: &[],
+            page_size: PageSize::Size2M,
+            intervals: 2,
+        };
+        assert!(matches!(
+            b.run(&wrong_page, &schedule),
+            Err(CollectError::TraceMismatch { .. })
+        ));
+        let wrong_intervals = WorkloadRun {
+            label: "w@4k",
+            accesses: &[],
+            page_size: PageSize::Size4K,
+            intervals: 7,
+        };
+        assert!(matches!(
+            b.run(&wrong_intervals, &schedule),
+            Err(CollectError::TraceMismatch { .. })
+        ));
+        let wrong_schedule = EventSchedule::plan(vec!["a".to_string()], 4);
+        let run = WorkloadRun {
+            label: "w@4k",
+            accesses: &[],
+            page_size: PageSize::Size4K,
+            intervals: 2,
+        };
+        assert!(matches!(
+            b.run(&run, &wrong_schedule),
+            Err(CollectError::TraceMismatch { .. })
+        ));
+    }
+}

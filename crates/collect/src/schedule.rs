@@ -1,0 +1,194 @@
+//! Event-group scheduling under a physical-counter budget.
+//!
+//! A PMU exposes only a handful of physical counters (4 per hyperthread on
+//! Haswell), so measuring more logical events forces time-multiplexing: the
+//! events are dealt into *rounds* that take turns on the hardware, and each
+//! event's count is extrapolated from the fraction of the interval its round
+//! was scheduled. [`EventSchedule`] is the planner for that process — it
+//! generalises the round-robin grouping that used to live inside the Haswell
+//! PMU model (`counterpoint_haswell::pmu`) and reports the statistical price of
+//! the plan: the [`inflation_factor`](EventSchedule::inflation_factor) by which
+//! extrapolation noise widens confidence regions.
+
+use counterpoint_haswell::pmu::multiplexing_rounds;
+use counterpoint_mudd::CounterSpace;
+use serde::{Deserialize, Serialize};
+
+/// A multiplexing plan: which logical events are counted on which scheduling
+/// round.
+///
+/// The plan is the modular round-robin deal `event e → round e mod R` with
+/// `R = ceil(events / physical_counters)` — exactly the schedule perf-like
+/// tools (and the simulated PMU) use, which keeps every round within the
+/// physical-counter budget. When everything fits (`events <= physical
+/// counters`) the schedule degenerates to a single round and the inflation
+/// factor is exactly 1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventSchedule {
+    events: Vec<String>,
+    physical_counters: usize,
+    rounds: Vec<Vec<usize>>,
+}
+
+impl EventSchedule {
+    /// Plans a schedule for the named logical events on `physical_counters`
+    /// simultaneous hardware counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty.
+    pub fn plan(events: Vec<String>, physical_counters: usize) -> EventSchedule {
+        assert!(!events.is_empty(), "cannot schedule zero events");
+        let num_rounds = multiplexing_rounds(events.len(), physical_counters);
+        let mut rounds = vec![Vec::new(); num_rounds];
+        for event_idx in 0..events.len() {
+            rounds[event_idx % num_rounds].push(event_idx);
+        }
+        EventSchedule {
+            events,
+            physical_counters,
+            rounds,
+        }
+    }
+
+    /// Plans a schedule for every counter of a [`CounterSpace`], in space order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is empty.
+    pub fn for_space(space: &CounterSpace, physical_counters: usize) -> EventSchedule {
+        EventSchedule::plan(space.names().to_vec(), physical_counters)
+    }
+
+    /// The logical event names, in programming order.
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    /// Number of logical events.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The physical-counter budget the plan was made for.
+    pub fn physical_counters(&self) -> usize {
+        self.physical_counters
+    }
+
+    /// The rounds: each entry lists the event indices counted on that round.
+    pub fn rounds(&self) -> &[Vec<usize>] {
+        &self.rounds
+    }
+
+    /// Number of multiplexing rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The round on which event `event_idx` is counted.
+    ///
+    /// Defined for any index (columns beyond [`num_events`](Self::num_events)
+    /// follow the same modular deal), so a backend can schedule ground-truth
+    /// matrices that carry more columns than programmed events.
+    pub fn round_of(&self, event_idx: usize) -> usize {
+        event_idx % self.rounds.len()
+    }
+
+    /// `true` when more than one round is needed (events exceed the budget).
+    pub fn is_multiplexed(&self) -> bool {
+        self.rounds.len() > 1
+    }
+
+    /// Fraction of the measurement interval each event is actually counted
+    /// (`1 / rounds`).
+    pub fn duty_cycle(&self) -> f64 {
+        1.0 / self.rounds.len() as f64
+    }
+
+    /// The extrapolation-noise inflation factor of this plan: the multiplier on
+    /// the *standard error* of each extrapolated count relative to measuring
+    /// with enough physical counters.
+    ///
+    /// Each event is observed on a `1/R` fraction of the interval and scaled
+    /// back up by `R`, so the sampling variance grows by ~`R` and the standard
+    /// error — the unit confidence-region half-widths are made of — by
+    /// `sqrt(R)`. Consumers pass this to
+    /// `counterpoint_stats::ConfidenceRegion::inflated` to keep regions honest
+    /// about multiplexing noise; a single-round schedule reports exactly 1.
+    pub fn inflation_factor(&self) -> f64 {
+        (self.rounds.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("ev{i}")).collect()
+    }
+
+    #[test]
+    fn fitting_schedule_degenerates_to_one_round() {
+        let s = EventSchedule::plan(names(4), 4);
+        assert_eq!(s.num_rounds(), 1);
+        assert_eq!(s.rounds()[0], vec![0, 1, 2, 3]);
+        assert!(!s.is_multiplexed());
+        assert_eq!(s.inflation_factor(), 1.0);
+        assert_eq!(s.duty_cycle(), 1.0);
+    }
+
+    #[test]
+    fn oversubscribed_schedule_round_robins() {
+        let s = EventSchedule::plan(names(26), 4);
+        assert_eq!(s.num_rounds(), 7);
+        // Every round fits the physical budget.
+        for round in s.rounds() {
+            assert!(round.len() <= 4);
+        }
+        // The deal is modular, matching the PMU model's grouping.
+        for e in 0..26 {
+            assert_eq!(s.round_of(e), e % 7);
+            assert!(s.rounds()[e % 7].contains(&e));
+        }
+        // Indices beyond the programmed events still map to a valid round.
+        assert_eq!(s.round_of(30), 30 % 7);
+        assert!(s.is_multiplexed());
+        assert_eq!(s.inflation_factor(), (7.0f64).sqrt());
+    }
+
+    #[test]
+    fn every_event_is_scheduled_exactly_once() {
+        let s = EventSchedule::plan(names(19), 4);
+        let mut seen = [0usize; 19];
+        for round in s.rounds() {
+            for &e in round {
+                seen[e] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn for_space_uses_space_order() {
+        let space = CounterSpace::new(&["a", "b", "c"]);
+        let s = EventSchedule::for_space(&space, 8);
+        assert_eq!(s.events(), &["a", "b", "c"]);
+        assert_eq!(s.num_events(), 3);
+        assert_eq!(s.physical_counters(), 8);
+    }
+
+    #[test]
+    fn schedule_serde_round_trips() {
+        let s = EventSchedule::plan(names(9), 4);
+        let text = serde_json::to_string(&s).unwrap();
+        let back: EventSchedule = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero events")]
+    fn empty_plan_panics() {
+        let _ = EventSchedule::plan(Vec::new(), 4);
+    }
+}

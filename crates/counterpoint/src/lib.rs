@@ -13,6 +13,9 @@
 //! * [`haswell`] — the functional Haswell MMU simulator and PMU multiplexing model
 //!   used as the hardware stand-in,
 //! * [`workloads`] — synthetic workload generators,
+//! * [`collect`] — the counter-collection subsystem: pluggable acquisition
+//!   backends, event-group scheduling, threaded measurement campaigns and trace
+//!   record/replay (`--features perf` also compiles the Linux perf backend stub),
 //! * [`models`] — the Haswell case-study model families (Tables 3, 5 and 7).
 //!
 //! The most common entry points are re-exported at the crate root.
@@ -39,6 +42,7 @@
 //! assert!(!FeasibilityChecker::new(&cone).is_feasible(&observation));
 //! ```
 
+pub use counterpoint_collect as collect;
 pub use counterpoint_core as core;
 pub use counterpoint_geometry as geometry;
 pub use counterpoint_haswell as haswell;
@@ -49,6 +53,12 @@ pub use counterpoint_numeric as numeric;
 pub use counterpoint_stats as stats;
 pub use counterpoint_workloads as workloads;
 
+#[cfg(feature = "perf")]
+pub use counterpoint_collect::LinuxPerfBackend;
+pub use counterpoint_collect::{
+    Campaign, CampaignCell, CollectError, CounterBackend, EventSchedule, IntervalSamples,
+    ReplayBackend, SimBackend, Trace, TraceRecord, WorkloadRun,
+};
 pub use counterpoint_core::{
     deduce_constraints, essential_features, evaluate_models, ConstraintSet, ExplorationModel,
     FeasibilityChecker, FeasibilityReport, FeatureSet, GuidedSearch, ModelCone, ModelEvaluation,

@@ -1,14 +1,14 @@
 //! Virtual addresses, page sizes and memory accesses.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A virtual address in the simulated 48-bit x86-64 address space.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct VirtAddr(pub u64);
 
 /// x86-64 translation page sizes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PageSize {
     /// 4 KiB pages (leaf at the PT level; 4-level walk).
     Size4K,
@@ -134,7 +134,7 @@ impl fmt::Display for VirtAddr {
 }
 
 /// One memory access issued by a workload: an address plus whether it is a store.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MemoryAccess {
     /// The accessed virtual address.
     pub addr: VirtAddr,

@@ -59,6 +59,51 @@ impl PmuConfig {
     }
 }
 
+/// Number of multiplexing rounds (event groups that take turns on the physical
+/// counters) needed to observe `num_events` logical events on
+/// `physical_counters` physical counters.
+///
+/// This is the scheduling kernel shared by [`MultiplexingPmu`] and the
+/// `counterpoint-collect` event-schedule planner: one round when everything
+/// fits, `ceil(events / counters)` rounds otherwise.
+pub fn multiplexing_rounds(num_events: usize, physical_counters: usize) -> usize {
+    num_events.div_ceil(physical_counters.max(1))
+}
+
+/// Runs an access stream on a simulator, splitting it into chunks of
+/// `len / intervals` accesses, and returns the noise-free per-interval counter
+/// increments over `space` — the ground truth a PMU model samples from.
+///
+/// `intervals` is the *requested* interval count: when the access count is not
+/// divisible by it the trailing remainder becomes one extra (shorter) row, and
+/// when there are fewer accesses than intervals fewer rows come back — callers
+/// must size from the returned vector, not from `intervals`.
+///
+/// # Panics
+///
+/// Panics if `intervals` is zero.
+pub fn ground_truth_intervals(
+    mmu: &mut HaswellMmu,
+    accesses: &[MemoryAccess],
+    page_size: PageSize,
+    space: &CounterSpace,
+    intervals: usize,
+) -> Vec<Vec<f64>> {
+    assert!(intervals > 0, "need at least one measurement interval");
+    let chunk = (accesses.len() / intervals).max(1);
+    let mut true_increments = Vec::with_capacity(intervals);
+    let mut previous: CounterValues = mmu.counts().clone();
+    for slice in accesses.chunks(chunk) {
+        for a in slice {
+            mmu.access(a, page_size);
+        }
+        let now = mmu.counts().clone();
+        true_increments.push(now.delta_vector(&previous, space));
+        previous = now;
+    }
+    true_increments
+}
+
 /// The multiplexing PMU model.
 #[derive(Clone, Debug)]
 pub struct MultiplexingPmu {
@@ -93,9 +138,32 @@ impl MultiplexingPmu {
         num_events: usize,
     ) -> Vec<Vec<f64>> {
         assert!(num_events > 0, "at least one event must be programmed");
+        let groups = multiplexing_rounds(num_events, self.config.physical_counters);
+        self.sample_intervals_assigned(true_increments, groups, |event_idx| event_idx % groups)
+    }
+
+    /// Like [`sample_intervals`](MultiplexingPmu::sample_intervals), but with an
+    /// explicit multiplexing schedule: `rounds` scheduling rounds, with column
+    /// `event_idx` of the input counted only on the slices assigned to round
+    /// `round_of(event_idx)`.
+    ///
+    /// This is the entry point the `counterpoint-collect` event-schedule planner
+    /// drives; the default round-robin schedule of `sample_intervals` is the
+    /// special case `round_of = |e| e % rounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input rows have inconsistent lengths or `round_of` returns
+    /// a round `>= rounds`.
+    pub fn sample_intervals_assigned(
+        &self,
+        true_increments: &[Vec<f64>],
+        rounds: usize,
+        round_of: impl Fn(usize) -> usize,
+    ) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let slices = self.config.slices_per_interval.max(1);
-        let groups = num_events.div_ceil(self.config.physical_counters.max(1));
+        let groups = rounds.max(1);
 
         let dim = true_increments.first().map(|r| r.len()).unwrap_or(0);
         let mut samples = Vec::with_capacity(true_increments.len());
@@ -118,7 +186,8 @@ impl MultiplexingPmu {
                     continue;
                 }
                 // The event's group is scheduled on every `groups`-th slice.
-                let group = event_idx % groups;
+                let group = round_of(event_idx);
+                assert!(group < groups, "round {group} out of range (< {groups})");
                 let mut observed_fraction = 0.0;
                 let mut active_slices = 0usize;
                 for (slice, w) in weights.iter().enumerate() {
@@ -142,8 +211,9 @@ impl MultiplexingPmu {
         samples
     }
 
-    /// Runs an access stream on a simulator, splitting it into `intervals` equal
-    /// chunks, and returns the multiplexed per-interval samples over `space`.
+    /// Runs an access stream on a simulator, splitting it into roughly
+    /// `intervals` chunks (see [`ground_truth_intervals`] for the exact row
+    /// count), and returns the multiplexed per-interval samples over `space`.
     ///
     /// This is the simulated equivalent of `perf stat -I` on the real machine.
     ///
@@ -158,18 +228,7 @@ impl MultiplexingPmu {
         space: &CounterSpace,
         intervals: usize,
     ) -> Vec<Vec<f64>> {
-        assert!(intervals > 0, "need at least one measurement interval");
-        let chunk = (accesses.len() / intervals).max(1);
-        let mut true_increments = Vec::with_capacity(intervals);
-        let mut previous: CounterValues = mmu.counts().clone();
-        for slice in accesses.chunks(chunk) {
-            for a in slice {
-                mmu.access(a, page_size);
-            }
-            let now = mmu.counts().clone();
-            true_increments.push(now.delta_vector(&previous, space));
-            previous = now;
-        }
+        let true_increments = ground_truth_intervals(mmu, accesses, page_size, space, intervals);
         self.sample_intervals(&true_increments, space.len())
     }
 }
@@ -275,5 +334,46 @@ mod tests {
     fn zero_events_panics() {
         let pmu = MultiplexingPmu::new(PmuConfig::default());
         let _ = pmu.sample_intervals(&[], 0);
+    }
+
+    #[test]
+    fn multiplexing_rounds_formula() {
+        assert_eq!(multiplexing_rounds(4, 4), 1);
+        assert_eq!(multiplexing_rounds(5, 4), 2);
+        assert_eq!(multiplexing_rounds(26, 4), 7);
+        assert_eq!(multiplexing_rounds(26, usize::MAX), 1);
+        assert_eq!(multiplexing_rounds(3, 0), 3);
+    }
+
+    #[test]
+    fn explicit_round_robin_schedule_matches_default() {
+        let truth = uniform_intervals(50, 26, 10_000.0);
+        let pmu = MultiplexingPmu::new(PmuConfig::default());
+        let default = pmu.sample_intervals(&truth, 26);
+        let rounds = multiplexing_rounds(26, pmu.config().physical_counters);
+        let explicit = pmu.sample_intervals_assigned(&truth, rounds, |e| e % rounds);
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn collect_equals_ground_truth_plus_sampling() {
+        let space = crate::hec::full_counter_space();
+        let pmu = MultiplexingPmu::new(PmuConfig::default());
+        let accesses: Vec<MemoryAccess> = (0..20_000u64)
+            .map(|i| MemoryAccess::load(i * 4096))
+            .collect();
+        let mut mmu_a = HaswellMmu::new(MmuConfig::haswell());
+        let collected = pmu.collect(&mut mmu_a, &accesses, PageSize::Size4K, &space, 6);
+        let mut mmu_b = HaswellMmu::new(MmuConfig::haswell());
+        let truth = ground_truth_intervals(&mut mmu_b, &accesses, PageSize::Size4K, &space, 6);
+        assert_eq!(collected, pmu.sample_intervals(&truth, space.len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_round_panics() {
+        let pmu = MultiplexingPmu::new(PmuConfig::default());
+        let truth = uniform_intervals(2, 4, 10.0);
+        let _ = pmu.sample_intervals_assigned(&truth, 2, |_| 5);
     }
 }

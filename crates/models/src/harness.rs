@@ -7,13 +7,21 @@
 //! sizes and footprints, ~20 million HEC samples).  The scale is reduced so the
 //! full table/figure suite regenerates in minutes on a laptop, but the behavioural
 //! axes — locality, footprint, load/store mix, page size — are the same.
+//!
+//! Acquisition goes through the `counterpoint-collect` subsystem: this module
+//! just maps a [`HarnessConfig`] onto a [`Campaign`] over the simulator backend,
+//! so the same suite can be fanned across threads, recorded to a trace and
+//! replayed, or pointed at a different [`CounterBackend`] entirely.
+//!
+//! [`CounterBackend`]: counterpoint_collect::CounterBackend
 
+use counterpoint_collect::{Campaign, CampaignCell, CounterBackend, SimBackend, WorkloadRun};
 use counterpoint_core::Observation;
-use counterpoint_haswell::full_counter_space;
 use counterpoint_haswell::mem::PageSize;
-use counterpoint_haswell::mmu::{HaswellMmu, MmuConfig};
-use counterpoint_haswell::pmu::{MultiplexingPmu, PmuConfig};
+use counterpoint_haswell::mmu::MmuConfig;
+use counterpoint_haswell::pmu::PmuConfig;
 use counterpoint_workloads::standard_suite;
+use std::sync::Arc;
 
 /// Configuration of the data-collection harness.
 #[derive(Clone, Debug)]
@@ -68,25 +76,40 @@ impl HarnessConfig {
     }
 }
 
+/// The simulator backend a [`HarnessConfig`] describes (full Haswell counter
+/// space, the config's MMU and PMU models).
+pub fn sim_backend(config: &HarnessConfig) -> SimBackend {
+    SimBackend::new(config.mmu.clone(), config.pmu.clone())
+}
+
+/// Builds the standard case-study [`Campaign`] — the workload suite swept over
+/// the configured page sizes, one cell per (workload, page size) pair, every
+/// cell seeded with the config's PMU seed.
+///
+/// The campaign runs on one thread by default; callers can fan it out with
+/// [`Campaign::with_threads`] or reseed it with [`Campaign::with_seed`] without
+/// touching this module (per-cell results are independent, so neither changes
+/// the default output).
+pub fn case_study_campaign(config: &HarnessConfig) -> Campaign {
+    let mut campaign = Campaign::new(config.intervals, config.warmup_intervals, config.confidence);
+    for page_size in &config.page_sizes {
+        for entry in standard_suite() {
+            campaign.push(CampaignCell {
+                label: format!("{}@{}", entry.label, page_size),
+                workload: Arc::from(entry.workload),
+                accesses: config.accesses_per_workload * entry.access_scale.max(1),
+                page_size: *page_size,
+                seed: config.pmu.seed,
+            });
+        }
+    }
+    campaign
+}
+
 /// Runs the standard workload suite across the configured page sizes and returns
 /// one observation per (workload, page size) pair.
 pub fn collect_case_study_observations(config: &HarnessConfig) -> Vec<Observation> {
-    let space = full_counter_space();
-    let pmu = MultiplexingPmu::new(config.pmu.clone());
-    let mut observations = Vec::new();
-    for page_size in &config.page_sizes {
-        for entry in standard_suite() {
-            let accesses = entry
-                .workload
-                .generate(config.accesses_per_workload * entry.access_scale.max(1));
-            let mut mmu = HaswellMmu::new(config.mmu.clone());
-            let samples = pmu.collect(&mut mmu, &accesses, *page_size, &space, config.intervals);
-            let steady = &samples[config.warmup_intervals.min(samples.len() - 1)..];
-            let label = format!("{}@{}", entry.label, page_size);
-            observations.push(Observation::from_samples(&label, steady, config.confidence));
-        }
-    }
-    observations
+    case_study_campaign(config).run_sim(&config.mmu, &config.pmu)
 }
 
 /// Runs a single access trace and returns its observation (used by the figure
@@ -98,12 +121,20 @@ pub fn observe_trace(
     page_size: PageSize,
     config: &HarnessConfig,
 ) -> Observation {
-    let space = full_counter_space();
-    let pmu = MultiplexingPmu::new(config.pmu.clone());
-    let mut mmu = HaswellMmu::new(config.mmu.clone());
-    let samples = pmu.collect(&mut mmu, accesses, page_size, &space, config.intervals);
-    let steady = &samples[config.warmup_intervals.min(samples.len() - 1)..];
-    Observation::from_samples(name, steady, config.confidence)
+    let mut backend = sim_backend(config);
+    let schedule = backend
+        .schedule()
+        .expect("the simulated backend always has a schedule");
+    let run = WorkloadRun {
+        label: name,
+        accesses,
+        page_size,
+        intervals: config.intervals,
+    };
+    let samples = backend
+        .run(&run, &schedule)
+        .expect("the simulated backend is infallible");
+    samples.observation(name, config.warmup_intervals, config.confidence)
 }
 
 #[cfg(test)]
@@ -111,7 +142,58 @@ mod tests {
     use super::*;
     use crate::family::{build_feature_model, feature_sets_table3};
     use counterpoint_core::FeasibilityChecker;
+    use counterpoint_haswell::full_counter_space;
+    use counterpoint_haswell::mmu::HaswellMmu;
+    use counterpoint_haswell::pmu::MultiplexingPmu;
     use counterpoint_workloads::{LinearAccess, Workload};
+
+    #[test]
+    fn rewired_harness_is_bit_identical_to_direct_pmu_collection() {
+        // The pre-rewire harness called MultiplexingPmu::collect directly; the
+        // campaign path must reproduce it bit-for-bit (same seeds, same order).
+        let config = HarnessConfig {
+            accesses_per_workload: 3_000,
+            page_sizes: vec![PageSize::Size4K],
+            intervals: 8,
+            ..HarnessConfig::default()
+        };
+        let rewired = collect_case_study_observations(&config);
+
+        let space = full_counter_space();
+        let pmu = MultiplexingPmu::new(config.pmu.clone());
+        let mut legacy = Vec::new();
+        for page_size in &config.page_sizes {
+            for entry in standard_suite() {
+                let accesses = entry
+                    .workload
+                    .generate(config.accesses_per_workload * entry.access_scale.max(1));
+                let mut mmu = HaswellMmu::new(config.mmu.clone());
+                let samples =
+                    pmu.collect(&mut mmu, &accesses, *page_size, &space, config.intervals);
+                let steady = &samples[config.warmup_intervals.min(samples.len() - 1)..];
+                let label = format!("{}@{}", entry.label, page_size);
+                legacy.push(Observation::from_samples(&label, steady, config.confidence));
+            }
+        }
+
+        assert_eq!(rewired.len(), legacy.len());
+        for (new, old) in rewired.iter().zip(&legacy) {
+            assert_eq!(new.name(), old.name());
+            assert_eq!(new.mean(), old.mean());
+            assert_eq!(new.region().axes(), old.region().axes());
+            assert_eq!(new.region().half_widths(), old.region().half_widths());
+        }
+
+        // Fan-out across threads must not change anything either.
+        let threaded = case_study_campaign(&config)
+            .with_threads(4)
+            .run_sim(&config.mmu, &config.pmu);
+        for (a, b) in threaded.iter().zip(&rewired) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.mean(), b.mean());
+            assert_eq!(a.region().half_widths(), b.region().half_widths());
+        }
+    }
 
     #[test]
     fn quick_harness_produces_labelled_observations() {

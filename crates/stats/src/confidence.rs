@@ -252,6 +252,30 @@ impl ConfidenceRegion {
     pub fn total_extent(&self) -> f64 {
         self.half_widths.iter().sum()
     }
+
+    /// Returns a copy of the region with every half-width scaled by `factor`.
+    ///
+    /// The main consumer is the counter-collection layer: when an event schedule
+    /// multiplexes `R` rounds onto the physical counters, each event is observed
+    /// on only a `1/R` fraction of the measurement interval and the extrapolated
+    /// sample variance inflates by ~`R` — i.e. the standard error (and hence
+    /// every half-width) by ~`sqrt(R)`, the planner's reported inflation factor.
+    /// Widening a region estimated from few noisy samples by that factor keeps
+    /// the feasibility test conservative instead of over-confident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn inflated(&self, factor: f64) -> ConfidenceRegion {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "inflation factor must be finite and positive"
+        );
+        ConfidenceRegion {
+            half_widths: self.half_widths.iter().map(|w| w * factor).collect(),
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -379,5 +403,26 @@ mod tests {
     fn contains_with_wrong_dimension_panics() {
         let region = ConfidenceRegion::exact(&[1.0, 2.0]);
         let _ = region.contains(&[1.0]);
+    }
+
+    #[test]
+    fn inflated_scales_half_widths_only() {
+        let samples = correlated_samples(100);
+        let region = ConfidenceRegion::from_samples(&samples, 0.99, NoiseModel::Correlated);
+        let wide = region.inflated(3.0);
+        assert_eq!(wide.center(), region.center());
+        assert_eq!(wide.axes(), region.axes());
+        assert_eq!(wide.noise_model(), region.noise_model());
+        for (w, r) in wide.half_widths().iter().zip(region.half_widths()) {
+            assert_eq!(*w, r * 3.0);
+        }
+        // Inflation by 1 is the identity.
+        assert_eq!(region.inflated(1.0).half_widths(), region.half_widths());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn inflated_rejects_non_positive_factor() {
+        let _ = ConfidenceRegion::exact(&[1.0]).inflated(0.0);
     }
 }

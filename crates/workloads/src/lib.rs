@@ -22,7 +22,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A workload: a named generator of memory access traces.
-pub trait Workload {
+///
+/// Workloads are `Send + Sync` so a campaign runner can fan the same suite out
+/// across worker threads (every generator here is a plain parameter struct;
+/// generation state lives in locals).
+pub trait Workload: Send + Sync {
     /// Human-readable name including the key parameters, used as the observation
     /// label in experiment reports.
     fn name(&self) -> String;

@@ -1,0 +1,115 @@
+//! Recording and replaying a measurement campaign.
+//!
+//! A campaign — workloads × page sizes, multiplexed onto the PMU's physical
+//! counters — is expensive to (re-)run and impossible to re-measure exactly on
+//! real hardware. The collect subsystem therefore treats campaigns as
+//! recordable artefacts: run once against any backend, capture every cell's raw
+//! interval samples into a JSON [`Trace`], and replay the trace anywhere to
+//! reproduce the exact observations (floats round-trip bit-exactly).
+//!
+//! This example records a small campaign on the simulator backend across two
+//! page sizes and two worker threads, writes the trace to a temp file, loads it
+//! back, replays it, and verifies the observations are identical. It also shows
+//! the schedule planner's view of the campaign: 26 logical events on 4 physical
+//! counters need 7 multiplexing rounds, inflating extrapolation noise ~2.6x.
+//!
+//! Run with: `cargo run --release --example record_replay`
+//!
+//! [`Trace`]: counterpoint::Trace
+
+use counterpoint::haswell::full_counter_space;
+use counterpoint::haswell::mem::PageSize;
+use counterpoint::haswell::mmu::MmuConfig;
+use counterpoint::haswell::pmu::PmuConfig;
+use counterpoint::workloads::{GraphTraversal, LinearAccess, PointerChase, Workload};
+use counterpoint::{Campaign, CampaignCell, EventSchedule, Trace};
+use std::sync::Arc;
+
+fn main() {
+    // The campaign matrix: three workloads at two page sizes, 12 measurement
+    // intervals each, 2 warm-up intervals discarded, 99% confidence regions.
+    let mut campaign = Campaign::new(12, 2, 0.99).with_threads(2);
+    let workloads: Vec<(&str, Arc<dyn Workload>)> = vec![
+        (
+            "linear",
+            Arc::new(LinearAccess {
+                footprint: 8 << 20,
+                stride: 64,
+                store_ratio: 0.0,
+            }),
+        ),
+        (
+            "graph",
+            Arc::new(GraphTraversal {
+                vertices: 100_000,
+                avg_degree: 8,
+                seed: 7,
+            }),
+        ),
+        (
+            "chase",
+            Arc::new(PointerChase {
+                nodes: 500_000,
+                seed: 11,
+            }),
+        ),
+    ];
+    for page_size in [PageSize::Size4K, PageSize::Size2M] {
+        for (name, workload) in &workloads {
+            campaign.push(CampaignCell {
+                label: format!("{name}@{page_size}"),
+                workload: Arc::clone(workload),
+                accesses: 30_000,
+                page_size,
+                seed: PmuConfig::default().seed,
+            });
+        }
+    }
+
+    // What the scheduler must do to fit the full counter space on Haswell's
+    // 4 physical counters.
+    let schedule = EventSchedule::for_space(&full_counter_space(), 4);
+    println!(
+        "schedule: {} events on {} physical counters -> {} rounds, noise inflation {:.2}x",
+        schedule.num_events(),
+        schedule.physical_counters(),
+        schedule.num_rounds(),
+        schedule.inflation_factor()
+    );
+
+    // Record: run on the simulator backend and capture every cell's samples.
+    let mmu = MmuConfig::haswell();
+    let pmu = PmuConfig::default();
+    let (live, trace) = campaign.run_sim_recorded(&mmu, &pmu);
+    println!(
+        "recorded {} cells ({} intervals each) on {} threads",
+        trace.records.len(),
+        campaign.intervals(),
+        campaign.threads()
+    );
+
+    // The trace is a plain JSON artefact: write it, ship it, load it anywhere.
+    let path = std::env::temp_dir().join("counterpoint_campaign.json");
+    trace.save(&path).expect("trace must save");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("trace written to {} ({bytes} bytes)", path.display());
+
+    // Replay: the same campaign, answered entirely from the recording.
+    let loaded = Trace::load(&path).expect("trace must load");
+    std::fs::remove_file(&path).ok();
+    let replayed = campaign.replay(&loaded).expect("replay must succeed");
+
+    let mut max_divergence = 0.0f64;
+    for (a, b) in live.iter().zip(&replayed) {
+        assert_eq!(a.name(), b.name());
+        for (x, y) in a.mean().iter().zip(b.mean()) {
+            max_divergence = max_divergence.max((x - y).abs());
+        }
+    }
+    println!(
+        "replayed {} observations, max |live - replayed| counter mean divergence: {max_divergence}",
+        replayed.len()
+    );
+    assert_eq!(max_divergence, 0.0, "replay must be bit-exact");
+    println!("replay is bit-identical to the live campaign");
+}

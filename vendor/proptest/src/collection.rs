@@ -4,7 +4,7 @@ use crate::{Strategy, TestRng};
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// A length specification for [`vec`]: an exact size, `lo..hi` or `lo..=hi`.
+/// A length specification for [`vec()`](fn@vec): an exact size, `lo..hi` or `lo..=hi`.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     min: usize,
@@ -48,7 +48,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`](fn@vec).
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

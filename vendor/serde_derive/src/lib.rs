@@ -1,15 +1,18 @@
-//! Derive macro for the offline `serde` stand-in.
+//! Derive macros for the offline `serde` stand-in.
 //!
 //! Parses the derive input token stream by hand (no `syn`/`quote` available in
-//! this hermetic workspace) and generates a `Serialize::to_value` impl:
+//! this hermetic workspace) and generates `Serialize::to_value` /
+//! `Deserialize::from_value` impls:
 //!
-//! * named-field structs serialize to a JSON object, skipping `#[serde(skip)]`
-//!   fields;
-//! * one-field tuple structs (newtypes) serialize transparently as their inner
-//!   value; longer tuple structs as an array;
-//! * enums serialize each variant as its name string (data-carrying variants
-//!   also serialize as just the variant name — none of this workspace's types
-//!   need payload serialization).
+//! * named-field structs (de)serialize to/from a JSON object; `#[serde(skip)]`
+//!   fields are omitted on the way out and restored via `Default` on the way
+//!   back in;
+//! * one-field tuple structs (newtypes) (de)serialize transparently as their
+//!   inner value; longer tuple structs as an array;
+//! * enums (de)serialize each variant as its name string (data-carrying
+//!   variants also serialize as just the variant name — none of this
+//!   workspace's types need payload serialization; deserialization is only
+//!   generated for all-unit-variant enums).
 //!
 //! Generics are not supported; deriving on a generic type is a compile error.
 
@@ -20,6 +23,16 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     match generate(&tokens) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives `serde::Deserialize` for plain (non-generic) structs and unit enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate_de(&tokens) {
         Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
         Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
     }
@@ -135,7 +148,8 @@ fn skip_past_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-fn named_struct_body(name: &str, tokens: &[TokenTree]) -> Result<String, String> {
+/// Parses the fields of a named struct into `(name, is_serde_skip)` pairs.
+fn parse_named_fields(name: &str, tokens: &[TokenTree]) -> Result<Vec<(String, bool)>, String> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -161,14 +175,16 @@ fn named_struct_body(name: &str, tokens: &[TokenTree]) -> Result<String, String>
             }
         }
         skip_past_top_level_comma(tokens, &mut i);
-        if !skip {
-            fields.push(field);
-        }
+        fields.push((field, skip));
     }
+    Ok(fields)
+}
 
-    let entries: Vec<String> = fields
-        .iter()
-        .map(|f| {
+fn named_struct_body(name: &str, tokens: &[TokenTree]) -> Result<String, String> {
+    let entries: Vec<String> = parse_named_fields(name, tokens)?
+        .into_iter()
+        .filter(|(_, skip)| !skip)
+        .map(|(f, _)| {
             format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))")
         })
         .collect();
@@ -236,4 +252,123 @@ fn enum_body(name: &str, tokens: &[TokenTree]) -> Result<String, String> {
         return Ok("match *self {}".to_string());
     }
     Ok(format!("match self {{ {} }}", arms.join(", ")))
+}
+
+fn generate_de(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    skip_attributes_and_visibility(tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("#[derive(Deserialize)] on generic type `{name}` is not supported by the offline serde stand-in"));
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                named_struct_de_body(&name, &collect(g.stream()))?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tuple_struct_de_body(&name, &collect(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                format!("::std::result::Result::Ok({name})")
+            }
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                enum_de_body(&name, &collect(g.stream()))?
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive Deserialize for `{other}` items")),
+    };
+
+    Ok(format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n"
+    ))
+}
+
+fn named_struct_de_body(name: &str, tokens: &[TokenTree]) -> Result<String, String> {
+    let inits: Vec<String> = parse_named_fields(name, tokens)?
+        .into_iter()
+        .map(|(f, skip)| {
+            if skip {
+                format!("{f}: ::std::default::Default::default()")
+            } else {
+                format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::expect_field(value, {f:?}, {name:?})?)?"
+                )
+            }
+        })
+        .collect();
+    Ok(format!(
+        "::std::result::Result::Ok({name} {{ {} }})",
+        inits.join(", ")
+    ))
+}
+
+fn tuple_struct_de_body(name: &str, tokens: &[TokenTree]) -> String {
+    let mut slots = 0usize;
+    let mut i = 0;
+    while i < tokens.len() {
+        slots += 1;
+        skip_past_top_level_comma(tokens, &mut i);
+    }
+    if slots == 1 {
+        // Newtype: deserialize transparently from the inner value.
+        return format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+        );
+    }
+    let elems: Vec<String> = (0..slots)
+        .map(|idx| format!("::serde::Deserialize::from_value(&items[{idx}])?"))
+        .collect();
+    format!(
+        "let items = value.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", value))?;\n        if items.len() != {slots} {{ return ::std::result::Result::Err(::serde::DeError::custom(format!(\"expected array of length {slots} for `{name}`, found {{}}\", items.len()))); }}\n        ::std::result::Result::Ok({name}({}))",
+        elems.join(", ")
+    )
+}
+
+fn enum_de_body(name: &str, tokens: &[TokenTree]) -> Result<String, String> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "expected variant name in `{name}`, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+            return Err(format!(
+                "#[derive(Deserialize)] on enum `{name}` requires unit variants only (variant `{variant}` carries data)"
+            ));
+        }
+        skip_past_top_level_comma(tokens, &mut i);
+        arms.push(format!(
+            "{variant:?} => ::std::result::Result::Ok({name}::{variant})"
+        ));
+    }
+    Ok(format!(
+        "let tag = value.as_str().ok_or_else(|| ::serde::DeError::expected(\"string (variant of `{name}`)\", value))?;\n        match tag {{ {}, other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of enum `{name}`\"))) }}",
+        arms.join(", ")
+    ))
 }

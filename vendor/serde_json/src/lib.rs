@@ -1,24 +1,36 @@
 //! Offline stand-in for `serde_json`: renders the [`serde`] stand-in's
-//! [`Value`](serde::Value) model as JSON text (compact or pretty, two-space
-//! indent, RFC 8259 string escaping).
+//! [`Value`] model as JSON text (compact or pretty, two-space
+//! indent, RFC 8259 string escaping), and parses JSON text back into that
+//! model ([`from_str`] / [`from_value`]) via a recursive-descent parser.
+//!
+//! Floats are rendered with Rust's shortest round-tripping formatting and
+//! parsed with `str::parse::<f64>`, so a serialize → parse round trip is
+//! bit-exact — the property the trace record/replay machinery relies on.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 pub use serde::Value as JsonValue;
 
-/// Serialization error. The stand-in's value model is total, so the only
-/// failure mode is a non-finite float, mirroring `serde_json`'s behaviour.
+/// Serialization or parse error. On the serialization side the stand-in's
+/// value model is total, so the only failure mode is a non-finite float,
+/// mirroring `serde_json`'s behaviour; parse errors carry a byte offset.
 #[derive(Debug)]
 pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON serialization error: {}", self.0)
+        write!(f, "JSON error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.to_string())
+    }
+}
 
 /// Serializes a value as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -121,6 +133,267 @@ fn write_seq<I: Iterator>(
     Ok(())
 }
 
+/// Parses JSON text and deserializes it into `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserializes an already-parsed [`Value`] into `T`.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Serializes a value into the [`Value`] model (infallible in this stand-in).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+fn parse(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("invalid literal (expected `{literal}`)")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.consume_literal("null", Value::Null),
+            Some(b't') => self.consume_literal("true", Value::Bool(true)),
+            Some(b'f') => self.consume_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.error(&format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape sequence"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            // Combine UTF-16 surrogate pairs.
+                            let code = if (0xd800..0xdc00).contains(&unit) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xdc00..0xe000).contains(&low) {
+                                        return Err(self.error("unpaired surrogate"));
+                                    }
+                                    0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
+                                } else {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                            } else {
+                                unit
+                            };
+                            match char::from_u32(code) {
+                                Some(ch) => out.push(ch),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.error("invalid escape character")),
+                    }
+                }
+                c if c < 0x20 => return Err(self.error("control character in string")),
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the source slice.
+                    let start = self.pos - 1;
+                    let len = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.error("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.error("invalid number"))
+        } else {
+            // Integers that overflow i128 fall back to f64, as real serde_json
+            // does for u64 overflow with arbitrary_precision off.
+            text.parse::<i128>().map(Value::Int).or_else(|_| {
+                text.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| self.error("invalid number"))
+            })
+        }
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -166,5 +439,100 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>(" 42 ").unwrap(), 42);
+        assert_eq!(from_str::<i32>("-17").unwrap(), -17);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+        assert_eq!(
+            from_str::<String>("\"a\\\"b\\n\\u00e9\"").unwrap(),
+            "a\"b\né"
+        );
+    }
+
+    #[test]
+    fn parses_nested_containers() {
+        let v: Vec<Vec<f64>> = from_str("[[1.0,2.5],[3.0]]").unwrap();
+        assert_eq!(v, vec![vec![1.0, 2.5], vec![3.0]]);
+        let value = from_str::<Value>("{\"a\":[1,{\"b\":null}]}").unwrap();
+        assert_eq!(
+            value
+                .get("a")
+                .and_then(|a| a.as_array())
+                .map(<[Value]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,2").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<u8>("300").is_err());
+    }
+
+    #[test]
+    fn float_round_trip_is_bit_exact() {
+        for &x in &[0.1f64, 1.0 / 3.0, 1e-300, 123_456_789.123_456_79, -0.0] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "round-trip of {x} via {text}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+        assert!(from_str::<String>("\"\\ud83d\"").is_err());
+        // A high surrogate followed by a non-low-surrogate escape is an error,
+        // not an arithmetic underflow.
+        assert!(from_str::<String>("\"\\ud800\\u0041\"").is_err());
+        assert!(from_str::<String>("\"\\ud800\\ud800\"").is_err());
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Inner(u32);
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Outer {
+        label: String,
+        mode: Mode,
+        inner: Inner,
+        rows: Vec<Vec<f64>>,
+        #[serde(skip)]
+        cached: Option<u64>,
+    }
+
+    #[test]
+    fn derived_structs_round_trip() {
+        let outer = Outer {
+            label: "campaign \"a\"".to_string(),
+            mode: Mode::Slow,
+            inner: Inner(7),
+            rows: vec![vec![1.5, 2.0], vec![]],
+            cached: Some(9),
+        };
+        let text = to_string(&outer).unwrap();
+        let back: Outer = from_str(&text).unwrap();
+        // `cached` is #[serde(skip)]: restored via Default, not the original.
+        assert_eq!(back.cached, None);
+        assert_eq!(back.label, outer.label);
+        assert_eq!(back.mode, outer.mode);
+        assert_eq!(back.inner, outer.inner);
+        assert_eq!(back.rows, outer.rows);
+        assert!(from_str::<Mode>("\"Sideways\"").is_err());
+        assert!(from_str::<Outer>("{\"label\":\"x\"}").is_err());
     }
 }
