@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The CI perf-regression gate, runnable locally too:
+#
+#   ci/bench_gate.sh             # bench, write BENCH_<sha>.json, compare
+#   ci/bench_gate.sh --update    # same, but rewrite BENCH_baseline.json
+#
+# Runs the feasibility + substrate criterion benches with `--save-baseline`
+# (the vendored criterion shim writes each binary's medians JSON under
+# target/criterion/current/), then lets the `bench_gate` binary merge them into
+# BENCH_<sha>.json and fail if any median regressed more than the tolerance
+# against the checked-in BENCH_baseline.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sha=$(git rev-parse --short=12 HEAD 2>/dev/null || echo local)
+tolerance="${BENCH_GATE_TOLERANCE_PCT:-20}"
+# The criterion shim honours CARGO_TARGET_DIR; mirror it here.
+medians_dir="${CARGO_TARGET_DIR:-target}/criterion/current"
+
+extra=()
+if [[ "${1:-}" == "--update" ]]; then
+    extra+=(--update-baseline)
+fi
+
+rm -rf "$medians_dir"
+cargo bench -p counterpoint-bench \
+    --bench batch_feasibility \
+    --bench feasibility \
+    --bench substrate \
+    -- --save-baseline current
+
+# ${extra[@]+...}: expand only when non-empty (bash 3.2's set -u chokes on
+# plain "${extra[@]}" for an empty array).
+cargo run --release -q -p counterpoint-bench --bin bench_gate -- \
+    --current-dir "$medians_dir" \
+    --baseline BENCH_baseline.json \
+    --out "BENCH_${sha}.json" \
+    --tolerance-pct "$tolerance" \
+    ${extra[@]+"${extra[@]}"}

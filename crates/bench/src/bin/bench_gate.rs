@@ -1,0 +1,202 @@
+//! The CI perf-regression gate.
+//!
+//! Consumes the per-binary median JSONs that the vendored `criterion` shim
+//! writes under `target/criterion/<name>/` when `cargo bench --
+//! --save-baseline <name>` runs, merges them into a single `BENCH_<sha>.json`
+//! (benchmark name → median ns), and fails — exit code 1 — if any benchmark's
+//! median regressed more than the tolerance against the repository's
+//! checked-in `BENCH_baseline.json`.
+//!
+//! Normally invoked through `ci/bench_gate.sh` (locally and in the CI `bench`
+//! job), but usable standalone:
+//!
+//! ```text
+//! bench_gate --current-dir target/criterion/current \
+//!            --baseline BENCH_baseline.json \
+//!            --out BENCH_abc123.json \
+//!            [--tolerance-pct 20] [--min-gate-ns 20000] [--update-baseline]
+//! ```
+//!
+//! `--update-baseline` rewrites the baseline file with the current medians
+//! instead of comparing (used after an intentional performance change; see
+//! `EXPERIMENTS.md`).
+
+use serde_json::JsonValue;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    current_dir: PathBuf,
+    baseline: PathBuf,
+    out: PathBuf,
+    tolerance_pct: f64,
+    /// Benchmarks whose baseline median is below this many nanoseconds are
+    /// reported but never fail the gate: at that scale scheduler jitter on a
+    /// shared CI runner dwarfs any plausible regression.
+    min_gate_ns: f64,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Args {
+    let mut current_dir = None;
+    let mut baseline = None;
+    let mut out = None;
+    let mut tolerance_pct = 20.0;
+    let mut min_gate_ns = 20_000.0;
+    let mut update_baseline = false;
+    let fail = |msg: &str| -> ! {
+        eprintln!("bench_gate: {msg}");
+        eprintln!(
+            "usage: bench_gate --current-dir <dir> --baseline <file> --out <file> \
+             [--tolerance-pct <pct>] [--min-gate-ns <ns>] [--update-baseline]"
+        );
+        std::process::exit(2);
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--current-dir" => current_dir = Some(PathBuf::from(value("--current-dir"))),
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--tolerance-pct" => {
+                tolerance_pct = value("--tolerance-pct")
+                    .parse()
+                    .unwrap_or_else(|_| fail("invalid --tolerance-pct"));
+            }
+            "--min-gate-ns" => {
+                min_gate_ns = value("--min-gate-ns")
+                    .parse()
+                    .unwrap_or_else(|_| fail("invalid --min-gate-ns"));
+            }
+            "--update-baseline" => update_baseline = true,
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    Args {
+        current_dir: current_dir.unwrap_or_else(|| fail("--current-dir is required")),
+        baseline: baseline.unwrap_or_else(|| fail("--baseline is required")),
+        out: out.unwrap_or_else(|| fail("--out is required")),
+        tolerance_pct,
+        min_gate_ns,
+        update_baseline,
+    }
+}
+
+/// Reads a flat `{"bench name": median_ns}` JSON object.
+fn read_medians(path: &PathBuf) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let value: JsonValue = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+    let JsonValue::Object(map) = value else {
+        panic!("{} is not a JSON object", path.display());
+    };
+    map.into_iter()
+        .map(|(k, v)| match v.as_f64() {
+            Some(n) => (k, n),
+            None => panic!("{}: `{k}` is not a number", path.display()),
+        })
+        .collect()
+}
+
+/// Serialises medians as the canonical flat JSON object (sorted keys).
+fn render_medians(medians: &BTreeMap<String, f64>) -> String {
+    let mut body = String::from("{\n");
+    for (i, (name, median)) in medians.iter().enumerate() {
+        let comma = if i + 1 == medians.len() { "" } else { "," };
+        body.push_str(&format!("  \"{name}\": {median:.1}{comma}\n"));
+    }
+    body.push_str("}\n");
+    body
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Merge every per-binary medians file the criterion shim wrote.
+    let mut current: BTreeMap<String, f64> = BTreeMap::new();
+    let entries = std::fs::read_dir(&args.current_dir).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} (did `cargo bench -- --save-baseline` run?): {e}",
+            args.current_dir.display()
+        )
+    });
+    let mut sources = 0;
+    for entry in entries {
+        let path = entry.expect("readable directory entry").path();
+        if path.extension().is_some_and(|e| e == "json") {
+            current.extend(read_medians(&path));
+            sources += 1;
+        }
+    }
+    assert!(
+        sources > 0,
+        "no medians found under {}",
+        args.current_dir.display()
+    );
+    println!(
+        "bench_gate: {} benchmarks from {sources} bench binaries",
+        current.len()
+    );
+
+    std::fs::write(&args.out, render_medians(&current))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out.display()));
+    println!("bench_gate: wrote {}", args.out.display());
+
+    if args.update_baseline {
+        std::fs::write(&args.baseline, render_medians(&current))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.baseline.display()));
+        println!("bench_gate: baseline {} updated", args.baseline.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = read_medians(&args.baseline);
+    let mut regressions = Vec::new();
+    println!(
+        "{:<55} {:>14} {:>14} {:>9}",
+        "benchmark", "baseline ns", "current ns", "delta"
+    );
+    for (name, &now) in &current {
+        match baseline.get(name) {
+            Some(&was) if was > 0.0 => {
+                let delta_pct = (now - was) / was * 100.0;
+                let flag = if delta_pct > args.tolerance_pct && was >= args.min_gate_ns {
+                    regressions.push((name.clone(), was, now, delta_pct));
+                    "  <- REGRESSION"
+                } else if delta_pct > args.tolerance_pct {
+                    "  (under the gate floor, not enforced)"
+                } else {
+                    ""
+                };
+                println!("{name:<55} {was:>14.0} {now:>14.0} {delta_pct:>+8.1}%{flag}");
+            }
+            _ => println!("{name:<55} {:>14} {now:>14.0} {:>9}", "(new)", "-"),
+        }
+    }
+    for name in baseline.keys().filter(|n| !current.contains_key(*n)) {
+        println!("{name:<55} {:>14} {:>14} {:>9}", "(missing)", "-", "-");
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "bench_gate: OK — no median regressed more than {:.0}%",
+            args.tolerance_pct
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: {} benchmark(s) regressed more than {:.0}%:",
+            regressions.len(),
+            args.tolerance_pct
+        );
+        for (name, was, now, delta) in &regressions {
+            eprintln!("  {name}: {was:.0} ns -> {now:.0} ns ({delta:+.1}%)");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -19,7 +19,7 @@
 //! The mapping from experiment to paper table/figure, and the measured-vs-paper
 //! comparison, is recorded in `EXPERIMENTS.md`.
 
-use counterpoint::core::explore::{evaluate_models, ExplorationModel};
+use counterpoint::core::explore::{evaluate_models_with_threads, ExplorationModel};
 use counterpoint::models::family::{
     abort_specs_table7, build_abort_model, build_feature_model, build_trigger_model,
     feature_sets_table3, trigger_specs_table5,
@@ -28,8 +28,8 @@ use counterpoint::models::harness::{observe_trace, HarnessConfig};
 use counterpoint::models::Feature;
 use counterpoint::workloads::{GraphTraversal, LinearAccess, Workload};
 use counterpoint::{
-    compile_uop, deduce_constraints, CounterSpace, FeasibilityChecker, FeatureSet, GuidedSearch,
-    ModelCone, NoiseModel, Observation,
+    compile_uop, deduce_constraints, BatchFeasibility, CounterSpace, FeasibilityChecker,
+    FeatureSet, GuidedSearch, ModelCone, NoiseModel, Observation,
 };
 use counterpoint_bench::{experiment_observations_opts, projected_model, table3_model};
 use counterpoint_haswell::eventdb::{event_database, growth_factor};
@@ -403,7 +403,9 @@ fn table3(opts: &Opts) {
             ExplorationModel::new(&name, features, cone)
         })
         .collect();
-    let evaluations = evaluate_models(&models, &observations);
+    // The model family fans across the campaign's worker threads through the
+    // batched feasibility engine; output is identical for every thread count.
+    let evaluations = evaluate_models_with_threads(&models, &observations, opts.threads);
     for (model, eval) in models.iter().zip(evaluations.iter()) {
         let tick = |f: Feature| {
             if model.features.contains(f.name()) {
@@ -456,7 +458,7 @@ fn table5(opts: &Opts) {
     );
     for (name, spec) in trigger_specs_table5() {
         let cone = build_trigger_model(&name, &spec);
-        let infeasible = FeasibilityChecker::new(&cone).count_infeasible(&observations);
+        let infeasible = BatchFeasibility::new(&cone).count_infeasible(&observations);
         let tick = |b: bool| if b { "yes" } else { "-" };
         println!(
             "{:<5} {:>5} {:>5} {:>6} {:>10} {:>10} {:>12}{}",
@@ -486,7 +488,7 @@ fn table7(opts: &Opts) {
     );
     for (name, points) in abort_specs_table7() {
         let cone = build_abort_model(&name, &points);
-        let infeasible = FeasibilityChecker::new(&cone).count_infeasible(&observations);
+        let infeasible = BatchFeasibility::new(&cone).count_infeasible(&observations);
         let labels: Vec<&str> = points.iter().map(|p| p.label()).collect();
         println!("{:<5} {:<55} {:>12}", name, labels.join(", "), infeasible);
     }
@@ -622,10 +624,11 @@ fn fig9(opts: &Opts) {
                 Observation::exact(o.name(), &mean)
             })
             .collect();
-        let checker = FeasibilityChecker::new(&cone);
+        // The warm-started batch engine is what a campaign actually runs.
+        let mut batch = BatchFeasibility::new(&cone);
         let start = Instant::now();
         for o in &projected {
-            let _ = checker.is_feasible(o);
+            let _ = batch.is_feasible(o);
         }
         let per_obs = start.elapsed().as_secs_f64() * 1000.0 / projected.len() as f64;
         println!(

@@ -1,0 +1,606 @@
+//! Batched feasibility testing: the warm-started engine behind CounterPoint's
+//! hot loop.
+//!
+//! A refutation campaign asks the same structural question thousands of times:
+//! for each model cone and each observation, does the observation's confidence
+//! region intersect the cone?  [`FeasibilityChecker::is_feasible`] answers one
+//! instance from scratch — it recomputes the `axis · generator` coefficient
+//! matrix (a function of the cone and the counter-space axes only) and runs a
+//! cold two-phase simplex.  [`BatchFeasibility`] amortises both across a
+//! campaign:
+//!
+//! * the coefficient matrix is computed **once per (cone, axes) pair** and
+//!   reused for every observation sharing those axes (all exact observations
+//!   share the coordinate axes; repeated measurements of one workload share
+//!   their region's principal axes), and
+//! * the LP is kept alive as a warm [`Tableau`]: when only the bounds move the
+//!   dual simplex restarts from the previous observation's basis
+//!   ([`Tableau::resolve`]; [`Tableau::resolve_with_basis`] also lets a caller
+//!   seed a fresh tableau with a recorded basis), and a handful of pivots
+//!   replace a full two-phase solve, and
+//! * verdicts of past solves are recycled: Farkas separating directions and
+//!   scaled cone-point witness rays settle many observations in `O(d²)`
+//!   without touching the LP at all.
+//!
+//! Verdicts are identical to the per-observation checker (the two paths share
+//! the row-construction arithmetic bit for bit, and the warm path falls back to
+//! the cold solver if the dual simplex fails to converge); only the work to
+//! reach them changes.  [`check_models`] fans a model family × observation
+//! matrix across `std::thread` workers with the same deterministic pattern the
+//! `counterpoint-collect` campaign runner uses: results land in model order no
+//! matter how many workers run or which finishes first.
+
+use crate::cone::ModelCone;
+use crate::feasibility::{
+    observation_scale, row_bounds, sparsify_generators, ConeMatrix, FeasibilityChecker,
+};
+use crate::observation::Observation;
+use counterpoint_lp::{LinearProgram, Relation, Tableau};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on cached Farkas certificates per engine (MRU order).
+const MAX_CERTIFICATES: usize = 8;
+
+/// Upper bound on cached feasibility witness rays per engine (MRU order).
+const MAX_WITNESS_RAYS: usize = 8;
+
+/// An infeasible observation must sit at least this many multiples of the
+/// observation scale outside the cone (along a cached certificate direction)
+/// for the certificate to short-circuit the LP.  The margin is ~10× the LP's
+/// own feasibility slop, so a certificate hit is always a verdict the LP would
+/// have reached too.
+const CERTIFICATE_MARGIN: f64 = 1e-6;
+
+/// The observation-independent state cached for the most recent confidence
+///-region axes: the equilibrated coefficient matrix and the warm tableau.
+#[derive(Clone, Debug)]
+struct AxesCache {
+    axes: Vec<Vec<f64>>,
+    matrix: ConeMatrix,
+    tableau: Tableau,
+}
+
+/// Warm-started feasibility testing of many observations against one model
+/// cone.
+///
+/// Construction mirrors [`FeasibilityChecker::new`]; the difference is that
+/// [`is_feasible`](BatchFeasibility::is_feasible) takes `&mut self` so the
+/// engine can keep the factorised LP state alive between calls.  Use it
+/// whenever more than a handful of observations are tested against the same
+/// cone — [`FeasibilityChecker::count_infeasible`] and
+/// [`evaluate_models`](crate::explore::evaluate_models) already route through
+/// it.
+///
+/// # Example
+///
+/// ```
+/// use counterpoint_core::{BatchFeasibility, ModelCone, Observation};
+/// use counterpoint_mudd::{CounterSignature, CounterSpace};
+///
+/// let space = CounterSpace::new(&["x", "y"]);
+/// let cone = ModelCone::from_signatures(
+///     "demo",
+///     &space,
+///     vec![
+///         CounterSignature::from_counts(vec![1, 0]),
+///         CounterSignature::from_counts(vec![1, 1]),
+///     ],
+///     2,
+/// );
+/// let mut batch = BatchFeasibility::new(&cone);
+/// let observations = vec![
+///     Observation::exact("inside", &[10.0, 4.0]),
+///     Observation::exact("outside", &[4.0, 10.0]),
+/// ];
+/// assert_eq!(batch.check_all(&observations), vec![true, false]);
+/// assert_eq!(batch.count_infeasible(&observations), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchFeasibility<'a> {
+    checker: FeasibilityChecker<'a>,
+    /// Non-zero generator entries in index order — μpath signatures are
+    /// sparse, so the per-observation coefficient matmul iterates only these.
+    sparse: Vec<Vec<(usize, f64)>>,
+    cache: Option<AxesCache>,
+    /// Counter-space separating directions harvested from past infeasible
+    /// solves (unit ∞-norm, `c · g ≥ 0` for every generator), most recently
+    /// useful first.  An observation whose region lies strictly on the
+    /// negative side of any of them is infeasible without touching the LP.
+    certificates: Vec<Vec<f64>>,
+    /// Cone points harvested from past feasible solves, as unit ∞-norm ray
+    /// directions, most recently useful first.  The cone is closed under
+    /// positive scaling, so if a scaled ray pierces the new observation's
+    /// bounding box the observation is feasible without touching the LP.
+    witness_rays: Vec<Vec<f64>>,
+    /// Scratch bounds, reused across observations.
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl<'a> BatchFeasibility<'a> {
+    /// Prepares a batched engine for the given model cone.
+    pub fn new(cone: &'a ModelCone) -> BatchFeasibility<'a> {
+        let checker = FeasibilityChecker::new(cone);
+        let sparse = sparsify_generators(checker.generators());
+        BatchFeasibility {
+            checker,
+            sparse,
+            cache: None,
+            certificates: Vec::new(),
+            witness_rays: Vec::new(),
+            lo: Vec::new(),
+            hi: Vec::new(),
+        }
+    }
+
+    /// The model cone under test.
+    pub fn cone(&self) -> &ModelCone {
+        self.checker.cone()
+    }
+
+    /// Returns `true` if the observation's confidence region intersects the
+    /// model cone.  Agrees with [`FeasibilityChecker::is_feasible`] on every
+    /// input; reuses the cached coefficient matrix and warm LP basis where the
+    /// per-observation checker starts from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation's dimension differs from the cone's.
+    pub fn is_feasible(&mut self, observation: &Observation) -> bool {
+        let cone = self.checker.cone();
+        assert_eq!(
+            observation.dimension(),
+            cone.dimension(),
+            "observation and model must share a counter space"
+        );
+        let region = observation.region();
+
+        // Degenerate cone: only the origin is producible.
+        if self.checker.generators().is_empty() {
+            return region.contains(&vec![0.0; cone.dimension()]);
+        }
+
+        let scale = observation_scale(region);
+
+        // Certificate short-circuit: if the whole confidence region sits
+        // strictly on the negative side of a cached separating direction, no
+        // non-negative flow can reach it — infeasible without building the LP.
+        let margin = CERTIFICATE_MARGIN * scale;
+        if let Some(hit) = self
+            .certificates
+            .iter()
+            .position(|c| region.interval_along(c).1 < -margin)
+        {
+            // Most recently useful certificate first.
+            self.certificates[..=hit].rotate_right(1);
+            return false;
+        }
+
+        // Witness short-circuit: the cone is closed under positive scaling, so
+        // if some `t ≥ 0` puts `t · ray` inside the region's bounding box for
+        // a previously harvested cone ray, the observation is feasible.
+        if let Some(hit) = self
+            .witness_rays
+            .iter()
+            .position(|ray| ray_pierces_box(ray, region, margin))
+        {
+            self.witness_rays[..=hit].rotate_right(1);
+            return true;
+        }
+
+        let num_flows = self.checker.generators().len();
+        let axes_match = self
+            .cache
+            .as_ref()
+            .is_some_and(|cache| cache.axes.as_slice() == region.axes());
+        if !axes_match {
+            match self.cache.as_mut() {
+                // Same shape: rebuild the coefficient matrix and refill the
+                // tableau in place — no allocation on the steady-state path.
+                //
+                // The previous basis is deliberately *not* carried across an
+                // axes change (via `resolve_with_basis`): installing each
+                // structural column into the fresh factorisation costs one
+                // pivot, which measures as a net loss against simply running
+                // the handful of dual pivots from the all-slack basis — and
+                // cold-starting keeps this path's arithmetic bit-identical to
+                // `FeasibilityChecker::is_feasible`.  Warm starts pay off on
+                // the bounds-only path below, where the factorisation itself
+                // survives.
+                Some(cache) if cache.tableau.num_bands() == region.axes().len() => {
+                    cache.matrix.build_sparse_into(region.axes(), &self.sparse);
+                    cache.tableau.rebind(&cache.matrix.rows);
+                    clone_axes_into(&mut cache.axes, region.axes());
+                }
+                _ => {
+                    let mut matrix = ConeMatrix::empty();
+                    matrix.build_sparse_into(region.axes(), &self.sparse);
+                    let tableau = Tableau::band(num_flows, &matrix.rows);
+                    self.cache = Some(AxesCache {
+                        axes: region.axes().to_vec(),
+                        matrix,
+                        tableau,
+                    });
+                }
+            }
+        }
+
+        let cache = self.cache.as_mut().expect("cache was just populated");
+        let bands = cache.matrix.rows.len();
+        self.lo.clear();
+        self.hi.clear();
+        for k in 0..bands {
+            let (lo, hi) = row_bounds(region, &cache.matrix, k, scale);
+            self.lo.push(lo);
+            self.hi.push(hi);
+        }
+
+        // On matching axes the factorisation is still valid and only the
+        // bounds moved: `resolve` warm-starts the dual simplex from the basis
+        // the previous observation ended in.  After an axes change the rebind
+        // above reset to the all-slack basis and this is a cold start.
+        let outcome = cache.tableau.resolve(&self.lo, &self.hi);
+
+        match outcome {
+            Ok(feasible) => {
+                if feasible {
+                    self.harvest_witness();
+                } else {
+                    self.harvest_certificate(region);
+                }
+                feasible
+            }
+            Err(_) => {
+                // The warm path cycled out of its iteration budget; drop the
+                // poisoned state and answer exactly like the per-observation
+                // checker does — a cold dual-simplex solve, with the two-phase
+                // primal as the last resort — so the agreement contract holds
+                // even on this path.
+                self.cache = None;
+                let matrix = ConeMatrix::build(region.axes(), self.checker.generators());
+                let mut lo = Vec::with_capacity(matrix.rows.len());
+                let mut hi = Vec::with_capacity(matrix.rows.len());
+                for k in 0..matrix.rows.len() {
+                    let (l, h) = row_bounds(region, &matrix, k, scale);
+                    lo.push(l);
+                    hi.push(h);
+                }
+                let mut cold = Tableau::band(num_flows, &matrix.rows);
+                match cold.resolve(&lo, &hi) {
+                    Ok(feasible) => feasible,
+                    Err(_) => {
+                        let mut lp = LinearProgram::new(num_flows);
+                        for (k, row) in matrix.rows.iter().enumerate() {
+                            lp.add_constraint(row, Relation::Ge, lo[k]);
+                            lp.add_constraint(row, Relation::Le, hi[k]);
+                        }
+                        lp.is_feasible()
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reconstructs the counter-space cone point of the feasible solution the
+    /// tableau just found (`y* = Σ f_j · g_j` over the basic flows) and caches
+    /// its unit-norm ray for future feasible short-circuits.  The flow values
+    /// are only positively scaled relative to the raw problem, which leaves
+    /// the ray's direction — all that matters — unchanged.
+    fn harvest_witness(&mut self) {
+        if self.witness_rays.len() >= MAX_WITNESS_RAYS {
+            return;
+        }
+        let Some(cache) = self.cache.as_ref() else {
+            return;
+        };
+        let dim = self.checker.cone().dimension();
+        let mut ray = vec![0.0; dim];
+        for (j, f) in cache.tableau.basic_flows() {
+            // Values within the solver tolerance of zero contribute noise only.
+            if f > 1e-9 {
+                for &(i, c) in &self.sparse[j] {
+                    ray[i] += f * c;
+                }
+            }
+        }
+        let norm = ray.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        if !norm.is_finite() || norm <= 0.0 {
+            return;
+        }
+        for v in &mut ray {
+            *v /= norm;
+        }
+        self.witness_rays.push(ray);
+    }
+
+    /// Turns the tableau's Farkas multipliers into a counter-space separating
+    /// direction and caches it for future short-circuits.
+    ///
+    /// The stuck dual row gives `π ≥ 0` with `π · [A|S] ≥ 0` and `π · b < 0`.
+    /// Folding the per-band multiplier difference back through the axes yields
+    /// `c = Σ_k (π_{2k+1} − π_{2k}) / bound_div_k · axis_k` with `c · g ≥ 0`
+    /// for every generator `g` — a property of the cone alone, so the
+    /// certificate stays valid for every future observation.  The direction is
+    /// re-verified against the generators before caching (the multipliers are
+    /// only non-negative up to the solver tolerance).
+    fn harvest_certificate(&mut self, region: &counterpoint_stats::ConfidenceRegion) {
+        if self.certificates.len() >= MAX_CERTIFICATES {
+            return;
+        }
+        let Some(cache) = self.cache.as_ref() else {
+            return;
+        };
+        let Some(pi) = cache.tableau.farkas_multipliers() else {
+            return;
+        };
+        let dim = self.checker.cone().dimension();
+        let mut direction = vec![0.0; dim];
+        for (k, axis) in region.axes().iter().enumerate() {
+            let weight = (pi[2 * k + 1] - pi[2 * k]) / cache.matrix.bound_divs[k];
+            if weight != 0.0 {
+                for (d, a) in direction.iter_mut().zip(axis) {
+                    *d += weight * a;
+                }
+            }
+        }
+        let norm = direction.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        if !norm.is_finite() || norm <= 0.0 {
+            return;
+        }
+        for v in &mut direction {
+            *v /= norm;
+        }
+        // Re-verify in exact terms: every generator must be on the
+        // non-negative side (within a strict tolerance), otherwise the
+        // float-derived direction is not a sound separator.
+        let sound = self.sparse.iter().all(|g| {
+            let (proj, mass) = g.iter().fold((0.0f64, 0.0f64), |(p, m), &(i, c)| {
+                (p + direction[i] * c, m + c.abs())
+            });
+            proj >= -1e-9 * (1.0 + mass)
+        });
+        if sound {
+            self.certificates.push(direction);
+        }
+    }
+
+    /// Tests every observation, returning one verdict per observation in input
+    /// order.
+    pub fn check_all(&mut self, observations: &[Observation]) -> Vec<bool> {
+        observations.iter().map(|o| self.is_feasible(o)).collect()
+    }
+
+    /// Counts how many of the observations are infeasible for this model (the
+    /// quantity reported per model in the paper's Tables 3, 5 and 7).
+    pub fn count_infeasible(&mut self, observations: &[Observation]) -> usize {
+        observations.iter().filter(|o| !self.is_feasible(o)).count()
+    }
+}
+
+/// Does the ray `{t · ray : t ≥ 0}` pierce the region's bounding box with a
+/// safety margin?  Intersects the per-axis intervals `t · (axis_k · ray) ∈
+/// [lo_k + m_k, hi_k − m_k]`; a non-empty intersection is a certificate of
+/// feasibility (the scaled cone point lies inside the region).  The per-axis
+/// margin is capped at half the axis width so exact (zero-width) observations
+/// can still match, and is otherwise `margin` — well above the LP's own
+/// feasibility slop, so a hit is always a verdict the LP would reach too.
+fn ray_pierces_box(
+    ray: &[f64],
+    region: &counterpoint_stats::ConfidenceRegion,
+    margin: f64,
+) -> bool {
+    let mut t_lo = 0.0f64;
+    let mut t_hi = f64::INFINITY;
+    for (axis, &width) in region.axes().iter().zip(region.half_widths()) {
+        let proj_center: f64 = axis.iter().zip(region.center()).map(|(a, c)| a * c).sum();
+        let m = margin.min(0.5 * width);
+        let lo = proj_center - width + m;
+        let hi = proj_center + width - m;
+        let c: f64 = axis.iter().zip(ray).map(|(a, r)| a * r).sum();
+        if c == 0.0 {
+            if lo > 0.0 || hi < 0.0 {
+                return false;
+            }
+        } else if c > 0.0 {
+            t_lo = t_lo.max(lo / c);
+            t_hi = t_hi.min(hi / c);
+        } else {
+            t_lo = t_lo.max(hi / c);
+            t_hi = t_hi.min(lo / c);
+        }
+        if t_lo > t_hi {
+            return false;
+        }
+    }
+    true
+}
+
+/// Refreshes the cached axes without reallocating the inner vectors.
+fn clone_axes_into(cached: &mut Vec<Vec<f64>>, source: &[Vec<f64>]) {
+    cached.resize_with(source.len(), Vec::new);
+    for (dst, src) in cached.iter_mut().zip(source) {
+        dst.clear();
+        dst.extend_from_slice(src);
+    }
+}
+
+/// Tests every model cone against every observation, fanning the model family
+/// across worker threads.
+///
+/// This is the batched analogue of running [`BatchFeasibility::check_all`] per
+/// model: each worker owns one model at a time and sweeps the full observation
+/// list with a warm engine, so per-model results are independent of the thread
+/// count and land in model order — the same deterministic worker pattern the
+/// `counterpoint-collect` campaign runner uses.  `threads = 0` means "use the
+/// host's available parallelism"; `threads = 1` (or a single model) runs
+/// inline.
+///
+/// Returns one `Vec<bool>` per model, each with one verdict per observation.
+pub fn check_models(
+    cones: &[&ModelCone],
+    observations: &[Observation],
+    threads: usize,
+) -> Vec<Vec<bool>> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    };
+    let workers = threads.min(cones.len()).max(1);
+    let run_one = |cone: &ModelCone| BatchFeasibility::new(cone).check_all(observations);
+
+    if workers <= 1 {
+        return cones.iter().map(|cone| run_one(cone)).collect();
+    }
+
+    let slots: Vec<Mutex<Option<Vec<bool>>>> = cones.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cone) = cones.get(idx) else {
+                    break;
+                };
+                let verdicts = run_one(cone);
+                *slots[idx].lock().expect("feasibility worker panicked") = Some(verdicts);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("feasibility worker panicked")
+                .expect("every model was scheduled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counterpoint_mudd::{dsl::compile_uop, CounterSignature, CounterSpace};
+
+    fn space() -> CounterSpace {
+        CounterSpace::new(&["load.causes_walk", "load.pde$_miss"])
+    }
+
+    fn fig6a_cone() -> ModelCone {
+        let mudd = compile_uop(
+            "fig6a",
+            r#"
+            incr load.causes_walk;
+            do LookupPde$;
+            switch Pde$Status { Hit => pass; Miss => incr load.pde$_miss };
+            done;
+            "#,
+            &space(),
+        )
+        .unwrap();
+        ModelCone::from_mudd(&mudd).unwrap()
+    }
+
+    fn noisy_observation(name: &str, base: f64, offset: f64) -> Observation {
+        let samples: Vec<Vec<f64>> = (0..24)
+            .map(|i| {
+                let wiggle = (i % 7) as f64 - 3.0;
+                vec![base + (i % 5) as f64, base + offset + wiggle]
+            })
+            .collect();
+        Observation::from_samples(name, &samples, 0.99)
+    }
+
+    #[test]
+    fn batch_agrees_with_checker_on_exact_observations() {
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        let mut batch = BatchFeasibility::new(&cone);
+        let observations = vec![
+            Observation::exact("a", &[10.0, 4.0]),
+            Observation::exact("b", &[4.0, 10.0]),
+            Observation::exact("edge", &[10.0, 10.0]),
+            Observation::exact("origin", &[0.0, 0.0]),
+            Observation::exact("big", &[2.0e9, 1.5e9]),
+            Observation::exact("big-bad", &[1.5e9, 2.0e9]),
+        ];
+        for obs in &observations {
+            assert_eq!(
+                batch.is_feasible(obs),
+                checker.is_feasible(obs),
+                "verdict mismatch on {}",
+                obs.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_checker_on_noisy_observations() {
+        // Distinct principal axes per observation: exercises the in-place
+        // rebind path.
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        let mut batch = BatchFeasibility::new(&cone);
+        for i in 0..12 {
+            let offset = -2.0 + i as f64 * 0.7; // from clearly inside to clearly out
+            let obs = noisy_observation(&format!("noisy-{i}"), 900.0 + 37.0 * i as f64, offset);
+            assert_eq!(
+                batch.is_feasible(&obs),
+                checker.is_feasible(&obs),
+                "verdict mismatch on {}",
+                obs.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_count_matches_checker_count() {
+        let cone = fig6a_cone();
+        let observations: Vec<Observation> = (0..10)
+            .map(|i| noisy_observation(&format!("n{i}"), 500.0, -3.0 + i as f64))
+            .collect();
+        let expected = observations
+            .iter()
+            .filter(|o| !FeasibilityChecker::new(&cone).is_feasible(o))
+            .count();
+        assert_eq!(
+            BatchFeasibility::new(&cone).count_infeasible(&observations),
+            expected
+        );
+        assert_eq!(
+            FeasibilityChecker::new(&cone).count_infeasible(&observations),
+            expected
+        );
+    }
+
+    #[test]
+    fn degenerate_cone_only_accepts_the_origin() {
+        let cone = ModelCone::from_signatures("zero", &space(), vec![CounterSignature::zero(2)], 1);
+        let mut batch = BatchFeasibility::new(&cone);
+        assert!(batch.is_feasible(&Observation::exact("origin", &[0.0, 0.0])));
+        assert!(!batch.is_feasible(&Observation::exact("off", &[1.0, 0.0])));
+    }
+
+    #[test]
+    fn check_models_is_deterministic_across_thread_counts() {
+        let cones = [fig6a_cone(), fig6a_cone()];
+        let refs: Vec<&ModelCone> = cones.iter().collect();
+        let observations: Vec<Observation> = (0..8)
+            .map(|i| noisy_observation(&format!("n{i}"), 700.0, -2.0 + i as f64))
+            .collect();
+        let sequential = check_models(&refs, &observations, 1);
+        for threads in [0, 2, 4] {
+            assert_eq!(check_models(&refs, &observations, threads), sequential);
+        }
+        assert_eq!(sequential.len(), 2);
+        assert_eq!(sequential[0].len(), observations.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a counter space")]
+    fn dimension_mismatch_panics() {
+        let cone = fig6a_cone();
+        let _ = BatchFeasibility::new(&cone).is_feasible(&Observation::exact("bad", &[1.0]));
+    }
+}

@@ -64,19 +64,37 @@ pub struct ModelEvaluation {
     pub feasible: bool,
 }
 
-/// Evaluates every model against every observation.
+/// Evaluates every model against every observation (single-threaded).
 pub fn evaluate_models(
     models: &[ExplorationModel],
     observations: &[Observation],
 ) -> Vec<ModelEvaluation> {
+    evaluate_models_with_threads(models, observations, 1)
+}
+
+/// Evaluates every model against every observation, fanning the model family
+/// across `threads` worker threads (`0` = available parallelism) through the
+/// batched feasibility engine.
+///
+/// Each model's observation sweep runs warm-started on a single worker, so the
+/// evaluations are identical for every thread count and are returned in model
+/// order.
+pub fn evaluate_models_with_threads(
+    models: &[ExplorationModel],
+    observations: &[Observation],
+    threads: usize,
+) -> Vec<ModelEvaluation> {
+    let cones: Vec<&ModelCone> = models.iter().map(|m| &m.cone).collect();
+    let verdicts = crate::batch::check_models(&cones, observations, threads);
     models
         .iter()
-        .map(|model| {
-            let checker = FeasibilityChecker::new(&model.cone);
+        .zip(verdicts)
+        .map(|(model, feasible)| {
             let infeasible: Vec<String> = observations
                 .iter()
-                .filter(|o| !checker.is_feasible(o))
-                .map(|o| o.name().to_string())
+                .zip(&feasible)
+                .filter(|(_, ok)| !**ok)
+                .map(|(o, _)| o.name().to_string())
                 .collect();
             ModelEvaluation {
                 name: model.name.clone(),

@@ -5,7 +5,7 @@ use crate::cone::ModelCone;
 use crate::constraints::{ConstraintSet, NamedConstraint};
 use crate::observation::Observation;
 use counterpoint_geometry::ConstraintSense;
-use counterpoint_lp::{LinearProgram, Relation};
+use counterpoint_lp::{LinearProgram, Relation, Tableau};
 use serde::Serialize;
 
 /// The result of testing one observation against one model.
@@ -36,6 +36,153 @@ pub struct FeasibilityChecker<'a> {
     generators: Vec<Vec<f64>>,
 }
 
+/// Coefficient magnitudes beyond this guard trigger rescaling of the LP rows.
+///
+/// The guard keeps the fast path bit-identical to the historical formulation
+/// (no division touches the floats at all for ordinarily scaled models) while
+/// protecting pathological cones — generators with entries in the billions —
+/// from having genuine violations crushed below the simplex tolerance.
+const MAGNITUDE_GUARD: f64 = 1e6;
+
+/// The observation-independent half of the feasibility LP: the `axis ·
+/// generator` coefficient matrix for one (cone, axes) pair, equilibrated so
+/// every stored row is O(1) even when the generators carry huge entries.
+///
+/// Row `k` of the LP is `lo_k ≤ rows[k] · f ≤ hi_k` where the bounds are the
+/// observation's extent along axis `k` divided by `scale · bound_divs[k]`
+/// (`scale` being the per-observation magnitude normaliser).  [`BatchFeasibility`]
+/// computes this matrix once per (cone, axes) pair and reuses it across every
+/// observation sharing those axes; [`FeasibilityChecker::is_feasible`] builds
+/// it per call, which keeps both paths on byte-identical arithmetic.
+///
+/// [`BatchFeasibility`]: crate::batch::BatchFeasibility
+#[derive(Clone, Debug)]
+pub(crate) struct ConeMatrix {
+    /// One scaled coefficient row per confidence-region axis.
+    pub(crate) rows: Vec<Vec<f64>>,
+    /// Per-row divisor already applied to the coefficients; the observation
+    /// bounds must be divided by the same factor (times the global scale).
+    pub(crate) bound_divs: Vec<f64>,
+}
+
+impl ConeMatrix {
+    /// An empty matrix, to be populated by
+    /// [`build_sparse_into`](ConeMatrix::build_sparse_into).
+    pub(crate) fn empty() -> ConeMatrix {
+        ConeMatrix {
+            rows: Vec::new(),
+            bound_divs: Vec::new(),
+        }
+    }
+
+    /// Computes the coefficient matrix `A[k][p] = axis_k · generator_p`, then
+    /// equilibrates: a global coefficient scale `c` (largest magnitude, applied
+    /// only beyond [`MAGNITUDE_GUARD`]) followed by per-row normalisation for
+    /// rows whose magnitude still deviates from O(1) by more than the guard.
+    pub(crate) fn build(axes: &[Vec<f64>], generators: &[Vec<f64>]) -> ConeMatrix {
+        let mut matrix = ConeMatrix {
+            rows: axes
+                .iter()
+                .map(|axis| generators.iter().map(|g| dot(axis, g)).collect())
+                .collect(),
+            bound_divs: Vec::new(),
+        };
+        matrix.equilibrate();
+        matrix
+    }
+
+    /// Like [`build`](ConeMatrix::build), but from the sparse generator form
+    /// (only the non-zero entries of each generator, in index order) and
+    /// reusing `self`'s allocations.  Skipping a generator's zero entries adds
+    /// only exact `±0.0` terms to each dot product, so the resulting matrix is
+    /// bit-identical to the dense build — the batched engine relies on that to
+    /// agree with [`FeasibilityChecker::is_feasible`] verdict for verdict.
+    pub(crate) fn build_sparse_into(&mut self, axes: &[Vec<f64>], sparse: &[Vec<(usize, f64)>]) {
+        self.rows.resize_with(axes.len(), Vec::new);
+        for (row, axis) in self.rows.iter_mut().zip(axes) {
+            row.clear();
+            row.extend(
+                sparse
+                    .iter()
+                    .map(|g| g.iter().map(|&(i, c)| axis[i] * c).sum::<f64>()),
+            );
+        }
+        self.equilibrate();
+    }
+
+    /// The magnitude-guard pass shared by both builders (see [`build`]).
+    ///
+    /// [`build`]: ConeMatrix::build
+    fn equilibrate(&mut self) {
+        let cmax = self
+            .rows
+            .iter()
+            .flatten()
+            .fold(0.0f64, |acc, v| acc.max(v.abs()));
+        let cscale = if cmax > MAGNITUDE_GUARD { cmax } else { 1.0 };
+        self.bound_divs.clear();
+        for row in &mut self.rows {
+            let rmax = row.iter().fold(0.0f64, |acc, v| acc.max(v.abs())) / cscale;
+            let row_scale =
+                if rmax > MAGNITUDE_GUARD || (rmax > 0.0 && rmax < 1.0 / MAGNITUDE_GUARD) {
+                    rmax
+                } else {
+                    1.0
+                };
+            let div = cscale * row_scale;
+            if div != 1.0 {
+                for v in row.iter_mut() {
+                    *v /= div;
+                }
+            }
+            self.bound_divs.push(row_scale);
+        }
+    }
+}
+
+/// The sparse form of a generator set: per generator, its non-zero entries as
+/// `(index, value)` pairs in index order.  μpath counter signatures touch only
+/// a few of the campaign's counters, so this cuts the per-observation
+/// coefficient matmul from `O(d²·p)` to `O(d·nnz)`.
+pub(crate) fn sparsify_generators(generators: &[Vec<f64>]) -> Vec<Vec<(usize, f64)>> {
+    generators
+        .iter()
+        .map(|g| {
+            g.iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i, v))
+                .collect()
+        })
+        .collect()
+}
+
+/// The per-observation magnitude normaliser: the LP works with rescaled flows
+/// `f' = f / scale` so the right-hand sides stay O(1) regardless of the raw
+/// counter magnitudes (which can be in the billions).
+pub(crate) fn observation_scale(region: &counterpoint_stats::ConfidenceRegion) -> f64 {
+    region
+        .center()
+        .iter()
+        .fold(1.0f64, |acc, v| acc.max(v.abs()))
+}
+
+/// The `(lo, hi)` bounds of LP row `k` for the given observation: the region's
+/// extent along axis `k`, normalised by the global scale and the row's
+/// equilibration divisor.
+pub(crate) fn row_bounds(
+    region: &counterpoint_stats::ConfidenceRegion,
+    matrix: &ConeMatrix,
+    k: usize,
+    scale: f64,
+) -> (f64, f64) {
+    let axis = &region.axes()[k];
+    let width = region.half_widths()[k];
+    let centre_proj = dot(axis, region.center());
+    let div = scale * matrix.bound_divs[k];
+    ((centre_proj - width) / div, (centre_proj + width) / div)
+}
+
 impl<'a> FeasibilityChecker<'a> {
     /// Prepares a checker for the given model cone.
     pub fn new(cone: &'a ModelCone) -> FeasibilityChecker<'a> {
@@ -51,6 +198,11 @@ impl<'a> FeasibilityChecker<'a> {
     /// The model cone under test.
     pub fn cone(&self) -> &ModelCone {
         self.cone
+    }
+
+    /// The cone's generators as `f64` vectors (shared with the batched engine).
+    pub(crate) fn generators(&self) -> &[Vec<f64>] {
+        &self.generators
     }
 
     /// Returns `true` if the observation's confidence region intersects the model
@@ -72,31 +224,35 @@ impl<'a> FeasibilityChecker<'a> {
             return region.contains(&vec![0.0; self.cone.dimension()]);
         }
 
-        // Scale the problem so right-hand sides are O(1): raw counter values can be
-        // in the billions and would otherwise interact badly with the simplex
-        // feasibility tolerance.
-        let scale = region
-            .center()
-            .iter()
-            .fold(1.0f64, |acc, v| acc.max(v.abs()));
-
+        let matrix = ConeMatrix::build(region.axes(), &self.generators);
+        let scale = observation_scale(region);
         let num_flows = self.generators.len();
-        let mut lp = LinearProgram::new(num_flows);
-
-        for (axis, width) in region.axes().iter().zip(region.half_widths().iter()) {
-            // Coefficient of flow p: axis · generator_p.
-            let coeffs: Vec<f64> = self.generators.iter().map(|g| dot(axis, g)).collect();
-            // Work with rescaled flows f' = f / scale so both the coefficients and
-            // the right-hand sides stay O(1) regardless of the raw counter
-            // magnitudes.
-            let centre_proj = dot(axis, region.center());
-            let lo = (centre_proj - width) / scale;
-            let hi = (centre_proj + width) / scale;
-            lp.add_constraint(&coeffs, Relation::Ge, lo);
-            lp.add_constraint(&coeffs, Relation::Le, hi);
+        let mut lo = Vec::with_capacity(matrix.rows.len());
+        let mut hi = Vec::with_capacity(matrix.rows.len());
+        for k in 0..matrix.rows.len() {
+            let (l, h) = row_bounds(region, &matrix, k, scale);
+            lo.push(l);
+            hi.push(h);
         }
 
-        lp.is_feasible()
+        // A cold dual-simplex solve on the band tableau — the same algorithm
+        // the batched engine warm-starts, so the two paths agree by
+        // construction.  (The historical two-phase primal remains as the
+        // fallback; its ratio test tolerates near-zero pivots and can corrupt
+        // the phase-1 optimum on ill-conditioned instances, which the dual's
+        // largest-magnitude pivot selection avoids.)
+        let mut tableau = Tableau::band(num_flows, &matrix.rows);
+        match tableau.resolve(&lo, &hi) {
+            Ok(feasible) => feasible,
+            Err(_) => {
+                let mut lp = LinearProgram::new(num_flows);
+                for (k, row) in matrix.rows.iter().enumerate() {
+                    lp.add_constraint(row, Relation::Ge, lo[k]);
+                    lp.add_constraint(row, Relation::Le, hi[k]);
+                }
+                lp.is_feasible()
+            }
+        }
     }
 
     /// Tests the observation and, when it is infeasible and a constraint set is
@@ -149,8 +305,15 @@ impl<'a> FeasibilityChecker<'a> {
 
     /// Convenience: counts how many of the observations are infeasible for this
     /// model (the quantity reported per model in the paper's Tables 3, 5 and 7).
+    ///
+    /// Routes through the warm-started [`BatchFeasibility`] engine — the
+    /// verdicts are the ones [`is_feasible`] would return, reached with the
+    /// coefficient matrix and LP basis shared across the batch.
+    ///
+    /// [`BatchFeasibility`]: crate::batch::BatchFeasibility
+    /// [`is_feasible`]: FeasibilityChecker::is_feasible
     pub fn count_infeasible(&self, observations: &[Observation]) -> usize {
-        observations.iter().filter(|o| !self.is_feasible(o)).count()
+        crate::batch::BatchFeasibility::new(self.cone).count_infeasible(observations)
     }
 }
 
@@ -313,5 +476,76 @@ mod tests {
         let cone = fig6a_cone();
         let checker = FeasibilityChecker::new(&cone);
         let _ = checker.is_feasible(&Observation::exact("bad", &[1.0]));
+    }
+
+    /// A cone whose single generator mixes magnitudes across nine orders:
+    /// (10⁹, 1).  Before the coefficient-aware rescaling, the global scale was
+    /// derived from the observation center alone, so the y-axis violation of
+    /// the off-ray observation below was crushed to ~1e-9 in LP units — under
+    /// the simplex feasibility tolerance — and misreported as feasible.
+    fn huge_coefficient_cone() -> ModelCone {
+        ModelCone::from_signatures(
+            "huge",
+            &CounterSpace::new(&["x", "y"]),
+            vec![counterpoint_mudd::CounterSignature::from_counts(vec![
+                1_000_000_000,
+                1,
+            ])],
+            1,
+        )
+    }
+
+    #[test]
+    fn huge_coefficients_do_not_hide_violations() {
+        let cone = huge_coefficient_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        // On the generator ray: feasible.
+        assert!(checker.is_feasible(&Observation::exact("on", &[1.0e9, 1.0])));
+        // A full counter off the ray in y: must be infeasible even though the
+        // violation is one part in 10⁹ of the x magnitude.
+        assert!(!checker.is_feasible(&Observation::exact("off", &[1.0e9, 0.0])));
+        // And well clear of the ray in the other direction.
+        assert!(!checker.is_feasible(&Observation::exact("far", &[1.0e9, 3.0])));
+    }
+
+    #[test]
+    fn zero_center_with_huge_coefficients_is_feasible() {
+        // A center of all zeros yields the neutral global scale (1.0); the
+        // coefficient-derived row scaling must keep the LP well-conditioned on
+        // its own.  The origin is in every cone, so this must stay feasible.
+        let cone = huge_coefficient_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        assert!(checker.is_feasible(&Observation::exact("origin", &[0.0, 0.0])));
+        // Noisy all-zero-mean observation with huge half-widths: still contains
+        // the origin, still feasible.
+        let samples: Vec<Vec<f64>> = (0..16)
+            .map(|i| {
+                let swing = if i % 2 == 0 { 1.0e9 } else { -1.0e9 };
+                vec![swing, swing * 1.0e-9]
+            })
+            .collect();
+        let obs = Observation::from_samples("swing", &samples, 0.99);
+        assert!(checker.is_feasible(&obs));
+    }
+
+    #[test]
+    fn relatively_tiny_coefficients_do_not_hide_violations() {
+        // The mirrored pathology: after the global coefficient scale divides by
+        // the largest magnitude (10⁹), the x row's coefficients sit at 1e-9 and
+        // the per-row equilibration must scale them back up so a violation in x
+        // stays visible.
+        let cone = ModelCone::from_signatures(
+            "mirror",
+            &CounterSpace::new(&["x", "y"]),
+            vec![counterpoint_mudd::CounterSignature::from_counts(vec![
+                1,
+                1_000_000_000,
+            ])],
+            1,
+        );
+        let checker = FeasibilityChecker::new(&cone);
+        assert!(checker.is_feasible(&Observation::exact("on", &[1.0, 1.0e9])));
+        // y pins the flow to 1e-9·…, which forces x ≈ 1, not 0.
+        assert!(!checker.is_feasible(&Observation::exact("off", &[0.0, 1.0e9])));
     }
 }

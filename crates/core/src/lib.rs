@@ -45,17 +45,19 @@
 //! assert!(checker.is_feasible(&feasible));
 //! ```
 
+pub mod batch;
 pub mod cone;
 pub mod constraints;
 pub mod explore;
 pub mod feasibility;
 pub mod observation;
 
+pub use batch::{check_models, BatchFeasibility};
 pub use cone::ModelCone;
 pub use constraints::{deduce_constraints, ConstraintSet, NamedConstraint};
 pub use explore::{
-    essential_features, evaluate_models, ExplorationModel, FeatureSet, GuidedSearch,
-    ModelEvaluation, SearchEdge, SearchGraph, SearchStep,
+    essential_features, evaluate_models, evaluate_models_with_threads, ExplorationModel,
+    FeatureSet, GuidedSearch, ModelEvaluation, SearchEdge, SearchGraph, SearchStep,
 };
 pub use feasibility::{FeasibilityChecker, FeasibilityReport};
 pub use observation::Observation;

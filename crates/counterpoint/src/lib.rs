@@ -60,7 +60,8 @@ pub use counterpoint_collect::{
     ReplayBackend, SimBackend, Trace, TraceRecord, WorkloadRun,
 };
 pub use counterpoint_core::{
-    deduce_constraints, essential_features, evaluate_models, ConstraintSet, ExplorationModel,
+    check_models, deduce_constraints, essential_features, evaluate_models,
+    evaluate_models_with_threads, BatchFeasibility, ConstraintSet, ExplorationModel,
     FeasibilityChecker, FeasibilityReport, FeatureSet, GuidedSearch, ModelCone, ModelEvaluation,
     Observation, SearchGraph,
 };

@@ -30,4 +30,4 @@
 
 pub mod simplex;
 
-pub use simplex::{LinearProgram, LpError, LpOutcome, Relation};
+pub use simplex::{LinearProgram, LpError, LpOutcome, Relation, Tableau};

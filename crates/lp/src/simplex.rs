@@ -194,7 +194,7 @@ impl LinearProgram {
     ///
     /// Returns [`LpError::IterationLimit`] if the solver fails to converge.
     pub fn try_solve(&self) -> Result<LpOutcome, LpError> {
-        Tableau::build_and_solve(self)
+        DenseTableau::build_and_solve(self)
     }
 
     /// Convenience: returns `true` if the constraint system admits any solution
@@ -207,8 +207,440 @@ impl LinearProgram {
     }
 }
 
+/// A warm-startable revised dual-simplex engine for *band feasibility*
+/// systems `lo ≤ A·x ≤ hi` over `x ≥ 0`.
+///
+/// This is the shape of CounterPoint's hot path: one band per confidence-region
+/// axis, whose coefficient row `A_k` (`axis · generator` per flow variable) is a
+/// function of the model cone and the counter-space axes only, while the bounds
+/// `lo`/`hi` move from observation to observation.  A `Tableau` therefore keeps
+/// the factorised state — the basis and its inverse `B⁻¹` — alive across
+/// solves: [`resolve`](Tableau::resolve) after a bounds-only change starts from
+/// the previous solve's basis and usually needs only a handful of dual-simplex
+/// pivots instead of a full two-phase solve, [`rebind`](Tableau::rebind) swaps
+/// in a new coefficient matrix of the same shape without reallocating, and
+/// [`resolve_with_basis`](Tableau::resolve_with_basis) seeds the tableau with a
+/// basis carried over from a structurally similar system.
+///
+/// Conceptually each band `k` contributes two rows:
+///
+/// * row `2k`:   `−A_k·x + s = −lo_k` (the `≥` side, pre-negated so every slack
+///   coefficient is `+1` and the all-slack basis matrix is the identity), and
+/// * row `2k+1`: `A_k·x + s = hi_k` (the `≤` side).
+///
+/// The implementation is *revised*: it never materialises the full
+/// `B⁻¹·[A | S]` tableau.  Only `B⁻¹` (`2d × 2d`) and the raw band matrix
+/// (`d × p`) are stored; the leaving row's coefficients and the entering column
+/// are reconstructed on demand, so a pivot costs `O(d·p + d²)` instead of the
+/// classical `O(d·(p + d))` row sweep over a matrix twice that size, and a
+/// bounds-only restart costs `O(d²)`.
+///
+/// Because the objective is identically zero, every basis is dual-feasible and
+/// the dual simplex reduces to feasibility restoration: pick a row whose basic
+/// value is negative, pivot on a negative entry, and stop when either no row is
+/// violated (feasible) or a violated row has no negative entry (infeasible —
+/// the row reads "a non-negative combination equals a negative number").
+///
+/// The one-shot [`LinearProgram::solve`] path is untouched; this type exists
+/// for callers that answer the same feasibility question many times.
+#[derive(Clone, Debug)]
+pub struct Tableau {
+    num_vars: usize,
+    num_bands: usize,
+    /// The band matrix `A`, stored flat and transposed
+    /// (`num_vars × num_bands`, row-major) so the per-iteration coefficient
+    /// reconstruction walks contiguous memory.
+    bands_t: Vec<f64>,
+    /// `B⁻¹` (`2·num_bands` square, flat row-major), maintained across pivots.
+    binv: Vec<f64>,
+    /// `true` while `B⁻¹` is still the identity (all-slack basis, no pivots
+    /// since the last rebind): lets `resolve` skip the `B⁻¹·b` product.
+    binv_is_identity: bool,
+    /// `B⁻¹·b` for the most recent bounds.
+    rhs: Vec<f64>,
+    /// Basic column per row (`j < num_vars`: flow `j`; otherwise slack
+    /// `j − num_vars`).
+    basis: Vec<usize>,
+    /// `in_basis[j]` mirrors `basis` for O(1) membership tests.
+    in_basis: Vec<bool>,
+    /// Row that certified infeasibility on the most recent resolve, if any.
+    infeasible_row: Option<usize>,
+    /// Scratch: per-band multiplier differences of the leaving row.
+    delta: Vec<f64>,
+    /// Scratch: the leaving row's structural coefficients.
+    rowbuf: Vec<f64>,
+    /// Scratch: the entering column in basis coordinates (`B⁻¹·a`).
+    colbuf: Vec<f64>,
+    epsilon: f64,
+    max_iterations: usize,
+}
+
+impl Tableau {
+    /// Builds a tableau for the band system `lo ≤ A·x ≤ hi` over `x ≥ 0`,
+    /// starting from the all-slack basis.  `bands` holds the rows of `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any band row's length differs from `num_vars`.
+    pub fn band(num_vars: usize, bands: &[Vec<f64>]) -> Tableau {
+        let m = 2 * bands.len();
+        let mut tableau = Tableau {
+            num_vars,
+            num_bands: bands.len(),
+            bands_t: vec![0.0; num_vars * bands.len()],
+            binv: vec![0.0; m * m],
+            binv_is_identity: true,
+            rhs: vec![0.0; m],
+            basis: Vec::new(),
+            in_basis: vec![false; num_vars + m],
+            infeasible_row: None,
+            delta: vec![0.0; bands.len()],
+            rowbuf: vec![0.0; num_vars],
+            colbuf: vec![0.0; m],
+            epsilon: 1e-9,
+            max_iterations: 50_000,
+        };
+        tableau.rebind(bands);
+        tableau
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of bands (the system has `2 · num_bands` rows).
+    pub fn num_bands(&self) -> usize {
+        self.num_bands
+    }
+
+    /// Overrides the numerical tolerance (default `1e-9`).
+    pub fn set_epsilon(&mut self, epsilon: f64) {
+        self.epsilon = epsilon;
+    }
+
+    /// Overrides the dual-simplex iteration limit (default 50 000).
+    pub fn set_max_iterations(&mut self, limit: usize) {
+        self.max_iterations = limit;
+    }
+
+    /// The current basis (one column index per row), e.g. to seed another
+    /// tableau via [`resolve_with_basis`](Tableau::resolve_with_basis).
+    pub fn basis(&self) -> &[usize] {
+        &self.basis
+    }
+
+    /// Replaces the band matrix with one of the same shape and resets the
+    /// tableau to the all-slack basis, reusing every allocation.  The batched
+    /// feasibility engine calls this when the confidence-region axes change
+    /// (new coefficient matrix, same dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of bands or a row length differs from the shape the
+    /// tableau was built with.
+    pub fn rebind(&mut self, bands: &[Vec<f64>]) {
+        assert_eq!(bands.len(), self.num_bands, "band count changed in rebind");
+        let n = self.num_vars;
+        let d = self.num_bands;
+        for (k, src) in bands.iter().enumerate() {
+            assert_eq!(
+                src.len(),
+                n,
+                "band {k} has {} coefficients, expected {n}",
+                src.len()
+            );
+            for (j, &a) in src.iter().enumerate() {
+                self.bands_t[j * d + k] = a;
+            }
+        }
+        self.binv.fill(0.0);
+        let m = 2 * d;
+        for i in 0..m {
+            self.binv[i * m + i] = 1.0;
+        }
+        self.binv_is_identity = true;
+        self.in_basis.fill(false);
+        for slot in self.in_basis.iter_mut().skip(n) {
+            *slot = true;
+        }
+        self.basis.clear();
+        self.basis.extend(n..n + 2 * self.num_bands);
+        self.infeasible_row = None;
+    }
+
+    /// The structural (flow) variables that are basic in the current basis,
+    /// with their values after the most recent resolve — the support of the
+    /// feasible point when that resolve returned `true`.  Values can be
+    /// marginally negative (within the feasibility tolerance); callers should
+    /// clamp.
+    pub fn basic_flows(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.basis
+            .iter()
+            .zip(self.rhs.iter())
+            .filter_map(|(&j, &v)| (j < self.num_vars).then_some((j, v)))
+    }
+
+    /// The Farkas certificate of the most recent infeasible
+    /// [`resolve`](Tableau::resolve): the multipliers `π` (one per row, all
+    /// non-negative up to tolerance) of the stuck row, i.e. the corresponding
+    /// row of `B⁻¹`.  `π · [A|S] ≥ 0` componentwise while `π · b < 0`, so any
+    /// bounds with `π · b < 0` are infeasible regardless of the flows.
+    /// `None` if the last resolve was feasible (or none has run).
+    pub fn farkas_multipliers(&self) -> Option<&[f64]> {
+        let m = 2 * self.num_bands;
+        self.infeasible_row.map(|r| &self.binv[r * m..(r + 1) * m])
+    }
+
+    /// Decides feasibility of the band system under new bounds, warm-starting
+    /// the dual simplex from the basis the previous call ended in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::IterationLimit`] if the dual simplex fails to
+    /// converge; callers should fall back to a cold [`LinearProgram`] solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` or `hi` do not have one entry per band.
+    pub fn resolve(&mut self, lo: &[f64], hi: &[f64]) -> Result<bool, LpError> {
+        assert_eq!(lo.len(), self.num_bands, "lo has the wrong length");
+        assert_eq!(hi.len(), self.num_bands, "hi has the wrong length");
+        let m = 2 * self.num_bands;
+        // rhs = B⁻¹·b for the current basis, with b in original row
+        // coordinates (the ≥ side is pre-negated).
+        if self.binv_is_identity {
+            for k in 0..self.num_bands {
+                self.rhs[2 * k] = -lo[k];
+                self.rhs[2 * k + 1] = hi[k];
+            }
+        } else {
+            for i in 0..m {
+                let row = &self.binv[i * m..(i + 1) * m];
+                let mut acc = 0.0;
+                for k in 0..self.num_bands {
+                    acc += row[2 * k] * -lo[k] + row[2 * k + 1] * hi[k];
+                }
+                self.rhs[i] = acc;
+            }
+        }
+        self.restore_feasibility()
+    }
+
+    /// Like [`resolve`](Tableau::resolve), but first installs `basis` — e.g.
+    /// the final basis of a structurally similar tableau — by replaying pivots.
+    /// Basis columns that would make the basis singular (pivot too small) are
+    /// skipped, leaving the incumbent basic column in that row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::IterationLimit`] if the dual simplex fails to
+    /// converge after the basis is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` does not have one entry per row, or `lo`/`hi` do not
+    /// have one entry per band.
+    pub fn resolve_with_basis(
+        &mut self,
+        lo: &[f64],
+        hi: &[f64],
+        basis: &[usize],
+    ) -> Result<bool, LpError> {
+        let m = 2 * self.num_bands;
+        assert_eq!(basis.len(), m, "basis has the wrong length");
+        let total = self.num_vars + m;
+        // Replaying a pivot with a tiny pivot element would poison B⁻¹; such
+        // columns are simply not installed (the row keeps its current basic
+        // variable, typically its slack).
+        let pivot_tol = self.epsilon.max(1e-7);
+        for (row, &col) in basis.iter().enumerate() {
+            if col >= total || self.basis[row] == col || self.in_basis[col] {
+                continue;
+            }
+            self.load_column(col);
+            if self.colbuf[row].abs() > pivot_tol {
+                self.pivot(row, col);
+            }
+        }
+        self.resolve(lo, hi)
+    }
+
+    /// Dual-simplex feasibility restoration from the current (dual-feasible,
+    /// since the objective is zero) basis.
+    fn restore_feasibility(&mut self) -> Result<bool, LpError> {
+        self.infeasible_row = None;
+        let m = 2 * self.num_bands;
+        // Accept residual per-row violations up to the same threshold the
+        // two-phase solver applies to its phase-1 optimum, so both paths agree
+        // on borderline systems.
+        let tol = self.epsilon.max(1e-7);
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            if iterations > self.max_iterations {
+                return Err(LpError::IterationLimit);
+            }
+            let use_bland = iterations > self.max_iterations / 2;
+
+            // Leaving row: most negative basic value (Bland: smallest basic
+            // index among the violated rows, which guarantees termination).
+            let mut leave: Option<usize> = None;
+            let mut worst = -tol;
+            for i in 0..m {
+                if self.rhs[i] < worst {
+                    if use_bland {
+                        if leave.is_none_or(|l| self.basis[i] < self.basis[l]) {
+                            leave = Some(i);
+                        }
+                        worst = -tol;
+                    } else {
+                        worst = self.rhs[i];
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(row) = leave else {
+                return Ok(true);
+            };
+
+            // Reconstruct the leaving row's coefficients from π = B⁻¹[row]:
+            // flow column j carries Σ_k (π_{2k+1} − π_{2k})·A_kj, slack column
+            // i carries π_i.  Any non-basic column with a negative entry keeps
+            // dual feasibility (all reduced costs are zero); prefer the
+            // largest magnitude for numerical stability.
+            {
+                let pi = &self.binv[row * m..(row + 1) * m];
+                for (k, d) in self.delta.iter_mut().enumerate() {
+                    *d = pi[2 * k + 1] - pi[2 * k];
+                }
+            }
+            let d = self.num_bands;
+            for (buf, col) in self
+                .rowbuf
+                .iter_mut()
+                .zip(self.bands_t.chunks_exact(d.max(1)))
+            {
+                *buf = self
+                    .delta
+                    .iter()
+                    .zip(col.iter())
+                    .map(|(dk, a)| dk * a)
+                    .sum();
+            }
+            let mut enter: Option<usize> = None;
+            let mut best = self.epsilon;
+            'scan: {
+                for (j, &a) in self.rowbuf.iter().enumerate() {
+                    if self.in_basis[j] {
+                        continue;
+                    }
+                    if a < -self.epsilon {
+                        if use_bland {
+                            enter = Some(j);
+                            break 'scan;
+                        }
+                        if -a > best {
+                            best = -a;
+                            enter = Some(j);
+                        }
+                    }
+                }
+                for i in 0..m {
+                    let j = self.num_vars + i;
+                    if self.in_basis[j] {
+                        continue;
+                    }
+                    let a = self.binv[row * m + i];
+                    if a < -self.epsilon {
+                        if use_bland {
+                            enter = Some(j);
+                            break 'scan;
+                        }
+                        if -a > best {
+                            best = -a;
+                            enter = Some(j);
+                        }
+                    }
+                }
+            }
+            let Some(col) = enter else {
+                // The row asserts a non-negative combination equals a negative
+                // number: the system is infeasible.
+                self.infeasible_row = Some(row);
+                return Ok(false);
+            };
+            self.load_column(col);
+            self.pivot(row, col);
+        }
+    }
+
+    /// Fills `colbuf` with the entering column in basis coordinates,
+    /// `B⁻¹·a_col`.
+    fn load_column(&mut self, col: usize) {
+        let m = 2 * self.num_bands;
+        let d = self.num_bands;
+        if col < self.num_vars {
+            // Flow column: original entries alternate (−A_kj, +A_kj).
+            let band_col = &self.bands_t[col * d..(col + 1) * d];
+            for i in 0..m {
+                let row = &self.binv[i * m..(i + 1) * m];
+                let mut acc = 0.0;
+                for (k, &a) in band_col.iter().enumerate() {
+                    acc += (row[2 * k + 1] - row[2 * k]) * a;
+                }
+                self.colbuf[i] = acc;
+            }
+        } else {
+            // Slack column: `a = e_i`, so `B⁻¹·a` is a column of B⁻¹.
+            let slack = col - self.num_vars;
+            for i in 0..m {
+                self.colbuf[i] = self.binv[i * m + slack];
+            }
+        }
+    }
+
+    /// Product-form basis update: pivots `col` (whose basis-coordinate column
+    /// is already in `colbuf`) into `row`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = 2 * self.num_bands;
+        let pivot = self.colbuf[row];
+        debug_assert!(pivot.abs() > 0.0, "zero pivot");
+        let inv = 1.0 / pivot;
+        for v in &mut self.binv[row * m..(row + 1) * m] {
+            *v *= inv;
+        }
+        self.rhs[row] *= inv;
+        for i in 0..m {
+            if i == row {
+                continue;
+            }
+            let factor = self.colbuf[i];
+            if factor == 0.0 {
+                continue;
+            }
+            // Split-borrow the pivot row from the row being updated.
+            let (pivot_row, target_row) = if i < row {
+                let (head, tail) = self.binv.split_at_mut(row * m);
+                (&tail[..m], &mut head[i * m..(i + 1) * m])
+            } else {
+                let (head, tail) = self.binv.split_at_mut(i * m);
+                (&head[row * m..(row + 1) * m], &mut tail[..m])
+            };
+            for (t, p) in target_row.iter_mut().zip(pivot_row.iter()) {
+                *t -= factor * p;
+            }
+            self.rhs[i] -= factor * self.rhs[row];
+        }
+        self.binv_is_identity = false;
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[col] = true;
+        self.basis[row] = col;
+    }
+}
+
 /// Dense simplex tableau.
-struct Tableau {
+struct DenseTableau {
     /// rows x cols coefficient matrix (structural + slack + artificial columns).
     rows: Vec<Vec<f64>>,
     rhs: Vec<f64>,
@@ -221,7 +653,7 @@ struct Tableau {
     max_iterations: usize,
 }
 
-impl Tableau {
+impl DenseTableau {
     fn build_and_solve(lp: &LinearProgram) -> Result<LpOutcome, LpError> {
         let m = lp.constraints.len();
         let n = lp.num_vars;
@@ -280,7 +712,7 @@ impl Tableau {
             }
         }
 
-        let mut tableau = Tableau {
+        let mut tableau = DenseTableau {
             rows,
             rhs,
             basis,
@@ -451,6 +883,111 @@ mod tests {
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    /// Decides `lo ≤ A·x ≤ hi`, `x ≥ 0` through the one-shot two-phase path,
+    /// the reference the warm-started tableau must agree with.
+    fn band_feasible_cold(bands: &[Vec<f64>], lo: &[f64], hi: &[f64]) -> bool {
+        let mut lp = LinearProgram::new(bands[0].len());
+        for (k, band) in bands.iter().enumerate() {
+            lp.add_constraint(band, Relation::Ge, lo[k]);
+            lp.add_constraint(band, Relation::Le, hi[k]);
+        }
+        lp.is_feasible()
+    }
+
+    #[test]
+    fn tableau_band_matches_cold_solver() {
+        // Cone generated by (1, 0) and (1, 1): y ≤ x over the non-negative
+        // quadrant, probed through a batch of boxes.
+        let bands = vec![vec![1.0, 1.0], vec![0.0, 1.0]];
+        let cases: &[(&[f64; 2], &[f64; 2])] = &[
+            (&[9.0, 3.0], &[11.0, 5.0]),   // strictly inside
+            (&[9.0, 9.5], &[10.0, 10.5]),  // straddles the y = x facet
+            (&[4.0, 9.0], &[5.0, 10.0]),   // y > x everywhere: infeasible
+            (&[0.0, 0.0], &[0.0, 0.0]),    // the origin
+            (&[-2.0, -1.0], &[-1.0, 1.0]), // x forced negative: infeasible
+        ];
+        let mut tableau = Tableau::band(2, &bands);
+        assert_eq!(tableau.num_vars(), 2);
+        assert_eq!(tableau.num_bands(), 2);
+        for (lo, hi) in cases {
+            let warm = tableau.resolve(*lo, *hi).unwrap();
+            assert_eq!(
+                warm,
+                band_feasible_cold(&bands, *lo, *hi),
+                "verdict mismatch for lo={lo:?} hi={hi:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tableau_warm_restart_reuses_basis() {
+        // A drifting sequence of boxes: after the first solve, later solves
+        // should start from the previous basis and still be correct.
+        let bands = vec![
+            vec![2.0, 1.0, 0.0],
+            vec![0.0, 1.0, 3.0],
+            vec![1.0, 1.0, 1.0],
+        ];
+        let mut tableau = Tableau::band(3, &bands);
+        for step in 0..40 {
+            let t = step as f64;
+            let lo = [5.0 + t, 2.0 + 0.5 * t, 3.0 + t];
+            let hi = [7.0 + t, 4.0 + 0.5 * t, 4.0 + t];
+            assert_eq!(
+                tableau.resolve(&lo, &hi).unwrap(),
+                band_feasible_cold(&bands, &lo, &hi),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn tableau_resolve_with_basis_seeds_a_fresh_tableau() {
+        let bands = vec![vec![1.0, 1.0], vec![0.0, 1.0]];
+        let mut first = Tableau::band(2, &bands);
+        assert!(first.resolve(&[9.0, 3.0], &[11.0, 5.0]).unwrap());
+        let basis: Vec<usize> = first.basis().to_vec();
+
+        let mut second = Tableau::band(2, &bands);
+        assert!(second
+            .resolve_with_basis(&[9.5, 3.5], &[10.5, 4.5], &basis)
+            .unwrap());
+        assert!(!second
+            .resolve_with_basis(&[4.0, 9.0], &[5.0, 10.0], &basis)
+            .unwrap());
+    }
+
+    #[test]
+    fn tableau_detects_infeasibility_with_no_structural_variables() {
+        // Zero structural variables: feasible iff every band contains zero.
+        let mut tableau = Tableau::band(0, &[vec![], vec![]]);
+        assert!(tableau.resolve(&[-1.0, 0.0], &[1.0, 0.0]).unwrap());
+        assert!(!tableau.resolve(&[1.0, 0.0], &[2.0, 0.0]).unwrap());
+    }
+
+    #[test]
+    fn tableau_handles_degenerate_equal_bounds() {
+        // lo == hi pins the band exactly: x + y = 10 with y ∈ [0, 4].
+        let bands = vec![vec![1.0, 1.0], vec![0.0, 1.0]];
+        let mut tableau = Tableau::band(2, &bands);
+        assert!(tableau.resolve(&[10.0, 0.0], &[10.0, 4.0]).unwrap());
+        // x + y = 10 with y ≥ 12 is impossible.
+        assert!(!tableau.resolve(&[10.0, 12.0], &[10.0, 14.0]).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn tableau_bounds_length_mismatch_panics() {
+        let mut tableau = Tableau::band(1, &[vec![1.0]]);
+        let _ = tableau.resolve(&[0.0, 0.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn tableau_band_length_mismatch_panics() {
+        let _ = Tableau::band(2, &[vec![1.0]]);
     }
 
     #[test]

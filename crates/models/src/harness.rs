@@ -141,7 +141,7 @@ pub fn observe_trace(
 mod tests {
     use super::*;
     use crate::family::{build_feature_model, feature_sets_table3};
-    use counterpoint_core::FeasibilityChecker;
+    use counterpoint_core::{BatchFeasibility, FeasibilityChecker};
     use counterpoint_haswell::full_counter_space;
     use counterpoint_haswell::mmu::HaswellMmu;
     use counterpoint_haswell::pmu::MultiplexingPmu;
@@ -240,8 +240,8 @@ mod tests {
         let m4 = build_feature_model("m4", &specs.iter().find(|(n, _)| n == "m4").unwrap().1);
         let m0 = build_feature_model("m0", &specs.iter().find(|(n, _)| n == "m0").unwrap().1);
 
-        let m4_infeasible = FeasibilityChecker::new(&m4).count_infeasible(&observations);
-        let m0_infeasible = FeasibilityChecker::new(&m0).count_infeasible(&observations);
+        let m4_infeasible = BatchFeasibility::new(&m4).count_infeasible(&observations);
+        let m0_infeasible = BatchFeasibility::new(&m0).count_infeasible(&observations);
         assert_eq!(
             m4_infeasible, 0,
             "the feature-complete model must explain every simulated observation"
@@ -250,5 +250,12 @@ mod tests {
             m0_infeasible > 0,
             "the featureless model must be refuted by at least one observation"
         );
+        // The warm-started batch verdicts must match per-observation checks on
+        // the real (noisy, distinct-axes) campaign data.
+        let per_obs_m0 = observations
+            .iter()
+            .filter(|o| !FeasibilityChecker::new(&m0).is_feasible(o))
+            .count();
+        assert_eq!(m0_infeasible, per_obs_m0);
     }
 }

@@ -2,14 +2,96 @@
 //!
 //! Benches declared with [`criterion_group!`] / [`criterion_main!`] compile and
 //! run under `cargo bench` with `harness = false`, measuring wall-clock time
-//! with adaptive iteration counts and printing a mean per iteration. There is
-//! no statistical analysis, HTML report or regression store — the goal is that
-//! `cargo bench` works hermetically and reports stable, comparable numbers.
+//! with adaptive iteration counts and printing a mean and median per
+//! iteration.  There is no statistical analysis or HTML report, but the
+//! regression-store corner of the real crate's CLI is supported: running with
+//! `--save-baseline <name>` (the flag CI passes) writes every benchmark's
+//! median, in nanoseconds, to `target/criterion/<name>/<bench-binary>.json` as
+//! a flat `{"benchmark name": median_ns}` object.  The `bench_gate` tool (see
+//! `ci/bench_gate.sh`) merges those per-binary files and compares them against
+//! the repository's checked-in baseline.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results recorded by every benchmark of this process: `(label, median_ns)`.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// The cargo target directory.  Bench binaries run with the *package* root as
+/// their working directory, so a bare relative `target/` would land inside the
+/// crate; honour `CARGO_TARGET_DIR` and otherwise walk up to the workspace
+/// root (the ancestor holding `Cargo.lock`).
+fn target_dir() -> std::path::PathBuf {
+    if let Ok(t) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::PathBuf::from(t);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target");
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from("target");
+        }
+    }
+}
+
+/// Writes the recorded medians to
+/// `target/criterion/<name>/<bench-binary>.json` if `--save-baseline <name>`
+/// was passed on the command line.  Called by [`criterion_main!`] after all
+/// groups have run; harmless (and silent) when the flag is absent.
+#[doc(hidden)]
+pub fn save_baseline_if_requested() {
+    let mut args = std::env::args();
+    let binary = args.next().unwrap_or_else(|| "bench".to_string());
+    let mut name = None;
+    while let Some(arg) = args.next() {
+        if arg == "--save-baseline" {
+            name = args.next();
+            break;
+        }
+        if let Some(value) = arg.strip_prefix("--save-baseline=") {
+            name = Some(value.to_string());
+            break;
+        }
+    }
+    let Some(name) = name else { return };
+
+    // `<stem>-<16 hex digits>` → `<stem>`: cargo decorates bench binaries with
+    // a metadata hash that would otherwise leak into the file name.
+    let stem = std::path::Path::new(&binary)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    let stem = match stem.rsplit_once('-') {
+        Some((head, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            head.to_string()
+        }
+        _ => stem,
+    };
+
+    let dir = target_dir().join("criterion").join(&name);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("criterion: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let results = RESULTS.lock().expect("criterion results poisoned");
+    let mut body = String::from("{\n");
+    for (i, (label, median)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        body.push_str(&format!("  \"{label}\": {median:.1}{comma}\n"));
+    }
+    body.push_str("}\n");
+    let path = dir.join(format!("{stem}.json"));
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("saved baseline `{name}` to {}", path.display()),
+        Err(e) => eprintln!("criterion: cannot write {}: {e}", path.display()),
+    }
+}
 
 /// The benchmark driver handed to each `criterion_group!` target.
 pub struct Criterion {
@@ -164,6 +246,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
 
     let mut best = Duration::MAX;
     let mut total = Duration::ZERO;
+    let mut per_sample = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut bencher = Bencher {
             iters,
@@ -173,8 +256,15 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         let per = bencher.elapsed / iters as u32;
         best = best.min(per);
         total += per;
+        per_sample.push(per);
     }
     let mean = total / samples as u32;
+    per_sample.sort_unstable();
+    let median = per_sample[per_sample.len() / 2];
+    RESULTS
+        .lock()
+        .expect("criterion results poisoned")
+        .push((label.to_string(), median.as_nanos() as f64));
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6),
         Throughput::Bytes(n) => format!(
@@ -183,7 +273,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         ),
     });
     println!(
-        "bench {label}: mean {mean:?}, best {best:?} over {samples} samples × {iters} iters{}",
+        "bench {label}: median {median:?}, mean {mean:?}, best {best:?} over {samples} samples × {iters} iters{}",
         rate.unwrap_or_default()
     );
 }
@@ -200,12 +290,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed [`criterion_group!`]s.
+/// Declares `main` running the listed [`criterion_group!`]s, then writing the
+/// medians JSON if `--save-baseline <name>` was requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::save_baseline_if_requested();
         }
     };
 }
@@ -227,5 +319,9 @@ mod tests {
         group.finish();
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+        // Medians are recorded for the baseline store.
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|(label, _)| label == "demo/sum"));
+        assert!(results.iter().all(|(_, median)| *median > 0.0));
     }
 }
