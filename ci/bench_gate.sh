@@ -25,6 +25,7 @@ fi
 rm -rf "$medians_dir"
 cargo bench -p counterpoint-bench \
     --bench batch_feasibility \
+    --bench session_pipeline \
     --bench feasibility \
     --bench substrate \
     -- --save-baseline current

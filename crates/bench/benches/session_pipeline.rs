@@ -1,0 +1,98 @@
+//! Session-layer overhead over the raw batched engine.
+//!
+//! The `Inquiry` pipeline wraps `check_models` with verdict extraction
+//! (witness points, Farkas certificates) and report assembly; the contract is
+//! that the wrapper adds <5% overhead over calling `check_models` directly on
+//! the same (model family × observation) matrix.  `check_models_direct` is
+//! the raw engine, `inquiry_report` the full session (observations pre-built,
+//! so both time exactly the evaluation stage).  The sanity assertion below
+//! uses a deliberately loose 1.5× bound so scheduler jitter on shared CI
+//! runners cannot flake the gate; the medians recorded in
+//! `BENCH_baseline.json` track the real margin.
+
+use counterpoint::models::family::{build_feature_model, feature_sets_table3};
+use counterpoint::{check_models, ExplorationModel, Inquiry, ModelCone, Observation};
+use counterpoint_bench::experiment_observations;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn family() -> Vec<ExplorationModel> {
+    feature_sets_table3()
+        .into_iter()
+        .map(|(name, features)| {
+            let cone = build_feature_model(&name, &features);
+            ExplorationModel::new(&name, features, cone)
+        })
+        .collect()
+}
+
+fn run_inquiry(models: &[ExplorationModel], observations: &[Observation]) -> usize {
+    let report = Inquiry::new()
+        .observations(observations.to_vec())
+        .models(models.to_vec())
+        .run()
+        .expect("pre-built observations cannot fail");
+    report.models.iter().map(|m| m.infeasible_count).sum()
+}
+
+fn run_direct(cones: &[&ModelCone], observations: &[Observation]) -> usize {
+    check_models(cones, observations, 1)
+        .iter()
+        .map(|row| row.iter().filter(|ok| !**ok).count())
+        .sum()
+}
+
+/// Median wall-clock of `runs` executions of `f`.
+fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn bench_session_pipeline(c: &mut Criterion) {
+    // A scaled-down Table 3 campaign with the default noisy PMU, like the
+    // batch_feasibility bench.
+    let observations = experiment_observations(4_000);
+    let models = family();
+    let cones: Vec<&ModelCone> = models.iter().map(|m| &m.cone).collect();
+
+    // Both paths must reach the same refutation counts before being timed.
+    assert_eq!(
+        run_inquiry(&models, &observations),
+        run_direct(&cones, &observations),
+        "session and direct verdicts diverged"
+    );
+
+    // Coarse overhead gate (CI-jitter-proof); the criterion medians below
+    // record the precise ratio against the checked-in baseline.
+    let direct = median_time(5, || {
+        std::hint::black_box(run_direct(&cones, &observations));
+    });
+    let session = median_time(5, || {
+        std::hint::black_box(run_inquiry(&models, &observations));
+    });
+    let ratio = session.as_secs_f64() / direct.as_secs_f64().max(1e-12);
+    println!("session/direct wall-clock ratio: {ratio:.3} (target < 1.05, gate < 1.5)");
+    assert!(
+        ratio < 1.5,
+        "the session layer must stay within 1.5x of check_models (measured {ratio:.3}x)"
+    );
+
+    let mut group = c.benchmark_group("session_pipeline");
+    group.bench_function("check_models_direct", |b| {
+        b.iter(|| run_direct(&cones, &observations))
+    });
+    group.bench_function("inquiry_report", |b| {
+        b.iter(|| run_inquiry(&models, &observations))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_pipeline);
+criterion_main!(benches);

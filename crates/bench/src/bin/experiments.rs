@@ -4,34 +4,42 @@
 //!
 //! ```text
 //! cargo run --release -p counterpoint-bench --bin experiments -- \
-//!     <which> [--quick] [--seed <u64>] [--threads <n>]
+//!     <which> [--quick] [--seed <u64>] [--threads <n>] [--json <path>]
 //! ```
 //!
 //! where `<which>` is one of `fig1a`, `fig1b`, `fig1c`, `fig3`, `fig5`, `fig6`,
 //! `fig9`, `fig10`, `table1`, `table3`, `table5`, `table7`, `stats`, or `all`.
+//! Unknown experiment names and flags are rejected with a usage message.
 //! `--quick` reduces the simulated access counts (for smoke testing).
 //! `--seed` overrides the PMU multiplexing-scheduler seed on the campaign-driven
 //! experiments (default unchanged, so output stays reproducible), and
-//! `--threads` fans the observation campaign across worker threads through the
-//! `counterpoint-collect` runner (`0` = available parallelism; output is
-//! identical for every thread count).
+//! `--threads` fans the observation campaign and the model family across worker
+//! threads through the `counterpoint-collect` runner and the session layer
+//! (`0` = available parallelism; output is identical for every thread count).
+//! `--json` additionally writes a machine-readable report of the experiments
+//! that ran — full `counterpoint-session` [`Report`]s for the model-search
+//! tables and Figure 10, structured values for Figures 1c and 5 — as one JSON
+//! object keyed by experiment name.  The JSON is deterministic across runs and
+//! thread counts (session reports exclude wall-clock timing by construction),
+//! so it diffs cleanly as a CI artifact.
 //!
 //! The mapping from experiment to paper table/figure, and the measured-vs-paper
 //! comparison, is recorded in `EXPERIMENTS.md`.
 
-use counterpoint::core::explore::{evaluate_models_with_threads, ExplorationModel};
 use counterpoint::models::family::{
     abort_specs_table7, build_abort_model, build_feature_model, build_trigger_model,
     feature_sets_table3, trigger_specs_table5,
 };
-use counterpoint::models::harness::{observe_trace, HarnessConfig};
+use counterpoint::models::harness::{case_study_campaign, observe_trace, HarnessConfig};
 use counterpoint::models::Feature;
 use counterpoint::workloads::{GraphTraversal, LinearAccess, Workload};
 use counterpoint::{
-    compile_uop, deduce_constraints, BatchFeasibility, CounterSpace, FeasibilityChecker,
-    FeatureSet, GuidedSearch, ModelCone, NoiseModel, Observation,
+    compile_uop, deduce_constraints, BatchFeasibility, CounterSpace, ExplorationModel,
+    FeasibilityChecker, FeatureSet, Inquiry, ModelCone, NoiseModel, Observation, Report,
 };
-use counterpoint_bench::{experiment_observations_opts, projected_model, table3_model};
+use counterpoint_bench::{
+    experiment_config, experiment_observations_opts, projected_model, table3_model,
+};
 use counterpoint_haswell::eventdb::{event_database, growth_factor};
 use counterpoint_haswell::full_counter_space;
 use counterpoint_haswell::hec::cumulative_group_space;
@@ -40,7 +48,15 @@ use counterpoint_haswell::mmu::{HaswellMmu, MmuConfig};
 use counterpoint_haswell::pmu::{MultiplexingPmu, PmuConfig};
 use counterpoint_mudd::CounterSignature;
 use counterpoint_stats::{pearson, ConfidenceRegion};
+use serde::Serialize;
+use serde_json::JsonValue;
 use std::time::Instant;
+
+/// The valid `<which>` selectors, in run order.
+const EXPERIMENTS: [&str; 13] = [
+    "fig1a", "fig1b", "fig1c", "fig3", "fig5", "fig6", "table1", "table3", "table5", "table7",
+    "stats", "fig9", "fig10",
+];
 
 /// Run-wide options parsed from the command line.
 #[derive(Clone, Copy)]
@@ -58,17 +74,50 @@ impl Opts {
     fn observations(&self, accesses: usize) -> Vec<Observation> {
         experiment_observations_opts(accesses, self.seed, self.threads)
     }
+
+    /// An [`Inquiry`] over the case-study campaign at the given access budget,
+    /// honouring `--seed`/`--threads` (the session-layer analogue of
+    /// [`observations`](Opts::observations)).
+    fn inquiry(&self, accesses: usize) -> Inquiry {
+        let mut config = experiment_config(accesses);
+        if let Some(seed) = self.seed {
+            config.pmu.seed = seed;
+        }
+        let campaign = case_study_campaign(&config);
+        Inquiry::new()
+            .sim_campaign(campaign, config.mmu.clone(), config.pmu.clone())
+            .threads(self.threads)
+    }
 }
 
-fn parse_args() -> (String, bool, Option<u64>, usize) {
+/// Command line of the experiments binary.
+struct Cli {
+    which: String,
+    quick: bool,
+    seed: Option<u64>,
+    threads: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Cli {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = false;
-    let mut seed = None;
-    let mut threads = 1usize;
+    let mut cli = Cli {
+        which: String::new(),
+        quick: false,
+        seed: None,
+        threads: 1,
+        json: None,
+    };
     let mut which = None;
     let fail = |msg: String| -> ! {
         eprintln!("error: {msg}");
-        eprintln!("usage: experiments <which> [--quick] [--seed <u64>] [--threads <n>]");
+        eprintln!(
+            "usage: experiments <which> [--quick] [--seed <u64>] [--threads <n>] [--json <path>]"
+        );
+        eprintln!(
+            "where <which> is `all` or one of: {}",
+            EXPERIMENTS.join(", ")
+        );
         std::process::exit(2);
     };
     let parse = |flag: &str, value: Option<&String>| -> u64 {
@@ -79,66 +128,130 @@ fn parse_args() -> (String, bool, Option<u64>, usize) {
             .parse()
             .unwrap_or_else(|_| fail(format!("invalid {flag} value `{value}`")))
     };
+    let string = |flag: &str, value: Option<&String>| -> String {
+        let Some(value) = value else {
+            fail(format!("{flag} requires a value"));
+        };
+        value.clone()
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => quick = true,
+            "--quick" => cli.quick = true,
             "--seed" => {
-                seed = Some(parse("--seed", args.get(i + 1)));
+                cli.seed = Some(parse("--seed", args.get(i + 1)));
                 i += 1;
             }
             "--threads" => {
-                threads = parse("--threads", args.get(i + 1)) as usize;
+                cli.threads = parse("--threads", args.get(i + 1)) as usize;
+                i += 1;
+            }
+            "--json" => {
+                cli.json = Some(string("--json", args.get(i + 1)));
                 i += 1;
             }
             flag if flag.starts_with("--seed=") => {
-                seed = Some(parse("--seed", Some(&flag["--seed=".len()..].to_string())));
+                cli.seed = Some(parse("--seed", Some(&flag["--seed=".len()..].to_string())));
             }
             flag if flag.starts_with("--threads=") => {
-                threads =
+                cli.threads =
                     parse("--threads", Some(&flag["--threads=".len()..].to_string())) as usize;
             }
+            flag if flag.starts_with("--json=") => {
+                cli.json = Some(flag["--json=".len()..].to_string());
+            }
             flag if flag.starts_with("--") => fail(format!("unknown flag `{flag}`")),
-            name => which = Some(name.to_string()),
+            name => {
+                if let Some(previous) = &which {
+                    fail(format!(
+                        "unexpected argument `{name}` (experiment `{previous}` already selected)"
+                    ));
+                }
+                if name != "all" && !EXPERIMENTS.contains(&name) {
+                    fail(format!("unknown experiment `{name}`"));
+                }
+                which = Some(name.to_string());
+            }
         }
         i += 1;
     }
-    (
-        which.unwrap_or_else(|| "all".to_string()),
-        quick,
-        seed,
-        threads,
-    )
+    cli.which = which.unwrap_or_else(|| "all".to_string());
+    cli
 }
 
 fn main() {
-    let (which, quick, seed, threads) = parse_args();
+    let cli = parse_args();
     let opts = Opts {
-        accesses: if quick { 20_000 } else { 60_000 },
-        seed,
-        threads,
+        accesses: if cli.quick { 20_000 } else { 60_000 },
+        seed: cli.seed,
+        threads: cli.threads,
     };
 
-    let run = |name: &str, f: &dyn Fn(Opts)| {
-        if which == "all" || which == name {
+    // Session reports are converted to the JSON value model only when
+    // `--json` asked for them (fig1c/fig5 build their few small rows
+    // alongside printing either way); nothing is retained on default runs.
+    let want_json = cli.json.is_some();
+    let mut sink: Vec<(String, JsonValue)> = Vec::new();
+    let mut run = |name: &str, f: &dyn Fn(Opts) -> Option<JsonValue>| {
+        if cli.which == "all" || cli.which == name {
             println!("\n================ {name} ================");
-            f(opts);
+            if let Some(value) = f(opts) {
+                if want_json {
+                    sink.push((name.to_string(), value));
+                }
+            }
         }
     };
 
-    run("fig1a", &|_| fig1a());
-    run("fig1b", &|_| fig1b());
-    run("fig1c", &|o| fig1c(o.accesses));
-    run("fig3", &|_| fig3());
-    run("fig5", &|o| fig5(o.accesses));
-    run("fig6", &|_| fig6());
-    run("table1", &|_| table1());
-    run("table3", &|o| table3(&o));
-    run("table5", &|o| table5(&o));
-    run("table7", &|o| table7(&o));
-    run("stats", &|o| stats_correlations(o.accesses));
-    run("fig9", &|o| fig9(&o));
-    run("fig10", &|o| fig10(&o));
+    run("fig1a", &|_| {
+        fig1a();
+        None
+    });
+    run("fig1b", &|_| {
+        fig1b();
+        None
+    });
+    run("fig1c", &|o| Some(fig1c(o.accesses)));
+    run("fig3", &|_| {
+        fig3();
+        None
+    });
+    run("fig5", &|o| Some(fig5(o.accesses)));
+    run("fig6", &|_| {
+        fig6();
+        None
+    });
+    run("table1", &|_| {
+        table1();
+        None
+    });
+    run("table3", &|o| json_if(table3(&o), want_json));
+    run("table5", &|o| json_if(table5(&o), want_json));
+    run("table7", &|o| json_if(table7(&o), want_json));
+    run("stats", &|o| {
+        stats_correlations(o.accesses);
+        None
+    });
+    run("fig9", &|o| {
+        fig9(&o);
+        None
+    });
+    run("fig10", &|o| json_if(fig10(&o), want_json));
+
+    if let Some(path) = &cli.json {
+        let text = serde_json::to_string_pretty(&JsonValue::Object(sink))
+            .expect("experiment values are finite");
+        std::fs::write(path, text + "\n")
+            .unwrap_or_else(|e| panic!("cannot write --json file `{path}`: {e}"));
+        eprintln!("wrote JSON report to {path}");
+    }
+}
+
+/// Renders a session report into the `--json` sink's value model — only when
+/// `--json` was requested; default runs drop the report without converting
+/// its verdict matrix.
+fn json_if(report: Report, want_json: bool) -> Option<JsonValue> {
+    want_json.then(|| report.to_value())
 }
 
 /// Figure 1a: growth of HEC counts across microarchitecture generations.
@@ -181,8 +294,9 @@ fn fig1b() {
 }
 
 /// Figure 1c: multiplexing noise vs. number of active HECs, and whether the
-/// constraint-(1) violation remains detectable at 99% confidence.
-fn fig1c(accesses: usize) {
+/// constraint-(1) violation remains detectable at 99% confidence.  Returns the
+/// per-row data for the `--json` report.
+fn fig1c(accesses: usize) -> JsonValue {
     let space = full_counter_space();
     // A 2 KiB stride gives two accesses per page: the merged-walk violation
     // (ret_stlb_miss = 2x walk_done) is real but has a slim margin, so it is
@@ -211,6 +325,7 @@ fn fig1c(accesses: usize) {
     let truth = pmu_truth.collect(&mut mmu, &trace, PageSize::Size4K, &space, 12);
     let idx = space.index_of("load.ret_stlb_miss").unwrap();
     let seeds = [11u64, 23, 37, 51, 77];
+    let mut rows: Vec<JsonValue> = Vec::new();
     for &active in &[4usize, 8, 12, 16, 19, 22, 26] {
         let mut cv_sum = 0.0;
         let mut detected_runs = 0usize;
@@ -238,8 +353,18 @@ fn fig1c(accesses: usize) {
             detected_runs,
             seeds.len()
         );
+        rows.push(JsonValue::Object(vec![
+            ("active_counters".to_string(), active.to_value()),
+            (
+                "mean_relative_noise".to_string(),
+                (cv_sum / seeds.len() as f64).to_value(),
+            ),
+            ("detected_runs".to_string(), detected_runs.to_value()),
+            ("total_runs".to_string(), seeds.len().to_value()),
+        ]));
         let _ = &checker_space;
     }
+    JsonValue::Array(rows)
 }
 
 /// Figure 3: whether a violation is detectable depends on which counters are used.
@@ -288,7 +413,8 @@ fn fig3() {
 }
 
 /// Figures 3d / 5: correlated vs. independent counter confidence regions.
-fn fig5(accesses: usize) {
+/// Returns the extents and refutation outcomes for the `--json` report.
+fn fig5(accesses: usize) -> JsonValue {
     let space = full_counter_space();
     let workload = GraphTraversal {
         vertices: 300_000,
@@ -310,16 +436,30 @@ fn fig5(accesses: usize) {
         independent.total_extent() / correlated.total_extent().max(1e-9)
     );
     let m0 = table3_model("m0");
+    let independent_extent = independent.total_extent();
+    let correlated_extent = correlated.total_extent();
     let obs_corr = Observation::from_region("graph", correlated);
     let obs_ind = Observation::from_region("graph", independent);
-    println!(
-        "m0 refuted with correlated region: {}",
-        !FeasibilityChecker::new(&m0).is_feasible(&obs_corr)
-    );
-    println!(
-        "m0 refuted with independent region: {}",
-        !FeasibilityChecker::new(&m0).is_feasible(&obs_ind)
-    );
+    let refuted_corr = !FeasibilityChecker::new(&m0).is_feasible(&obs_corr);
+    let refuted_ind = !FeasibilityChecker::new(&m0).is_feasible(&obs_ind);
+    println!("m0 refuted with correlated region: {refuted_corr}");
+    println!("m0 refuted with independent region: {refuted_ind}");
+    JsonValue::Object(vec![
+        (
+            "independent_extent".to_string(),
+            independent_extent.to_value(),
+        ),
+        (
+            "correlated_extent".to_string(),
+            correlated_extent.to_value(),
+        ),
+        (
+            "tightening".to_string(),
+            (independent_extent / correlated_extent.max(1e-9)).to_value(),
+        ),
+        ("m0_refuted_correlated".to_string(), refuted_corr.to_value()),
+        ("m0_refuted_independent".to_string(), refuted_ind.to_value()),
+    ])
 }
 
 /// Figure 6: refining the PDE-cache model removes the violated constraint.
@@ -389,13 +529,7 @@ fn table1() {
 }
 
 /// Table 3: the initial model search.
-fn table3(opts: &Opts) {
-    let observations = opts.observations(opts.accesses);
-    println!("{} observations collected\n", observations.len());
-    println!(
-        "{:<5} {:>8} {:>9} {:>8} {:>11} {:>11} {:>12}",
-        "model", "TlbPf", "EarlyPsc", "Merging", "Pml4eCache", "WalkBypass", "#infeasible"
-    );
+fn table3(opts: &Opts) -> Report {
     let models: Vec<ExplorationModel> = feature_sets_table3()
         .into_iter()
         .map(|(name, features)| {
@@ -403,10 +537,20 @@ fn table3(opts: &Opts) {
             ExplorationModel::new(&name, features, cone)
         })
         .collect();
-    // The model family fans across the campaign's worker threads through the
-    // batched feasibility engine; output is identical for every thread count.
-    let evaluations = evaluate_models_with_threads(&models, &observations, opts.threads);
-    for (model, eval) in models.iter().zip(evaluations.iter()) {
+    // One session: the campaign and the model family both fan across the
+    // worker threads through the session layer; output is identical for every
+    // thread count.
+    let report = opts
+        .inquiry(opts.accesses)
+        .models(models.clone())
+        .run()
+        .expect("the simulated campaign cannot fail");
+    println!("{} observations collected\n", report.observations.len());
+    println!(
+        "{:<5} {:>8} {:>9} {:>8} {:>11} {:>11} {:>12}",
+        "model", "TlbPf", "EarlyPsc", "Merging", "Pml4eCache", "WalkBypass", "#infeasible"
+    );
+    for (model, eval) in models.iter().zip(report.models.iter()) {
         let tick = |f: Feature| {
             if model.features.contains(f.name()) {
                 "yes"
@@ -426,10 +570,11 @@ fn table3(opts: &Opts) {
             if eval.feasible { "   <- feasible" } else { "" }
         );
     }
+    report
 }
 
 /// Table 5: TLB prefetch trigger conditions.
-fn table5(opts: &Opts) {
+fn table5(opts: &Opts) -> Report {
     // The trigger analysis focuses on the linear microbenchmark instances (paper,
     // Appendix C.2), run to steady state.
     let accesses = opts.accesses;
@@ -452,13 +597,25 @@ fn table5(opts: &Opts) {
             &config,
         ));
     }
+    let specs = trigger_specs_table5();
+    let models: Vec<ExplorationModel> = specs
+        .iter()
+        .map(|(name, spec)| {
+            ExplorationModel::new(name, FeatureSet::new(), build_trigger_model(name, spec))
+        })
+        .collect();
+    let report = Inquiry::new()
+        .observations(observations)
+        .threads(opts.threads)
+        .models(models)
+        .run()
+        .expect("pre-built observations cannot fail to collect");
     println!(
         "{:<5} {:>5} {:>5} {:>6} {:>10} {:>10} {:>12}",
         "model", "spec", "load", "store", "dtlb-miss", "stlb-miss", "#infeasible"
     );
-    for (name, spec) in trigger_specs_table5() {
-        let cone = build_trigger_model(&name, &spec);
-        let infeasible = BatchFeasibility::new(&cone).count_infeasible(&observations);
+    for ((name, spec), row) in specs.iter().zip(report.models.iter()) {
+        let infeasible = row.infeasible_count;
         let tick = |b: bool| if b { "yes" } else { "-" };
         println!(
             "{:<5} {:>5} {:>5} {:>6} {:>10} {:>10} {:>12}{}",
@@ -476,32 +633,57 @@ fn table5(opts: &Opts) {
             }
         );
     }
+    report
 }
 
 /// Table 7: translation-request abort points as an alternative to walk bypassing.
-fn table7(opts: &Opts) {
-    let observations = opts.observations(opts.accesses);
-    println!("{} observations collected\n", observations.len());
+fn table7(opts: &Opts) -> Report {
+    let specs = abort_specs_table7();
+    let mut models: Vec<ExplorationModel> = specs
+        .iter()
+        .map(|(name, points)| {
+            ExplorationModel::new(name, FeatureSet::new(), build_abort_model(name, points))
+        })
+        .collect();
+    // The walk-bypassing alternative rides along as the final family member.
+    models.push(ExplorationModel::new(
+        "t0 (walk bypassing)",
+        FeatureSet::new(),
+        build_trigger_model(
+            "t0 (walk bypassing)",
+            &counterpoint::models::TriggerSpec::t0(),
+        ),
+    ));
+    let report = opts
+        .inquiry(opts.accesses)
+        .models(models)
+        .run()
+        .expect("the simulated campaign cannot fail");
+    println!("{} observations collected\n", report.observations.len());
     println!(
         "{:<5} {:<55} {:>12}",
         "model", "abort points", "#infeasible"
     );
-    for (name, points) in abort_specs_table7() {
-        let cone = build_abort_model(&name, &points);
-        let infeasible = BatchFeasibility::new(&cone).count_infeasible(&observations);
+    for ((name, points), row) in specs.iter().zip(report.models.iter()) {
         let labels: Vec<&str> = points.iter().map(|p| p.label()).collect();
-        println!("{:<5} {:<55} {:>12}", name, labels.join(", "), infeasible);
+        println!(
+            "{:<5} {:<55} {:>12}",
+            name,
+            labels.join(", "),
+            row.infeasible_count
+        );
     }
-    let t0 = build_trigger_model(
-        "t0 (walk bypassing)",
-        &counterpoint::models::TriggerSpec::t0(),
-    );
     println!(
         "{:<5} {:<55} {:>12}",
         "t0",
         "walk bypassing instead of aborts",
-        FeasibilityChecker::new(&t0).count_infeasible(&observations)
+        report
+            .models
+            .last()
+            .expect("t0 was registered")
+            .infeasible_count
     );
+    report
 }
 
 /// Section 7.1 statistics: correlated vs. independent violation detection, and the
@@ -654,14 +836,21 @@ fn fig9(opts: &Opts) {
 }
 
 /// Figure 10: the guided discovery/elimination search graph.
-fn fig10(opts: &Opts) {
-    let observations = opts.observations(opts.accesses / 2);
+fn fig10(opts: &Opts) -> Report {
     let feature_names: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
-    let search = GuidedSearch::new(
-        |features: &FeatureSet| build_feature_model("candidate", features),
-        &feature_names,
-    );
-    let graph = search.run(&FeatureSet::new(), &observations);
+    let report = opts
+        .inquiry(opts.accesses / 2)
+        .refine(
+            |features: &FeatureSet| build_feature_model("candidate", features),
+            &feature_names,
+            FeatureSet::new(),
+        )
+        .run()
+        .expect("the simulated campaign cannot fail");
+    let graph = report
+        .refinement
+        .as_ref()
+        .expect("refinement was configured");
     println!(
         "explored {} models, {} edges",
         graph.steps.len(),
@@ -686,6 +875,7 @@ fn fig10(opts: &Opts) {
     );
     println!(
         "JSON search graph:\n{}",
-        serde_json::to_string_pretty(&graph).unwrap()
+        serde_json::to_string_pretty(graph).unwrap()
     );
+    report
 }

@@ -152,6 +152,31 @@ pub trait CounterBackend {
     ) -> Result<IntervalSamples, CollectError>;
 }
 
+/// Boxed backends forward to their inner implementation, so campaign factories
+/// can be stored type-erased (the `counterpoint-session` `Inquiry` builder
+/// holds one without being generic over the backend type).
+impl CounterBackend for Box<dyn CounterBackend> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn schedule(&self) -> Result<EventSchedule, CollectError> {
+        (**self).schedule()
+    }
+
+    fn consumes_accesses(&self) -> bool {
+        (**self).consumes_accesses()
+    }
+
+    fn run(
+        &mut self,
+        workload: &WorkloadRun<'_>,
+        schedule: &EventSchedule,
+    ) -> Result<IntervalSamples, CollectError> {
+        (**self).run(workload, schedule)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

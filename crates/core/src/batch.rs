@@ -36,8 +36,77 @@ use crate::feasibility::{
 };
 use crate::observation::Observation;
 use counterpoint_lp::{LinearProgram, Relation, Tableau};
+use counterpoint_stats::ConfidenceRegion;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// The evidence-carrying outcome of testing one observation against one model
+/// cone: the refute-or-accept decision plus the artifact that proves it.
+///
+/// [`BatchFeasibility::is_feasible`] answers the same question as a bare
+/// `bool`; [`BatchFeasibility::verdict`] returns this type instead, surfacing
+/// the Farkas certificates and witness points the engine already computes
+/// internally.  The `counterpoint-session` crate builds its `Verdict` matrix
+/// from these.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FeasibilityVerdict {
+    /// The confidence region intersects the model cone.
+    Feasible {
+        /// A counter-space cone point inside the observation's confidence
+        /// region (up to the LP's feasibility tolerance): the non-negative
+        /// μpath-flow combination `Σ fⱼ·gⱼ` the solver found.
+        witness: Vec<f64>,
+    },
+    /// The confidence region does not intersect the model cone.
+    Refuted {
+        /// A counter-space separating direction `c` (unit ∞-norm) with
+        /// `c · g ≥ 0` for every cone generator — re-verified against the
+        /// generators before being returned — while the whole confidence
+        /// region lies on the negative side: a Farkas certificate of the
+        /// refutation, checkable without re-running the LP.  Empty only if
+        /// certificate extraction failed numerically (the verdict itself is
+        /// still sound).
+        certificate: Vec<f64>,
+    },
+    /// No verdict could be reached: the dual simplex, the cold restart and the
+    /// two-phase fallback all failed to converge.  [`BatchFeasibility::is_feasible`]
+    /// panics in this situation; the verdict path reports it instead so a
+    /// session can record the gap and move on.
+    Inconclusive {
+        /// Why the decision could not be made.
+        reason: String,
+    },
+}
+
+impl FeasibilityVerdict {
+    /// `true` for [`FeasibilityVerdict::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, FeasibilityVerdict::Feasible { .. })
+    }
+
+    /// `true` for [`FeasibilityVerdict::Refuted`].
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, FeasibilityVerdict::Refuted { .. })
+    }
+
+    /// The Farkas certificate of a refuted verdict, if any was extracted.
+    pub fn certificate(&self) -> Option<&[f64]> {
+        match self {
+            FeasibilityVerdict::Refuted { certificate } if !certificate.is_empty() => {
+                Some(certificate)
+            }
+            _ => None,
+        }
+    }
+
+    /// The witness cone point of a feasible verdict, if any was extracted.
+    pub fn witness(&self) -> Option<&[f64]> {
+        match self {
+            FeasibilityVerdict::Feasible { witness } if !witness.is_empty() => Some(witness),
+            _ => None,
+        }
+    }
+}
 
 /// Upper bound on cached Farkas certificates per engine (MRU order).
 const MAX_CERTIFICATES: usize = 8;
@@ -146,19 +215,67 @@ impl<'a> BatchFeasibility<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the observation's dimension differs from the cone's.
+    /// Panics if the observation's dimension differs from the cone's, or if
+    /// the LP fails to converge on every solve path (pathological cycling; use
+    /// [`verdict`](BatchFeasibility::verdict) for a non-panicking variant).
     pub fn is_feasible(&mut self, observation: &Observation) -> bool {
+        match self.decide(observation, false) {
+            FeasibilityVerdict::Feasible { .. } => true,
+            FeasibilityVerdict::Refuted { .. } => false,
+            FeasibilityVerdict::Inconclusive { reason } => {
+                unreachable!("the no-evidence path panics inside the LP instead: {reason}")
+            }
+        }
+    }
+
+    /// Like [`is_feasible`](BatchFeasibility::is_feasible), but returns the
+    /// evidence-carrying [`FeasibilityVerdict`]: the witness cone point of a
+    /// feasible test, or the Farkas separating direction of a refutation.
+    /// The decision agrees with `is_feasible` on every input (the two share
+    /// one code path); only the extracted evidence differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation's dimension differs from the cone's.
+    pub fn verdict(&mut self, observation: &Observation) -> FeasibilityVerdict {
+        self.decide(observation, true)
+    }
+
+    /// The shared decision procedure behind [`is_feasible`] and [`verdict`]:
+    /// with `want_evidence = false` the returned verdict carries empty
+    /// evidence vectors (no allocation) and the hot path does exactly the
+    /// historical work; with `true` it additionally reconstructs the witness
+    /// point or folds the Farkas multipliers into a counter-space certificate.
+    ///
+    /// [`is_feasible`]: BatchFeasibility::is_feasible
+    /// [`verdict`]: BatchFeasibility::verdict
+    fn decide(&mut self, observation: &Observation, want_evidence: bool) -> FeasibilityVerdict {
         let cone = self.checker.cone();
         assert_eq!(
             observation.dimension(),
             cone.dimension(),
             "observation and model must share a counter space"
         );
+        let dim = cone.dimension();
         let region = observation.region();
 
         // Degenerate cone: only the origin is producible.
         if self.checker.generators().is_empty() {
-            return region.contains(&vec![0.0; cone.dimension()]);
+            return if region.contains(&vec![0.0; dim]) {
+                let witness = if want_evidence {
+                    vec![0.0; dim]
+                } else {
+                    Vec::new()
+                };
+                FeasibilityVerdict::Feasible { witness }
+            } else {
+                let certificate = if want_evidence {
+                    origin_separator(region)
+                } else {
+                    Vec::new()
+                };
+                FeasibilityVerdict::Refuted { certificate }
+            };
         }
 
         let scale = observation_scale(region);
@@ -174,7 +291,12 @@ impl<'a> BatchFeasibility<'a> {
         {
             // Most recently useful certificate first.
             self.certificates[..=hit].rotate_right(1);
-            return false;
+            let certificate = if want_evidence {
+                self.certificates[0].clone()
+            } else {
+                Vec::new()
+            };
+            return FeasibilityVerdict::Refuted { certificate };
         }
 
         // Witness short-circuit: the cone is closed under positive scaling, so
@@ -186,7 +308,12 @@ impl<'a> BatchFeasibility<'a> {
             .position(|ray| ray_pierces_box(ray, region, margin))
         {
             self.witness_rays[..=hit].rotate_right(1);
-            return true;
+            let witness = if want_evidence {
+                witness_on_ray(&self.witness_rays[0], region, margin).unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            return FeasibilityVerdict::Feasible { witness };
         }
 
         let num_flows = self.checker.generators().len();
@@ -243,13 +370,13 @@ impl<'a> BatchFeasibility<'a> {
         let outcome = cache.tableau.resolve(&self.lo, &self.hi);
 
         match outcome {
-            Ok(feasible) => {
-                if feasible {
-                    self.harvest_witness();
-                } else {
-                    self.harvest_certificate(region);
-                }
-                feasible
+            Ok(true) => {
+                let witness = self.conclude_feasible(scale, want_evidence);
+                FeasibilityVerdict::Feasible { witness }
+            }
+            Ok(false) => {
+                let certificate = self.conclude_refuted(region, want_evidence);
+                FeasibilityVerdict::Refuted { certificate }
             }
             Err(_) => {
                 // The warm path cycled out of its iteration budget; drop the
@@ -268,101 +395,152 @@ impl<'a> BatchFeasibility<'a> {
                 }
                 let mut cold = Tableau::band(num_flows, &matrix.rows);
                 match cold.resolve(&lo, &hi) {
-                    Ok(feasible) => feasible,
+                    Ok(true) => {
+                        let witness = if want_evidence {
+                            scaled_flow_combination(&self.sparse, cold.basic_flows(), scale, dim)
+                        } else {
+                            Vec::new()
+                        };
+                        FeasibilityVerdict::Feasible { witness }
+                    }
+                    Ok(false) => {
+                        let certificate = if want_evidence {
+                            fold_certificate(region, &matrix, &cold, dim)
+                                .filter(|c| certificate_is_sound(&self.sparse, c))
+                                .unwrap_or_default()
+                        } else {
+                            Vec::new()
+                        };
+                        FeasibilityVerdict::Refuted { certificate }
+                    }
                     Err(_) => {
                         let mut lp = LinearProgram::new(num_flows);
                         for (k, row) in matrix.rows.iter().enumerate() {
                             lp.add_constraint(row, Relation::Ge, lo[k]);
                             lp.add_constraint(row, Relation::Le, hi[k]);
                         }
-                        lp.is_feasible()
+                        if !want_evidence {
+                            // Identical to the historical last resort,
+                            // including the panic on non-convergence.
+                            return if lp.is_feasible() {
+                                FeasibilityVerdict::Feasible {
+                                    witness: Vec::new(),
+                                }
+                            } else {
+                                FeasibilityVerdict::Refuted {
+                                    certificate: Vec::new(),
+                                }
+                            };
+                        }
+                        match lp.try_solve() {
+                            Ok(outcome) => match outcome.solution() {
+                                Some(flows) => {
+                                    let witness = scaled_flow_combination(
+                                        &self.sparse,
+                                        flows.iter().copied().enumerate(),
+                                        scale,
+                                        dim,
+                                    );
+                                    FeasibilityVerdict::Feasible { witness }
+                                }
+                                // Two-phase infeasibility yields no usable
+                                // multipliers through this interface.
+                                None => FeasibilityVerdict::Refuted {
+                                    certificate: Vec::new(),
+                                },
+                            },
+                            Err(e) => FeasibilityVerdict::Inconclusive {
+                                reason: format!("every LP solve path failed to converge: {e}"),
+                            },
+                        }
                     }
                 }
             }
         }
     }
 
-    /// Reconstructs the counter-space cone point of the feasible solution the
-    /// tableau just found (`y* = Σ f_j · g_j` over the basic flows) and caches
-    /// its unit-norm ray for future feasible short-circuits.  The flow values
-    /// are only positively scaled relative to the raw problem, which leaves
-    /// the ray's direction — all that matters — unchanged.
-    fn harvest_witness(&mut self) {
-        if self.witness_rays.len() >= MAX_WITNESS_RAYS {
-            return;
+    /// Wraps up a feasible warm solve: reconstructs the counter-space cone
+    /// point of the solution the tableau just found (`y* = Σ f_j · g_j` over
+    /// the basic flows) and caches its unit-norm ray for future feasible
+    /// short-circuits.  The flow values are only positively scaled relative to
+    /// the raw problem, so the cached ray's direction — all that matters — is
+    /// unchanged; the returned witness carries the real magnitudes.
+    fn conclude_feasible(&mut self, scale: f64, want_evidence: bool) -> Vec<f64> {
+        let cache_open = self.witness_rays.len() < MAX_WITNESS_RAYS;
+        if !want_evidence && !cache_open {
+            return Vec::new();
         }
         let Some(cache) = self.cache.as_ref() else {
-            return;
+            return Vec::new();
         };
         let dim = self.checker.cone().dimension();
-        let mut ray = vec![0.0; dim];
-        for (j, f) in cache.tableau.basic_flows() {
-            // Values within the solver tolerance of zero contribute noise only.
-            if f > 1e-9 {
-                for &(i, c) in &self.sparse[j] {
-                    ray[i] += f * c;
-                }
-            }
+        // Accumulate the *unscaled* flow combination first: the cached ray is
+        // normalised from it (bit-identical to the historical harvest), and
+        // the returned witness re-applies the observation scale afterwards.
+        let raw = flow_combination(&self.sparse, cache.tableau.basic_flows(), dim);
+        let norm = raw.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        if cache_open && norm.is_finite() && norm > 0.0 {
+            self.witness_rays
+                .push(raw.iter().map(|v| v / norm).collect());
         }
-        let norm = ray.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
-        if !norm.is_finite() || norm <= 0.0 {
-            return;
+        if want_evidence {
+            raw.iter().map(|v| v * scale).collect()
+        } else {
+            Vec::new()
         }
-        for v in &mut ray {
-            *v /= norm;
-        }
-        self.witness_rays.push(ray);
     }
 
-    /// Turns the tableau's Farkas multipliers into a counter-space separating
-    /// direction and caches it for future short-circuits.
+    /// Wraps up an infeasible warm solve: folds the tableau's Farkas
+    /// multipliers into a counter-space separating direction, caches it for
+    /// future short-circuits and (on the verdict path) returns it.
     ///
     /// The stuck dual row gives `π ≥ 0` with `π · [A|S] ≥ 0` and `π · b < 0`.
     /// Folding the per-band multiplier difference back through the axes yields
     /// `c = Σ_k (π_{2k+1} − π_{2k}) / bound_div_k · axis_k` with `c · g ≥ 0`
     /// for every generator `g` — a property of the cone alone, so the
     /// certificate stays valid for every future observation.  The direction is
-    /// re-verified against the generators before caching (the multipliers are
-    /// only non-negative up to the solver tolerance).
-    fn harvest_certificate(&mut self, region: &counterpoint_stats::ConfidenceRegion) {
-        if self.certificates.len() >= MAX_CERTIFICATES {
-            return;
+    /// re-verified against the generators before caching or returning (the
+    /// multipliers are only non-negative up to the solver tolerance).
+    fn conclude_refuted(&mut self, region: &ConfidenceRegion, want_evidence: bool) -> Vec<f64> {
+        let cache_open = self.certificates.len() < MAX_CERTIFICATES;
+        if !want_evidence && !cache_open {
+            return Vec::new();
         }
         let Some(cache) = self.cache.as_ref() else {
-            return;
-        };
-        let Some(pi) = cache.tableau.farkas_multipliers() else {
-            return;
+            return Vec::new();
         };
         let dim = self.checker.cone().dimension();
-        let mut direction = vec![0.0; dim];
-        for (k, axis) in region.axes().iter().enumerate() {
-            let weight = (pi[2 * k + 1] - pi[2 * k]) / cache.matrix.bound_divs[k];
-            if weight != 0.0 {
-                for (d, a) in direction.iter_mut().zip(axis) {
-                    *d += weight * a;
-                }
-            }
+        let Some(direction) = fold_certificate(region, &cache.matrix, &cache.tableau, dim) else {
+            return Vec::new();
+        };
+        if !certificate_is_sound(&self.sparse, &direction) {
+            return Vec::new();
         }
-        let norm = direction.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
-        if !norm.is_finite() || norm <= 0.0 {
-            return;
+        if cache_open {
+            self.certificates.push(direction.clone());
         }
-        for v in &mut direction {
-            *v /= norm;
+        if want_evidence {
+            direction
+        } else {
+            Vec::new()
         }
-        // Re-verify in exact terms: every generator must be on the
-        // non-negative side (within a strict tolerance), otherwise the
-        // float-derived direction is not a sound separator.
-        let sound = self.sparse.iter().all(|g| {
-            let (proj, mass) = g.iter().fold((0.0f64, 0.0f64), |(p, m), &(i, c)| {
-                (p + direction[i] * c, m + c.abs())
-            });
-            proj >= -1e-9 * (1.0 + mass)
-        });
-        if sound {
-            self.certificates.push(direction);
-        }
+    }
+
+    /// The Farkas separating directions harvested from past refutations, most
+    /// recently useful first.  Each direction `c` satisfies `c · g ≥ 0` for
+    /// every cone generator while some previously tested confidence region lay
+    /// strictly on its negative side — the refutation evidence the paper
+    /// reports, exposed for session reports and certificate checking.
+    pub fn farkas_certificates(&self) -> &[Vec<f64>] {
+        &self.certificates
+    }
+
+    /// The unit-∞-norm cone rays harvested from past feasible solves, most
+    /// recently useful first.  Scaling any of them positively yields a cone
+    /// point; the engine uses them to settle feasible observations without
+    /// touching the LP.
+    pub fn witness_rays(&self) -> &[Vec<f64>] {
+        &self.witness_rays
     }
 
     /// Tests every observation, returning one verdict per observation in input
@@ -376,6 +554,103 @@ impl<'a> BatchFeasibility<'a> {
     pub fn count_infeasible(&mut self, observations: &[Observation]) -> usize {
         observations.iter().filter(|o| !self.is_feasible(o)).count()
     }
+
+    /// Tests every observation, returning one evidence-carrying verdict per
+    /// observation in input order.
+    pub fn check_all_verdicts(&mut self, observations: &[Observation]) -> Vec<FeasibilityVerdict> {
+        observations.iter().map(|o| self.verdict(o)).collect()
+    }
+}
+
+/// Accumulates the unscaled flow combination `Σ fⱼ·gⱼ` over the sparse
+/// generators (flow values within the solver tolerance of zero contribute
+/// noise only and are skipped).
+fn flow_combination(
+    sparse: &[Vec<(usize, f64)>],
+    flows: impl Iterator<Item = (usize, f64)>,
+    dim: usize,
+) -> Vec<f64> {
+    let mut point = vec![0.0; dim];
+    for (j, f) in flows {
+        if f > 1e-9 {
+            for &(i, c) in &sparse[j] {
+                point[i] += f * c;
+            }
+        }
+    }
+    point
+}
+
+/// [`flow_combination`] in real counter units: the LP works with rescaled
+/// flows `f' = f / scale`, so the counter-space point is `scale · Σ f'ⱼ·gⱼ`.
+fn scaled_flow_combination(
+    sparse: &[Vec<(usize, f64)>],
+    flows: impl Iterator<Item = (usize, f64)>,
+    scale: f64,
+    dim: usize,
+) -> Vec<f64> {
+    flow_combination(sparse, flows, dim)
+        .into_iter()
+        .map(|v| v * scale)
+        .collect()
+}
+
+/// Folds a tableau's Farkas multipliers back through the confidence-region
+/// axes into a unit-∞-norm counter-space direction:
+/// `c = Σ_k (π_{2k+1} − π_{2k}) / bound_div_k · axis_k`.  `None` if the
+/// tableau's last resolve was feasible or the folded direction degenerates.
+fn fold_certificate(
+    region: &ConfidenceRegion,
+    matrix: &ConeMatrix,
+    tableau: &Tableau,
+    dim: usize,
+) -> Option<Vec<f64>> {
+    let pi = tableau.farkas_multipliers()?;
+    let mut direction = vec![0.0; dim];
+    for (k, axis) in region.axes().iter().enumerate() {
+        let weight = (pi[2 * k + 1] - pi[2 * k]) / matrix.bound_divs[k];
+        if weight != 0.0 {
+            for (d, a) in direction.iter_mut().zip(axis) {
+                *d += weight * a;
+            }
+        }
+    }
+    let norm = direction.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    if !norm.is_finite() || norm <= 0.0 {
+        return None;
+    }
+    for v in &mut direction {
+        *v /= norm;
+    }
+    Some(direction)
+}
+
+/// Re-verifies a float-derived separating direction in exact terms: every
+/// generator must be on the non-negative side (within a strict tolerance),
+/// otherwise the direction is not a sound separator.
+fn certificate_is_sound(sparse: &[Vec<(usize, f64)>], direction: &[f64]) -> bool {
+    sparse.iter().all(|g| {
+        let (proj, mass) = g.iter().fold((0.0f64, 0.0f64), |(p, m), &(i, c)| {
+            (p + direction[i] * c, m + c.abs())
+        });
+        proj >= -1e-9 * (1.0 + mass)
+    })
+}
+
+/// A separating certificate for the degenerate origin-only cone: some region
+/// axis has a projection interval excluding zero; the (sign-flipped) axis puts
+/// the whole region on the negative side while `c · 0 ≥ 0` holds trivially.
+fn origin_separator(region: &ConfidenceRegion) -> Vec<f64> {
+    for (axis, &width) in region.axes().iter().zip(region.half_widths()) {
+        let proj: f64 = axis.iter().zip(region.center()).map(|(a, c)| a * c).sum();
+        if proj - width > 0.0 {
+            return axis.iter().map(|a| -a).collect();
+        }
+        if proj + width < 0.0 {
+            return axis.clone();
+        }
+    }
+    Vec::new()
 }
 
 /// Does the ray `{t · ray : t ≥ 0}` pierce the region's bounding box with a
@@ -385,11 +660,15 @@ impl<'a> BatchFeasibility<'a> {
 /// margin is capped at half the axis width so exact (zero-width) observations
 /// can still match, and is otherwise `margin` — well above the LP's own
 /// feasibility slop, so a hit is always a verdict the LP would reach too.
-fn ray_pierces_box(
-    ray: &[f64],
-    region: &counterpoint_stats::ConfidenceRegion,
-    margin: f64,
-) -> bool {
+fn ray_pierces_box(ray: &[f64], region: &ConfidenceRegion, margin: f64) -> bool {
+    ray_box_interval(ray, region, margin).is_some()
+}
+
+/// The `[t_lo, t_hi]` interval of scalings that put `t · ray` inside the
+/// region's (margin-shrunk) bounding box, or `None` when the ray misses it —
+/// the computation behind [`ray_pierces_box`], exposed so the verdict path can
+/// turn a ray hit into a concrete witness point.
+fn ray_box_interval(ray: &[f64], region: &ConfidenceRegion, margin: f64) -> Option<(f64, f64)> {
     let mut t_lo = 0.0f64;
     let mut t_hi = f64::INFINITY;
     for (axis, &width) in region.axes().iter().zip(region.half_widths()) {
@@ -400,7 +679,7 @@ fn ray_pierces_box(
         let c: f64 = axis.iter().zip(ray).map(|(a, r)| a * r).sum();
         if c == 0.0 {
             if lo > 0.0 || hi < 0.0 {
-                return false;
+                return None;
             }
         } else if c > 0.0 {
             t_lo = t_lo.max(lo / c);
@@ -410,10 +689,18 @@ fn ray_pierces_box(
             t_hi = t_hi.min(lo / c);
         }
         if t_lo > t_hi {
-            return false;
+            return None;
         }
     }
-    true
+    Some((t_lo, t_hi))
+}
+
+/// The witness cone point behind a ray short-circuit: the smallest admissible
+/// scaling of the cached ray (the cone is closed under positive scaling, so
+/// any `t` in the interval works; the smallest keeps magnitudes tame).
+fn witness_on_ray(ray: &[f64], region: &ConfidenceRegion, margin: f64) -> Option<Vec<f64>> {
+    let (t_lo, _) = ray_box_interval(ray, region, margin)?;
+    Some(ray.iter().map(|r| r * t_lo).collect())
 }
 
 /// Refreshes the cached axes without reallocating the inner vectors.
@@ -442,19 +729,47 @@ pub fn check_models(
     observations: &[Observation],
     threads: usize,
 ) -> Vec<Vec<bool>> {
+    fan_out_models(cones, threads, |cone| {
+        BatchFeasibility::new(cone).check_all(observations)
+    })
+}
+
+/// The evidence-carrying analogue of [`check_models`]: one
+/// [`FeasibilityVerdict`] per (model, observation) pair, fanned across worker
+/// threads with the same deterministic pattern.  Each model's observation
+/// sweep runs on a single worker with its own warm engine, so the verdicts —
+/// witnesses and certificates included — are identical for every thread count.
+pub fn check_models_verdicts(
+    cones: &[&ModelCone],
+    observations: &[Observation],
+    threads: usize,
+) -> Vec<Vec<FeasibilityVerdict>> {
+    fan_out_models(cones, threads, |cone| {
+        BatchFeasibility::new(cone).check_all_verdicts(observations)
+    })
+}
+
+/// The deterministic model fan-out shared by [`check_models`] and
+/// [`check_models_verdicts`]: each worker owns one model at a time, results
+/// land in model order no matter how many workers run or which finishes
+/// first.  `threads = 0` means "use the host's available parallelism".
+fn fan_out_models<T, F>(cones: &[&ModelCone], threads: usize, run_one: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ModelCone) -> T + Sync,
+{
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
         threads
     };
     let workers = threads.min(cones.len()).max(1);
-    let run_one = |cone: &ModelCone| BatchFeasibility::new(cone).check_all(observations);
 
     if workers <= 1 {
         return cones.iter().map(|cone| run_one(cone)).collect();
     }
 
-    let slots: Vec<Mutex<Option<Vec<bool>>>> = cones.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = cones.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -463,8 +778,8 @@ pub fn check_models(
                 let Some(cone) = cones.get(idx) else {
                     break;
                 };
-                let verdicts = run_one(cone);
-                *slots[idx].lock().expect("feasibility worker panicked") = Some(verdicts);
+                let result = run_one(cone);
+                *slots[idx].lock().expect("feasibility worker panicked") = Some(result);
             });
         }
     });
@@ -602,5 +917,138 @@ mod tests {
     fn dimension_mismatch_panics() {
         let cone = fig6a_cone();
         let _ = BatchFeasibility::new(&cone).is_feasible(&Observation::exact("bad", &[1.0]));
+    }
+
+    #[test]
+    fn refuted_pde_cache_observation_yields_a_separating_certificate() {
+        // The paper's running example: the hardware reports more PDE-cache
+        // misses than walks, refuting the initial model.  The verdict must
+        // carry a Farkas certificate that *actually* separates the cone from
+        // the observation — checkable, not decorative.
+        let cone = fig6a_cone();
+        let mut batch = BatchFeasibility::new(&cone);
+        let obs = Observation::exact("microbenchmark", &[1_000.0, 1_400.0]);
+        let FeasibilityVerdict::Refuted { certificate } = batch.verdict(&obs) else {
+            panic!("the microbenchmark must refute the initial PDE-cache model");
+        };
+        assert!(!certificate.is_empty(), "certificate must be extracted");
+        // Every cone generator lies on the non-negative side ...
+        for g in cone.generator_cone().generators() {
+            let gv = g.to_f64_vec();
+            let proj: f64 = certificate.iter().zip(&gv).map(|(c, v)| c * v).sum();
+            assert!(
+                proj >= -1e-9,
+                "certificate must not cut off generator {gv:?}"
+            );
+        }
+        // ... while the whole observation region sits strictly on the
+        // negative side (its center in particular).
+        let center_proj: f64 = certificate.iter().zip(obs.mean()).map(|(c, v)| c * v).sum();
+        assert!(
+            center_proj < 0.0,
+            "certificate must separate the observation"
+        );
+        let (_, hi) = obs.region().interval_along(&certificate);
+        assert!(hi < 0.0, "the entire confidence region must be separated");
+        // The harvested certificate is visible through the public accessor.
+        assert_eq!(batch.farkas_certificates(), &[certificate]);
+    }
+
+    #[test]
+    fn feasible_verdict_carries_a_witness_in_the_region() {
+        let cone = fig6a_cone();
+        let mut batch = BatchFeasibility::new(&cone);
+        let obs = Observation::exact("ok", &[10.0, 4.0]);
+        let FeasibilityVerdict::Feasible { witness } = batch.verdict(&obs) else {
+            panic!("the observation is inside the cone");
+        };
+        // Zero-width region: the witness must coincide with the observation
+        // up to the LP tolerance.
+        for (w, c) in witness.iter().zip(obs.mean()) {
+            assert!(
+                (w - c).abs() <= 1e-6 * (1.0 + c.abs()),
+                "witness {witness:?}"
+            );
+        }
+        assert_eq!(batch.witness_rays().len(), 1);
+        // A second feasible observation may settle via the cached ray; its
+        // witness must still live inside its own region's bounding box.
+        let obs2 = noisy_observation("near", 900.0, -1.0);
+        if let FeasibilityVerdict::Feasible { witness } = batch.verdict(&obs2) {
+            let region = obs2.region();
+            for (axis, &width) in region.axes().iter().zip(region.half_widths()) {
+                let proj: f64 = axis.iter().zip(&witness).map(|(a, w)| a * w).sum();
+                let center: f64 = axis.iter().zip(region.center()).map(|(a, c)| a * c).sum();
+                assert!(
+                    (proj - center).abs() <= width + 1e-6 * (1.0 + center.abs()),
+                    "witness must project inside the region box"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_agree_with_the_bool_path() {
+        let cone = fig6a_cone();
+        let mut bools = BatchFeasibility::new(&cone);
+        let mut verdicts = BatchFeasibility::new(&cone);
+        for i in 0..12 {
+            let offset = -2.0 + i as f64 * 0.7;
+            let obs = noisy_observation(&format!("noisy-{i}"), 900.0 + 37.0 * i as f64, offset);
+            assert_eq!(
+                verdicts.verdict(&obs).is_feasible(),
+                bools.is_feasible(&obs),
+                "verdict/bool mismatch on {}",
+                obs.name()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_cone_verdicts_carry_evidence() {
+        let cone = ModelCone::from_signatures("zero", &space(), vec![CounterSignature::zero(2)], 1);
+        let mut batch = BatchFeasibility::new(&cone);
+        assert_eq!(
+            batch.verdict(&Observation::exact("origin", &[0.0, 0.0])),
+            FeasibilityVerdict::Feasible {
+                witness: vec![0.0, 0.0]
+            }
+        );
+        let refuted = batch.verdict(&Observation::exact("off", &[1.0, 0.0]));
+        let FeasibilityVerdict::Refuted { certificate } = refuted else {
+            panic!("a non-origin observation refutes the origin-only cone");
+        };
+        let proj: f64 = certificate
+            .iter()
+            .zip(&[1.0, 0.0])
+            .map(|(c, v)| c * v)
+            .sum();
+        assert!(
+            proj < 0.0,
+            "origin separator must point away from the observation"
+        );
+    }
+
+    #[test]
+    fn check_models_verdicts_is_deterministic_across_thread_counts() {
+        let cones = [fig6a_cone(), fig6a_cone()];
+        let refs: Vec<&ModelCone> = cones.iter().collect();
+        let observations: Vec<Observation> = (0..8)
+            .map(|i| noisy_observation(&format!("n{i}"), 700.0, -2.0 + i as f64))
+            .collect();
+        let sequential = check_models_verdicts(&refs, &observations, 1);
+        for threads in [0, 2, 4] {
+            assert_eq!(
+                check_models_verdicts(&refs, &observations, threads),
+                sequential
+            );
+        }
+        // The verdict matrix agrees with the bool matrix decision for decision.
+        let bools = check_models(&refs, &observations, 1);
+        for (vrow, brow) in sequential.iter().zip(&bools) {
+            for (v, b) in vrow.iter().zip(brow) {
+                assert_eq!(v.is_feasible(), *b);
+            }
+        }
     }
 }

@@ -116,6 +116,42 @@ impl ConstraintSet {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// The constraints violated by a confidence region at its confidence
+    /// level: a constraint `a·v ≥ 0` is violated when even the most favourable
+    /// point of the region's bounding box has `a·v < 0`; an equality `a·v = 0`
+    /// is violated when the box's projection onto `a` excludes zero.
+    ///
+    /// This is the refutation feedback of the paper's Figure 2 loop — shared
+    /// by [`FeasibilityChecker::check`] and the session layer's `Refuted`
+    /// verdicts.
+    ///
+    /// [`FeasibilityChecker::check`]: crate::feasibility::FeasibilityChecker::check
+    pub fn violated_by(
+        &self,
+        region: &counterpoint_stats::ConfidenceRegion,
+    ) -> Vec<&NamedConstraint> {
+        let scale = region
+            .center()
+            .iter()
+            .fold(1.0f64, |acc, v| acc.max(v.abs()));
+        let tol = 1e-9 * scale;
+        self.all_named()
+            .filter(|named| {
+                let coeffs: Vec<f64> = named
+                    .constraint()
+                    .coeffs()
+                    .iter()
+                    .map(|c| c.to_f64())
+                    .collect();
+                let (lo, hi) = region.interval_along(&coeffs);
+                match named.constraint().sense() {
+                    counterpoint_geometry::ConstraintSense::GreaterEqualZero => hi < -tol,
+                    counterpoint_geometry::ConstraintSense::Equality => lo > tol || hi < -tol,
+                }
+            })
+            .collect()
+    }
 }
 
 /// Deduces the model constraints of a cone (with redundant-generator removal).

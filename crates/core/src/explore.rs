@@ -11,7 +11,7 @@
 use crate::cone::ModelCone;
 use crate::feasibility::FeasibilityChecker;
 use crate::observation::Observation;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A set of microarchitectural feature names (e.g. `TlbPrefetch`, `Merging`).
@@ -47,7 +47,7 @@ impl ExplorationModel {
 
 /// The result of evaluating one model against a dataset of observations
 /// (one row of the paper's Tables 3, 5 and 7).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ModelEvaluation {
     /// Model name.
     pub name: String,
@@ -65,10 +65,16 @@ pub struct ModelEvaluation {
 }
 
 /// Evaluates every model against every observation (single-threaded).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `counterpoint_session::Inquiry` (re-exported from the `counterpoint` facade), \
+            which returns certificate-carrying verdicts instead of bare counts"
+)]
 pub fn evaluate_models(
     models: &[ExplorationModel],
     observations: &[Observation],
 ) -> Vec<ModelEvaluation> {
+    #[allow(deprecated)]
     evaluate_models_with_threads(models, observations, 1)
 }
 
@@ -79,6 +85,11 @@ pub fn evaluate_models(
 /// Each model's observation sweep runs warm-started on a single worker, so the
 /// evaluations are identical for every thread count and are returned in model
 /// order.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `counterpoint_session::Inquiry` (re-exported from the `counterpoint` facade), \
+            which returns certificate-carrying verdicts instead of bare counts"
+)]
 pub fn evaluate_models_with_threads(
     models: &[ExplorationModel],
     observations: &[Observation],
@@ -127,7 +138,7 @@ pub fn essential_features(evaluations: &[ModelEvaluation]) -> Option<Vec<String>
 }
 
 /// Which phase of the guided search produced a step.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SearchPhase {
     /// Feature added to relax violated constraints.
     Discovery,
@@ -136,7 +147,7 @@ pub enum SearchPhase {
 }
 
 /// One explored model in the guided search.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SearchStep {
     /// Features of the explored model.
     pub features: Vec<String>,
@@ -149,7 +160,7 @@ pub struct SearchStep {
 }
 
 /// An edge of the search graph (cf. the paper's Figures 8 and 10).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SearchEdge {
     /// Index of the originating step.
     pub from: usize,
@@ -163,7 +174,7 @@ pub struct SearchEdge {
 
 /// The output of a guided search: every explored model, the transitions between
 /// them, and the minimal feasible feature sets found.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SearchGraph {
     /// Explored models in visit order (index 0 is the initial model).
     pub steps: Vec<SearchStep>,
@@ -382,6 +393,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated shims stay under test until they are removed
 mod tests {
     use super::*;
     use counterpoint_mudd::{CounterSignature, CounterSpace};

@@ -4,7 +4,6 @@
 use crate::cone::ModelCone;
 use crate::constraints::{ConstraintSet, NamedConstraint};
 use crate::observation::Observation;
-use counterpoint_geometry::ConstraintSense;
 use counterpoint_lp::{LinearProgram, Relation, Tableau};
 use serde::Serialize;
 
@@ -271,28 +270,11 @@ impl<'a> FeasibilityChecker<'a> {
         let mut violated = Vec::new();
         if !feasible {
             if let Some(set) = constraints {
-                let region = observation.region();
-                let scale = region
-                    .center()
-                    .iter()
-                    .fold(1.0f64, |acc, v| acc.max(v.abs()));
-                let tol = 1e-9 * scale;
-                for named in set.all_named() {
-                    let coeffs: Vec<f64> = named
-                        .constraint()
-                        .coeffs()
-                        .iter()
-                        .map(|c| c.to_f64())
-                        .collect();
-                    let (lo, hi) = region.interval_along(&coeffs);
-                    let broken = match named.constraint().sense() {
-                        ConstraintSense::GreaterEqualZero => hi < -tol,
-                        ConstraintSense::Equality => lo > tol || hi < -tol,
-                    };
-                    if broken {
-                        violated.push(named.clone());
-                    }
-                }
+                violated = set
+                    .violated_by(observation.region())
+                    .into_iter()
+                    .cloned()
+                    .collect();
             }
         }
         FeasibilityReport {

@@ -52,12 +52,14 @@ pub mod explore;
 pub mod feasibility;
 pub mod observation;
 
-pub use batch::{check_models, BatchFeasibility};
+pub use batch::{check_models, check_models_verdicts, BatchFeasibility, FeasibilityVerdict};
 pub use cone::ModelCone;
 pub use constraints::{deduce_constraints, ConstraintSet, NamedConstraint};
 pub use explore::{
-    essential_features, evaluate_models, evaluate_models_with_threads, ExplorationModel,
-    FeatureSet, GuidedSearch, ModelEvaluation, SearchEdge, SearchGraph, SearchStep,
+    essential_features, feature_set, ExplorationModel, FeatureSet, GuidedSearch, ModelEvaluation,
+    SearchEdge, SearchGraph, SearchStep,
 };
+#[allow(deprecated)] // re-exported so downstream migrations stay source-compatible
+pub use explore::{evaluate_models, evaluate_models_with_threads};
 pub use feasibility::{FeasibilityChecker, FeasibilityReport};
 pub use observation::Observation;

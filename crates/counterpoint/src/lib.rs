@@ -4,6 +4,9 @@
 //! This facade crate re-exports the whole CounterPoint workspace behind a single
 //! dependency:
 //!
+//! * [`session`] — **the primary entry point**: typed [`Inquiry`] sessions
+//!   running the whole refute→refine workflow, certificate-carrying
+//!   [`Verdict`]s and serializable [`Report`]s,
 //! * [`mudd`] — μpath Decision Diagrams (the model formalism) and their DSL,
 //! * [`core`] — model cones, feasibility testing, constraint deduction and guided
 //!   model exploration,
@@ -22,11 +25,12 @@
 //!
 //! # Example
 //!
-//! Test an expert's model of the PDE cache against counter data and discover that
-//! it must be refined (the running example of the paper's Figures 2 and 6):
+//! Test an expert's model of the PDE cache against counter data and discover
+//! that it must be refined (the running example of the paper's Figures 2
+//! and 6), as one [`Inquiry`] session:
 //!
 //! ```
-//! use counterpoint::{compile_uop, CounterSpace, FeasibilityChecker, ModelCone, Observation};
+//! use counterpoint::{compile_uop, CounterSpace, Inquiry, ModelCone, Observation};
 //!
 //! let counters = CounterSpace::new(&["load.causes_walk", "load.pde$_miss"]);
 //! let model = compile_uop("initial", r#"
@@ -35,11 +39,17 @@
 //!     switch Pde$Status { Hit => pass; Miss => incr load.pde$_miss };
 //!     done;
 //! "#, &counters).unwrap();
-//! let cone = ModelCone::from_mudd(&model).unwrap();
 //!
-//! // Hardware reports more PDE-cache misses than walks: the model is refuted.
-//! let observation = Observation::exact("microbenchmark", &[1_000.0, 1_400.0]);
-//! assert!(!FeasibilityChecker::new(&cone).is_feasible(&observation));
+//! // Hardware reports more PDE-cache misses than walks: the model is refuted,
+//! // and the verdict carries the Farkas certificate proving it.
+//! let report = Inquiry::new()
+//!     .observations(vec![Observation::exact("microbenchmark", &[1_000.0, 1_400.0])])
+//!     .model("initial", ModelCone::from_mudd(&model).unwrap())
+//!     .run()
+//!     .unwrap();
+//! let verdict = report.verdict("initial", "microbenchmark").unwrap();
+//! assert!(verdict.is_refuted());
+//! assert!(verdict.farkas_certificate().is_some());
 //! ```
 
 pub use counterpoint_collect as collect;
@@ -50,6 +60,7 @@ pub use counterpoint_lp as lp;
 pub use counterpoint_models as models;
 pub use counterpoint_mudd as mudd;
 pub use counterpoint_numeric as numeric;
+pub use counterpoint_session as session;
 pub use counterpoint_stats as stats;
 pub use counterpoint_workloads as workloads;
 
@@ -60,13 +71,16 @@ pub use counterpoint_collect::{
     ReplayBackend, SimBackend, Trace, TraceRecord, WorkloadRun,
 };
 pub use counterpoint_core::{
-    check_models, deduce_constraints, essential_features, evaluate_models,
-    evaluate_models_with_threads, BatchFeasibility, ConstraintSet, ExplorationModel,
-    FeasibilityChecker, FeasibilityReport, FeatureSet, GuidedSearch, ModelCone, ModelEvaluation,
-    Observation, SearchGraph,
+    check_models, check_models_verdicts, deduce_constraints, essential_features, feature_set,
+    BatchFeasibility, ConstraintSet, ExplorationModel, FeasibilityChecker, FeasibilityReport,
+    FeasibilityVerdict, FeatureSet, GuidedSearch, ModelCone, ModelEvaluation, Observation,
+    SearchGraph,
 };
+#[allow(deprecated)] // re-exported so downstream migrations stay source-compatible
+pub use counterpoint_core::{evaluate_models, evaluate_models_with_threads};
 pub use counterpoint_mudd::dsl::compile_uop;
 pub use counterpoint_mudd::{CounterSignature, CounterSpace, MuDd, MuDdBuilder};
+pub use counterpoint_session::{Inquiry, Report, SessionError, Verdict};
 pub use counterpoint_stats::{ConfidenceRegion, NoiseModel};
 
 #[cfg(test)]

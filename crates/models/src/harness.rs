@@ -108,6 +108,11 @@ pub fn case_study_campaign(config: &HarnessConfig) -> Campaign {
 
 /// Runs the standard workload suite across the configured page sizes and returns
 /// one observation per (workload, page size) pair.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `counterpoint_session::Inquiry::harness` (one builder call wires collection, \
+            feasibility and reporting together) or drive `case_study_campaign` directly"
+)]
 pub fn collect_case_study_observations(config: &HarnessConfig) -> Vec<Observation> {
     case_study_campaign(config).run_sim(&config.mmu, &config.pmu)
 }
@@ -138,6 +143,7 @@ pub fn observe_trace(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated shim stays under test until it is removed
 mod tests {
     use super::*;
     use crate::family::{build_feature_model, feature_sets_table3};

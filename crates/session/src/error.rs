@@ -1,0 +1,136 @@
+//! Errors of the session layer.
+//!
+//! The wiring layers historically passed `Option`s around or panicked on
+//! mis-assembled pipelines (mismatched counter spaces, empty campaigns);
+//! [`SessionError`] replaces those paths with structured variants and threads
+//! the collect subsystem's [`CollectError`] through unchanged.
+
+use counterpoint_collect::CollectError;
+use std::fmt;
+
+/// Why an [`Inquiry`](crate::Inquiry) could not produce a
+/// [`Report`](crate::Report), or a report could not be (de)serialized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The underlying counter acquisition failed (backend refusal, replay
+    /// mismatch, trace I/O, ...).
+    Collect(CollectError),
+    /// The inquiry has no observation source, or the source produced no
+    /// observations.
+    NoObservations,
+    /// The inquiry has neither models under test nor a refinement search.
+    NoModels,
+    /// Two observations share a name, which would make the report's by-name
+    /// verdict lookups ambiguous.
+    DuplicateObservation {
+        /// The name that appears more than once.
+        name: String,
+    },
+    /// A model's counter space does not match the observations'.
+    DimensionMismatch {
+        /// Name of the offending model.
+        model: String,
+        /// The model cone's counter dimension.
+        model_dimension: usize,
+        /// The observations' counter dimension.
+        observation_dimension: usize,
+    },
+    /// Reading or writing a report file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error, rendered.
+        reason: String,
+    },
+    /// A report could not be parsed, or its format version is unknown.
+    Format(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Collect(e) => write!(f, "counter collection failed: {e}"),
+            SessionError::NoObservations => {
+                write!(f, "inquiry has no observations to test models against")
+            }
+            SessionError::NoModels => {
+                write!(
+                    f,
+                    "inquiry has no models under test and no refinement search"
+                )
+            }
+            SessionError::DuplicateObservation { name } => {
+                write!(
+                    f,
+                    "two observations are named `{name}`; names must be unique so report \
+                     lookups are unambiguous"
+                )
+            }
+            SessionError::DimensionMismatch {
+                model,
+                model_dimension,
+                observation_dimension,
+            } => write!(
+                f,
+                "model `{model}` spans {model_dimension} counters but the observations span \
+                 {observation_dimension}: they must share a counter space"
+            ),
+            SessionError::Io { path, reason } => {
+                write!(f, "report I/O on `{path}` failed: {reason}")
+            }
+            SessionError::Format(msg) => write!(f, "report format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Collect(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CollectError> for SessionError {
+    fn from(e: CollectError) -> SessionError {
+        SessionError::Collect(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = SessionError::DimensionMismatch {
+            model: "m4".to_string(),
+            model_dimension: 26,
+            observation_dimension: 2,
+        };
+        assert!(e.to_string().contains("m4"));
+        assert!(e.to_string().contains("26"));
+        assert!(SessionError::NoObservations
+            .to_string()
+            .contains("observations"));
+        assert!(SessionError::NoModels.to_string().contains("models"));
+        assert!(SessionError::DuplicateObservation {
+            name: "kv@4k".to_string()
+        }
+        .to_string()
+        .contains("kv@4k"));
+        let wrapped: SessionError = CollectError::EmptyTrace.into();
+        assert!(wrapped.to_string().contains("no records"));
+        assert!(std::error::Error::source(&wrapped).is_some());
+        assert!(SessionError::Io {
+            path: "/tmp/r.json".to_string(),
+            reason: "denied".to_string()
+        }
+        .to_string()
+        .contains("/tmp/r.json"));
+        assert!(SessionError::Format("bad version".to_string())
+            .to_string()
+            .contains("bad version"));
+    }
+}

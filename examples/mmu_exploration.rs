@@ -1,34 +1,42 @@
 //! Guided exploration of the Haswell MMU feature space (the paper's Section 5 and
 //! Appendix C.1, condensed).
 //!
-//! Collects observations from the simulated Haswell MMU running a reduced workload
-//! suite, then runs the discovery/elimination search over the five case-study
-//! features, reporting which features every feasible model must include.
+//! One `Inquiry` session collects observations from the simulated Haswell MMU
+//! running a reduced workload suite, then runs the discovery/elimination
+//! refinement search over the five case-study features, reporting which
+//! features every feasible model must include.
 //!
 //! Run with: `cargo run --release --example mmu_exploration`
 
 use counterpoint::models::family::build_feature_model;
-use counterpoint::models::harness::{collect_case_study_observations, HarnessConfig};
+use counterpoint::models::harness::HarnessConfig;
 use counterpoint::models::Feature;
-use counterpoint::{FeatureSet, GuidedSearch};
+use counterpoint::{FeatureSet, Inquiry};
 
 fn main() {
     // Reduced-scale data collection (4 KiB pages, no multiplexing noise) so the
     // example finishes in a few seconds.
     let mut config = HarnessConfig::quick();
     config.accesses_per_workload = 60_000;
-    println!("collecting observations from the simulated Haswell MMU ...");
-    let observations = collect_case_study_observations(&config);
-    println!("  {} observations collected", observations.len());
 
     let feature_names: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
-    let search = GuidedSearch::new(
-        |features: &FeatureSet| build_feature_model("candidate", features),
-        &feature_names,
-    );
+    println!("collecting observations from the simulated Haswell MMU ...");
+    let report = Inquiry::new()
+        .harness(config)
+        .refine(
+            |features: &FeatureSet| build_feature_model("candidate", features),
+            &feature_names,
+            FeatureSet::new(),
+        )
+        .run()
+        .expect("the simulated harness cannot fail");
+    println!("  {} observations collected", report.observations.len());
 
     println!("\nrunning discovery + elimination from the conventional-wisdom model ...");
-    let graph = search.run(&FeatureSet::new(), &observations);
+    let graph = report
+        .refinement
+        .as_ref()
+        .expect("the inquiry configured a refinement search");
 
     println!("\nexplored models:");
     for step in &graph.steps {
@@ -55,5 +63,9 @@ fn main() {
         "\n(The paper's conclusion: merging, early PSC lookup, walk bypassing and TLB \
          prefetching are required to explain Haswell's counter data; the PML4E cache is \
          compatible but only required when walk bypassing is not modelled.)"
+    );
+    println!(
+        "\ntimings: collect {:.0} ms, evaluate {:.0} ms",
+        report.timing.collect_ms, report.timing.evaluate_ms
     );
 }

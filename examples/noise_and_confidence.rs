@@ -15,7 +15,7 @@ use counterpoint::haswell::mmu::{HaswellMmu, MmuConfig};
 use counterpoint::haswell::pmu::{MultiplexingPmu, PmuConfig};
 use counterpoint::models::family::{build_feature_model, feature_sets_table3};
 use counterpoint::workloads::{GraphTraversal, Workload};
-use counterpoint::{FeasibilityChecker, NoiseModel, Observation};
+use counterpoint::{Inquiry, NoiseModel, Observation};
 
 fn main() {
     let space = full_counter_space();
@@ -40,10 +40,18 @@ fn main() {
     let mut mmu = HaswellMmu::new(MmuConfig::haswell());
     let samples = pmu.collect(&mut mmu, &accesses, PageSize::Size4K, &space, 40);
 
-    let correlated =
-        Observation::from_samples_with_model("graph", &samples, 0.99, NoiseModel::Correlated);
-    let independent =
-        Observation::from_samples_with_model("graph", &samples, 0.99, NoiseModel::Independent);
+    let correlated = Observation::from_samples_with_model(
+        "graph-correlated",
+        &samples,
+        0.99,
+        NoiseModel::Correlated,
+    );
+    let independent = Observation::from_samples_with_model(
+        "graph-independent",
+        &samples,
+        0.99,
+        NoiseModel::Independent,
+    );
 
     println!("confidence-region extent (sum of half-widths) at 99% confidence:");
     println!(
@@ -59,37 +67,48 @@ fn main() {
         independent.region().total_extent() / correlated.region().total_extent().max(1e-9)
     );
 
-    // Does the tighter region matter?  Test the featureless model m0 against both.
+    // Does the tighter region matter?  One session tests the featureless model
+    // m0 and the feature-complete m4 against both regions at once.
     let specs = feature_sets_table3();
     let m0 = build_feature_model("m0", &specs.iter().find(|(n, _)| n == "m0").unwrap().1);
     let m4 = build_feature_model("m4", &specs.iter().find(|(n, _)| n == "m4").unwrap().1);
+    let report = Inquiry::new()
+        .observations(vec![correlated, independent])
+        .model("m0", m0)
+        .model("m4", m4)
+        .run()
+        .expect("the inquiry is fully wired");
 
-    let m0_checker = FeasibilityChecker::new(&m0);
-    let m4_checker = FeasibilityChecker::new(&m4);
+    let render = |model: &str, observation: &str| {
+        let verdict = report
+            .verdict(model, observation)
+            .expect("every pair was tested");
+        if verdict.is_feasible() {
+            "feasible (no violation detected)".to_string()
+        } else {
+            let evidence = verdict
+                .farkas_certificate()
+                .map(|c| format!(" — Farkas certificate over {} counters", c.len()))
+                .unwrap_or_default();
+            format!("INFEASIBLE (model refuted{evidence})")
+        }
+    };
     println!("\nfeasibility of the conventional-wisdom model m0:");
     println!(
         "  with the independent region : {}",
-        verdict(m0_checker.is_feasible(&independent))
+        render("m0", "graph-independent")
     );
     println!(
         "  with the correlated region  : {}",
-        verdict(m0_checker.is_feasible(&correlated))
+        render("m0", "graph-correlated")
     );
     println!("\nfeasibility of the feature-complete model m4:");
     println!(
         "  with the correlated region  : {}",
-        verdict(m4_checker.is_feasible(&correlated))
+        render("m4", "graph-correlated")
     );
     println!(
         "\nA looser region can hide the violation of m0's constraints; the correlated \
          region keeps it visible while still accepting the feature-complete model."
     );
-}
-
-fn verdict(feasible: bool) -> &'static str {
-    if feasible {
-        "feasible (no violation detected)"
-    } else {
-        "INFEASIBLE (model refuted)"
-    }
 }

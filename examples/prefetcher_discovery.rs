@@ -12,7 +12,7 @@ use counterpoint::haswell::mem::PageSize;
 use counterpoint::models::family::{build_trigger_model, trigger_specs_table5};
 use counterpoint::models::harness::{observe_trace, HarnessConfig};
 use counterpoint::workloads::{LinearAccess, Workload};
-use counterpoint::FeasibilityChecker;
+use counterpoint::Inquiry;
 
 fn main() {
     let config = HarnessConfig::quick();
@@ -37,16 +37,24 @@ fn main() {
         observations.push(obs);
     }
 
+    // One session tests the whole trigger-condition family t0–t17.
+    let specs = trigger_specs_table5();
+    let report = Inquiry::new()
+        .observations(observations)
+        .model_family(
+            specs
+                .iter()
+                .map(|(name, spec)| (name.clone(), build_trigger_model(name, spec))),
+        )
+        .run()
+        .expect("the inquiry is fully wired");
+
     println!("trigger-condition models vs linear microbenchmark observations\n");
     println!(
         "{:<5} {:>5} {:>5} {:>6} {:>9} {:>9}   #infeasible",
         "model", "spec", "load", "store", "dtlb-miss", "stlb-miss"
     );
-    let mut feasible_models = Vec::new();
-    for (name, spec) in trigger_specs_table5() {
-        let cone = build_trigger_model(&name, &spec);
-        let checker = FeasibilityChecker::new(&cone);
-        let infeasible = checker.count_infeasible(&observations);
+    for ((name, spec), row) in specs.iter().zip(&report.models) {
         println!(
             "{:<5} {:>5} {:>5} {:>6} {:>9} {:>9}   {}",
             name,
@@ -55,14 +63,11 @@ fn main() {
             tick(spec.store),
             tick(spec.dtlb_miss),
             tick(spec.stlb_miss),
-            infeasible
+            row.infeasible_count
         );
-        if infeasible == 0 {
-            feasible_models.push(name);
-        }
     }
 
-    println!("\nfeasible models: {}", feasible_models.join(", "));
+    println!("\nfeasible models: {}", report.feasible_models().join(", "));
     println!(
         "\nInterpretation (mirroring the paper): models that require a demand DTLB or STLB \
          miss to trigger prefetching cannot explain the steady-state linear scan, where \

@@ -1,15 +1,15 @@
-//! Quickstart: the paper's running PDE-cache example (Figures 2 and 6).
+//! Quickstart: the paper's running PDE-cache example (Figures 2 and 6) as one
+//! `Inquiry` session.
 //!
 //! An expert believes the Haswell page-table walker is initialised *before* the PDE
 //! cache is consulted, which implies `load.pde$_miss <= load.causes_walk`.  Counter
-//! data refutes that model; refining it — looking the PDE cache up early and
-//! allowing translation requests to abort — makes it consistent.
+//! data refutes that model — and the session's `Verdict` carries the Farkas
+//! certificate and the violated constraint proving it — while the refinement
+//! (early PDE-cache lookup plus aborting translation requests) is consistent.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use counterpoint::{
-    compile_uop, deduce_constraints, CounterSpace, FeasibilityChecker, ModelCone, Observation,
-};
+use counterpoint::{compile_uop, CounterSpace, Inquiry, ModelCone, Observation};
 
 fn main() {
     let counters = CounterSpace::new(&["load.causes_walk", "load.pde$_miss"]);
@@ -29,28 +29,6 @@ fn main() {
         &counters,
     )
     .expect("the initial model is syntactically valid");
-
-    let initial_cone = ModelCone::from_mudd(&initial).expect("path enumeration succeeds");
-    println!("initial model: {} μpaths", initial_cone.num_paths());
-    let constraints = deduce_constraints(&initial_cone);
-    println!("implied model constraints:");
-    for c in constraints.all_named() {
-        println!("  {}", c.text());
-    }
-
-    // An observation from the hardware (here: exact counts from a microbenchmark):
-    // more PDE-cache misses than walks.
-    let observation = Observation::exact("microbenchmark", &[10_000.0, 13_500.0]);
-    let checker = FeasibilityChecker::new(&initial_cone);
-    let report = checker.check(&observation, Some(&constraints));
-    println!(
-        "\nobservation {:?} vs initial model: feasible = {}",
-        observation.name(),
-        report.feasible
-    );
-    for violated in &report.violated {
-        println!("  violated: {}", violated.text());
-    }
 
     // The refinement of Figure 6c: the PDE cache is looked up before the walk
     // starts, and translation requests can abort in between.
@@ -72,14 +50,55 @@ fn main() {
     )
     .expect("the refined model is syntactically valid");
 
-    let refined_cone = ModelCone::from_mudd(&refined).expect("path enumeration succeeds");
-    let refined_checker = FeasibilityChecker::new(&refined_cone);
-    println!(
-        "\nobservation vs refined model: feasible = {}",
-        refined_checker.is_feasible(&observation)
-    );
-    println!("refined model constraints:");
-    for c in deduce_constraints(&refined_cone).all_named() {
-        println!("  {}", c.text());
+    // One session wires the observation, both candidate models and constraint
+    // deduction together; the report carries everything the expert needs.
+    let report = Inquiry::new()
+        .observations(vec![Observation::exact(
+            "microbenchmark",
+            &[10_000.0, 13_500.0],
+        )])
+        .model(
+            "initial",
+            ModelCone::from_mudd(&initial).expect("path enumeration succeeds"),
+        )
+        .model(
+            "refined",
+            ModelCone::from_mudd(&refined).expect("path enumeration succeeds"),
+        )
+        .deduce_constraints(true)
+        .run()
+        .expect("the inquiry is fully wired");
+
+    for row in &report.models {
+        println!("model {:?}:", row.model);
+        println!("  implied constraints:");
+        for text in report.constraints_of(&row.model).unwrap_or(&[]) {
+            println!("    {text}");
+        }
+        let verdict = report
+            .verdict(&row.model, "microbenchmark")
+            .expect("the observation was tested");
+        println!(
+            "  observation \"microbenchmark\": feasible = {}",
+            verdict.is_feasible()
+        );
+        for violated in verdict.violated_constraints() {
+            println!("    violated: {violated}");
+        }
+        if let Some(certificate) = verdict.farkas_certificate() {
+            println!("    Farkas certificate (separating direction): {certificate:?}");
+        }
+        if let Some(witness) = verdict.witness() {
+            println!("    witness cone point: {witness:?}");
+        }
+        println!();
     }
+
+    println!("feasible models: {:?}", report.feasible_models());
+
+    // The whole session is a shareable JSON artifact.
+    println!(
+        "\nserialized report: {} bytes of deterministic JSON",
+        report.to_json().len()
+    );
 }

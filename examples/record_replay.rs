@@ -12,6 +12,8 @@
 //! back, replays it, and verifies the observations are identical. It also shows
 //! the schedule planner's view of the campaign: 26 logical events on 4 physical
 //! counters need 7 multiplexing rounds, inflating extrapolation noise ~2.6x.
+//! Finally, the loaded trace feeds an `Inquiry` session directly — the
+//! recorded campaign is all a refutation run needs.
 //!
 //! Run with: `cargo run --release --example record_replay`
 //!
@@ -21,8 +23,9 @@ use counterpoint::haswell::full_counter_space;
 use counterpoint::haswell::mem::PageSize;
 use counterpoint::haswell::mmu::MmuConfig;
 use counterpoint::haswell::pmu::PmuConfig;
+use counterpoint::models::family::{build_feature_model, feature_sets_table3};
 use counterpoint::workloads::{GraphTraversal, LinearAccess, PointerChase, Workload};
-use counterpoint::{Campaign, CampaignCell, EventSchedule, Trace};
+use counterpoint::{Campaign, CampaignCell, EventSchedule, Inquiry, Trace};
 use std::sync::Arc;
 
 fn main() {
@@ -112,4 +115,26 @@ fn main() {
     );
     assert_eq!(max_divergence, 0.0, "replay must be bit-exact");
     println!("replay is bit-identical to the live campaign");
+
+    // A recorded trace is a complete refutation input: feed it straight into a
+    // session and test models without touching the simulator again.
+    let specs = feature_sets_table3();
+    let report = Inquiry::new()
+        .trace(campaign, loaded)
+        .model_family(["m0", "m4"].iter().map(|name| {
+            let features = &specs.iter().find(|(n, _)| n == name).unwrap().1;
+            (name.to_string(), build_feature_model(name, features))
+        }))
+        .run()
+        .expect("replaying the freshly recorded trace cannot mismatch");
+    println!("\nverdicts from the replayed trace:");
+    for row in &report.models {
+        println!(
+            "  {}: {} of {} observations refute the model{}",
+            row.model,
+            row.infeasible_count,
+            report.observations.len(),
+            if row.feasible { "  (feasible)" } else { "" }
+        );
+    }
 }

@@ -4,9 +4,9 @@
 //! structs), and replayed through [`ReplayBackend`] must reproduce the original
 //! observations bit-for-bit — and match the pre-rewire harness output exactly.
 
-use counterpoint::models::harness::{
-    case_study_campaign, collect_case_study_observations, HarnessConfig,
-};
+#[allow(deprecated)] // the deprecated harness shim must stay in lockstep until removed
+use counterpoint::models::harness::collect_case_study_observations;
+use counterpoint::models::harness::{case_study_campaign, HarnessConfig};
 use counterpoint::{Observation, ReplayBackend, Trace};
 use counterpoint_haswell::mem::PageSize;
 
@@ -32,6 +32,7 @@ fn small_config() -> HarnessConfig {
 }
 
 #[test]
+#[allow(deprecated)] // the deprecated harness shim must stay in lockstep until removed
 fn recorded_campaign_replays_bit_identically() {
     let config = small_config();
     let campaign = case_study_campaign(&config);

@@ -8,9 +8,15 @@ use counterpoint::haswell::pmu::{MultiplexingPmu, PmuConfig};
 use counterpoint::models::family::{
     build_feature_model, build_trigger_model, feature_sets_table3, trigger_specs_table5,
 };
-use counterpoint::models::harness::{collect_case_study_observations, HarnessConfig};
+use counterpoint::models::harness::{case_study_campaign, HarnessConfig};
 use counterpoint::workloads::{LinearAccess, RandomAccess, Workload};
 use counterpoint::{FeasibilityChecker, NoiseModel, Observation};
+
+/// The case-study observation set for a config (the non-deprecated campaign
+/// path behind the old `collect_case_study_observations` shim).
+fn collect(config: &HarnessConfig) -> Vec<Observation> {
+    case_study_campaign(config).run_sim(&config.mmu, &config.pmu)
+}
 
 fn model(name: &str) -> counterpoint::ModelCone {
     let specs = feature_sets_table3();
@@ -22,7 +28,7 @@ fn model(name: &str) -> counterpoint::ModelCone {
 fn feature_complete_model_explains_noiseless_ground_truth() {
     let mut config = HarnessConfig::quick();
     config.accesses_per_workload = 15_000;
-    let observations = collect_case_study_observations(&config);
+    let observations = collect(&config);
     let m4 = model("m4");
     assert_eq!(
         FeasibilityChecker::new(&m4).count_infeasible(&observations),
@@ -34,7 +40,7 @@ fn feature_complete_model_explains_noiseless_ground_truth() {
 fn conventional_model_is_refuted_by_ground_truth() {
     let mut config = HarnessConfig::quick();
     config.accesses_per_workload = 15_000;
-    let observations = collect_case_study_observations(&config);
+    let observations = collect(&config);
     let m0 = model("m0");
     assert!(FeasibilityChecker::new(&m0).count_infeasible(&observations) > 0);
 }
@@ -112,7 +118,7 @@ fn m8_without_pml4e_cache_still_explains_ground_truth() {
     let mut config = HarnessConfig::quick();
     config.accesses_per_workload = 15_000;
     config.page_sizes = vec![PageSize::Size4K, PageSize::Size1G];
-    let observations = collect_case_study_observations(&config);
+    let observations = collect(&config);
     let m8 = model("m8");
     assert_eq!(
         FeasibilityChecker::new(&m8).count_infeasible(&observations),
@@ -148,7 +154,7 @@ fn noisy_multiplexed_observations_still_accept_the_true_model() {
 fn speculative_trigger_models_accept_everything_the_abstract_model_accepts() {
     let mut config = HarnessConfig::quick();
     config.accesses_per_workload = 10_000;
-    let observations = collect_case_study_observations(&config);
+    let observations = collect(&config);
     let specs = trigger_specs_table5();
     let (name, spec) = &specs[0]; // t0
     let t0 = build_trigger_model(name, spec);

@@ -4,7 +4,8 @@
 //! feasible for the same data.
 
 use counterpoint::{
-    compile_uop, deduce_constraints, CounterSpace, FeasibilityChecker, ModelCone, Observation,
+    compile_uop, deduce_constraints, CounterSpace, FeasibilityChecker, Inquiry, ModelCone,
+    Observation,
 };
 
 /// The expert's initial mental model: the walker is initialised before the PDE
@@ -77,6 +78,54 @@ fn initial_model_implies_misses_bounded_by_walks() {
 fn refined_model_is_feasible_for_the_same_observation() {
     let cone = cone("refined", REFINED_MODEL);
     assert!(FeasibilityChecker::new(&cone).is_feasible(&microbenchmark()));
+}
+
+#[test]
+fn session_verdicts_carry_checkable_certificates() {
+    // The whole running example as one `Inquiry` session.  Acceptance bar:
+    // every `Refuted` verdict carries a non-empty Farkas certificate whose
+    // inner product with the observation center is negative — checkable
+    // evidence, not decoration.
+    let report = Inquiry::new()
+        .observations(vec![microbenchmark()])
+        .model("initial", cone("initial", INITIAL_MODEL))
+        .model("refined", cone("refined", REFINED_MODEL))
+        .deduce_constraints(true)
+        .run()
+        .expect("the inquiry is fully wired");
+
+    assert_eq!(report.feasible_models(), vec!["refined"]);
+    let initial = report.model("initial").expect("initial was tested");
+    assert_eq!(initial.infeasible_count, 1);
+    for (verdict, observation) in initial.verdicts.iter().zip(&report.observations) {
+        assert!(verdict.is_refuted());
+        let certificate = verdict
+            .farkas_certificate()
+            .expect("every golden refutation must carry a certificate");
+        assert!(!certificate.is_empty());
+        let center_proj: f64 = certificate
+            .iter()
+            .zip(&observation.mean)
+            .map(|(c, v)| c * v)
+            .sum();
+        assert!(
+            center_proj < 0.0,
+            "certificate must separate the observation center (got {center_proj})"
+        );
+        // And the refutation names the Table 1 constraint behind it.
+        assert!(verdict
+            .violated_constraints()
+            .iter()
+            .any(|t| t.contains("load.pde$_miss") && t.contains("load.causes_walk")));
+    }
+    // The feasible refined model carries a witness cone point instead.
+    let refined = report.model("refined").expect("refined was tested");
+    assert!(refined.verdicts[0].witness().is_some());
+
+    // The golden session serializes deterministically and round-trips.
+    let json = report.to_json();
+    let parsed = counterpoint::Report::from_json(&json).expect("report must parse");
+    assert_eq!(parsed.to_json(), json);
 }
 
 #[test]

@@ -2,21 +2,19 @@
 //! lattice (the paper's Section 5 / Appendix C.1 search, at reduced scale).
 
 use counterpoint::models::family::{build_feature_model, feature_sets_table3};
-use counterpoint::models::harness::{collect_case_study_observations, HarnessConfig};
+use counterpoint::models::harness::{case_study_campaign, HarnessConfig};
 use counterpoint::models::Feature;
-use counterpoint::{
-    essential_features, evaluate_models, ExplorationModel, FeatureSet, GuidedSearch,
-};
+use counterpoint::{ExplorationModel, FeatureSet, GuidedSearch, Inquiry, Report};
 
 fn observations() -> Vec<counterpoint::Observation> {
     let mut config = HarnessConfig::quick();
     config.accesses_per_workload = 30_000;
-    collect_case_study_observations(&config)
+    case_study_campaign(&config).run_sim(&config.mmu, &config.pmu)
 }
 
-#[test]
-fn table3_evaluation_reproduces_the_qualitative_ranking() {
-    let observations = observations();
+/// Runs the Table 3 model family against the reduced case-study observations
+/// through the session layer.
+fn table3_report() -> Report {
     let models: Vec<ExplorationModel> = feature_sets_table3()
         .into_iter()
         .map(|(name, features)| {
@@ -24,23 +22,26 @@ fn table3_evaluation_reproduces_the_qualitative_ranking() {
             ExplorationModel::new(&name, features, cone)
         })
         .collect();
-    let evaluations = evaluate_models(&models, &observations);
+    Inquiry::new()
+        .observations(observations())
+        .models(models)
+        .run()
+        .expect("the inquiry is fully wired")
+}
 
-    let count = |name: &str| {
-        evaluations
-            .iter()
-            .find(|e| e.name == name)
-            .map(|e| e.infeasible_count)
-            .unwrap()
-    };
+#[test]
+fn table3_evaluation_reproduces_the_qualitative_ranking() {
+    let report = table3_report();
+    let count = |name: &str| report.model(name).map(|m| m.infeasible_count).unwrap();
 
     // The feature-complete model and its PML4E-free sibling explain everything.
     assert_eq!(count("m4"), 0);
     assert_eq!(count("m8"), 0);
     // The conventional-wisdom model is the worst or tied-worst.
-    let worst = evaluations
+    let worst = report
+        .models
         .iter()
-        .map(|e| e.infeasible_count)
+        .map(|m| m.infeasible_count)
         .max()
         .unwrap();
     assert_eq!(count("m0"), worst);
@@ -55,16 +56,11 @@ fn table3_evaluation_reproduces_the_qualitative_ranking() {
 
 #[test]
 fn essential_features_match_the_papers_conclusions() {
-    let observations = observations();
-    let models: Vec<ExplorationModel> = feature_sets_table3()
-        .into_iter()
-        .map(|(name, features)| {
-            let cone = build_feature_model(&name, &features);
-            ExplorationModel::new(&name, features, cone)
-        })
-        .collect();
-    let evaluations = evaluate_models(&models, &observations);
-    let essential = essential_features(&evaluations).expect("at least one feasible model");
+    let report = table3_report();
+    let essential = report
+        .essential_features
+        .clone()
+        .expect("at least one feasible model");
     // Every feasible Table 3 model includes early PSC lookup, merging, prefetching
     // and walk bypassing; the PML4E cache is not essential (m8 lacks it).
     for feature in [

@@ -1,0 +1,240 @@
+//! Property tests for the session layer: on random cones and observation
+//! batches, an [`Inquiry`]'s [`Report`] must serialize to JSON that round-trips
+//! bit-exactly through the vendored serde stack (mirroring
+//! `collect_roundtrip.rs` for traces), stay byte-identical for every worker
+//! thread count, and carry sound evidence — every `Refuted` verdict's Farkas
+//! certificate must actually separate the cone from the observation.
+
+use counterpoint::models::harness::{case_study_campaign, HarnessConfig};
+use counterpoint::mudd::{CounterSignature, CounterSpace};
+use counterpoint::{
+    ExplorationModel, FeatureSet, Inquiry, ModelCone, Observation, Report, Verdict,
+};
+use proptest::prelude::*;
+
+fn space(dim: usize) -> CounterSpace {
+    let names: Vec<String> = (0..dim).map(|i| format!("c{i}")).collect();
+    CounterSpace::new(&names)
+}
+
+/// Strategy: a set of counter signatures over `dim` counters (all-zero
+/// signatures included, so some cones are degenerate).
+fn signatures(dim: usize, max_sigs: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..4, dim), 1..max_sigs)
+}
+
+fn cone_from(name: &str, sigs: &[Vec<u32>], dim: usize) -> ModelCone {
+    let counter_sigs: Vec<CounterSignature> = sigs
+        .iter()
+        .map(|s| CounterSignature::from_counts(s.clone()))
+        .collect();
+    let n = counter_sigs.len();
+    ModelCone::from_signatures(name, &space(dim), counter_sigs, n)
+}
+
+/// Deterministic pseudo-random f64 in `[0, range)` from a seed and index.
+fn pseudo(seed: u64, i: u64, range: f64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(i.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z ^= z >> 29;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 32;
+    (z % 1_000_000) as f64 / 1_000_000.0 * range
+}
+
+/// A mixed (noisy + exact) observation batch over `dim` counters.
+fn observation_batch(seed: u64, dim: usize, count: u64) -> Vec<Observation> {
+    (0..count)
+        .map(|i| {
+            let base: Vec<f64> = (0..dim as u64)
+                .map(|d| pseudo(seed, i * 64 + d, 40.0))
+                .collect();
+            if i % 2 == 0 {
+                Observation::exact(&format!("e{i}"), &base)
+            } else {
+                let samples: Vec<Vec<f64>> = (0..10u64)
+                    .map(|s| {
+                        base.iter()
+                            .enumerate()
+                            .map(|(d, b)| b + pseudo(seed, i * 64 + 8 + s * 4 + d as u64, 3.0))
+                            .collect()
+                    })
+                    .collect();
+                Observation::from_samples(&format!("n{i}"), &samples, 0.99)
+            }
+        })
+        .collect()
+}
+
+fn inquiry(sigs_a: &[Vec<u32>], sigs_b: &[Vec<u32>], seed: u64, dim: usize) -> Inquiry {
+    Inquiry::new()
+        .observations(observation_batch(seed, dim, 6))
+        .models(vec![
+            ExplorationModel::new("a", FeatureSet::new(), cone_from("a", sigs_a, dim)),
+            ExplorationModel::new("b", FeatureSet::new(), cone_from("b", sigs_b, dim)),
+        ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `Report` JSON round-trips bit-exactly through the vendored serde_json:
+    /// serialize → parse → serialize reproduces the same bytes, and the parsed
+    /// report is structurally identical (timing excluded by construction).
+    #[test]
+    fn report_json_round_trips_bit_exactly(
+        sigs_a in signatures(3, 5),
+        sigs_b in signatures(3, 5),
+        seed in 0u64..10_000,
+    ) {
+        let report = inquiry(&sigs_a, &sigs_b, seed, 3).run().unwrap();
+        let json = report.to_json();
+        let parsed = Report::from_json(&json).expect("report JSON must parse");
+        prop_assert_eq!(parsed.to_json(), json, "round trip must be byte-exact");
+        prop_assert_eq!(parsed.models, report.models);
+        prop_assert_eq!(parsed.observations, report.observations);
+        prop_assert_eq!(parsed.essential_features, report.essential_features);
+    }
+
+    /// The same inquiry produces a byte-identical report for every worker
+    /// thread count (0 = available parallelism).
+    #[test]
+    fn reports_are_byte_identical_across_thread_counts(
+        sigs_a in signatures(3, 5),
+        sigs_b in signatures(3, 5),
+        seed in 0u64..10_000,
+    ) {
+        let baseline = inquiry(&sigs_a, &sigs_b, seed, 3).run().unwrap().to_json();
+        for threads in [0usize, 2, 4, 8] {
+            let report = inquiry(&sigs_a, &sigs_b, seed, 3)
+                .threads(threads)
+                .run()
+                .unwrap();
+            prop_assert_eq!(report.to_json(), baseline.clone(), "threads = {}", threads);
+        }
+    }
+
+    /// Evidence soundness: every `Refuted` verdict's certificate separates the
+    /// cone (non-negative on every generator, strictly negative on the
+    /// observation region), and every `Feasible` witness projects into the
+    /// observation's bounding box.
+    #[test]
+    fn verdict_evidence_is_checkable(
+        sigs in signatures(3, 5),
+        seed in 0u64..10_000,
+    ) {
+        let dim = 3;
+        let cone = cone_from("m", &sigs, dim);
+        let observations = observation_batch(seed, dim, 6);
+        let report = Inquiry::new()
+            .observations(observations.clone())
+            .model("m", cone.clone())
+            .run()
+            .unwrap();
+        let row = report.model("m").unwrap();
+        for (verdict, observation) in row.verdicts.iter().zip(&observations) {
+            match verdict {
+                Verdict::Refuted { .. } => {
+                    if let Some(certificate) = verdict.farkas_certificate() {
+                        for g in cone.generator_cone().generators() {
+                            let gv = g.to_f64_vec();
+                            let proj: f64 =
+                                certificate.iter().zip(&gv).map(|(c, v)| c * v).sum();
+                            prop_assert!(
+                                proj >= -1e-6,
+                                "certificate cuts off generator {:?}",
+                                gv
+                            );
+                        }
+                        let (_, hi) = observation.region().interval_along(certificate);
+                        prop_assert!(
+                            hi < 1e-6,
+                            "certificate must put the region on the negative side"
+                        );
+                    }
+                }
+                Verdict::Feasible { .. } => {
+                    if let Some(witness) = verdict.witness() {
+                        let region = observation.region();
+                        let scale = region
+                            .center()
+                            .iter()
+                            .fold(1.0f64, |acc, v| acc.max(v.abs()));
+                        for (axis, &width) in
+                            region.axes().iter().zip(region.half_widths())
+                        {
+                            let proj: f64 =
+                                axis.iter().zip(witness).map(|(a, w)| a * w).sum();
+                            let center: f64 = axis
+                                .iter()
+                                .zip(region.center())
+                                .map(|(a, c)| a * c)
+                                .sum();
+                            prop_assert!(
+                                (proj - center).abs() <= width + 1e-6 * scale,
+                                "witness must project inside the region box"
+                            );
+                        }
+                    }
+                }
+                Verdict::Inconclusive { .. } => {
+                    prop_assert!(false, "no inquiry in this suite may be inconclusive");
+                }
+            }
+        }
+    }
+}
+
+/// A small end-to-end session over the real simulated campaign: the report is
+/// thread-invariant byte for byte, round-trips, and survives a disk trip.
+#[test]
+fn campaign_backed_report_is_deterministic_and_round_trips() {
+    let mut config = HarnessConfig::quick();
+    config.accesses_per_workload = 4_000;
+    let make = |threads: usize| {
+        let models: Vec<ExplorationModel> = ["m0", "m4"]
+            .iter()
+            .map(|name| {
+                let specs = counterpoint::models::family::feature_sets_table3();
+                let (_, features) = specs.into_iter().find(|(n, _)| n == name).unwrap();
+                ExplorationModel::new(
+                    name,
+                    features.clone(),
+                    counterpoint::models::family::build_feature_model(name, &features),
+                )
+            })
+            .collect();
+        Inquiry::new()
+            .sim_campaign(
+                case_study_campaign(&config),
+                config.mmu.clone(),
+                config.pmu.clone(),
+            )
+            .threads(threads)
+            .models(models)
+            .run()
+            .expect("the simulated campaign cannot fail")
+    };
+    let baseline = make(1);
+    let json = baseline.to_json();
+    for threads in [0usize, 4] {
+        assert_eq!(make(threads).to_json(), json, "threads = {threads}");
+    }
+    // Disk round trip through the session error path.
+    let path = std::env::temp_dir().join("counterpoint_session_campaign_report.json");
+    baseline.save(&path).expect("report must save");
+    let loaded = Report::load(&path).expect("report must load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.to_json(), json);
+    // The featureless model is refuted with certificates; the feature-complete
+    // model explains everything.
+    let m0 = baseline.model("m0").expect("m0 was tested");
+    assert!(m0.infeasible_count > 0);
+    assert!(m0
+        .verdicts
+        .iter()
+        .filter(|v| v.is_refuted())
+        .all(|v| v.farkas_certificate().is_some()));
+    assert!(baseline.model("m4").expect("m4 was tested").feasible);
+}
