@@ -4,7 +4,7 @@
 #   ci/bench_gate.sh             # bench, write BENCH_<sha>.json, compare
 #   ci/bench_gate.sh --update    # same, but rewrite BENCH_baseline.json
 #
-# Runs the feasibility + substrate criterion benches with `--save-baseline`
+# Runs the feasibility + search + substrate criterion benches with `--save-baseline`
 # (the vendored criterion shim writes each binary's medians JSON under
 # target/criterion/current/), then lets the `bench_gate` binary merge them into
 # BENCH_<sha>.json and fail if any median regressed more than the tolerance
@@ -26,6 +26,7 @@ rm -rf "$medians_dir"
 cargo bench -p counterpoint-bench \
     --bench batch_feasibility \
     --bench session_pipeline \
+    --bench lattice_search \
     --bench feasibility \
     --bench substrate \
     -- --save-baseline current

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p counterpoint-bench --bin experiments -- \
-//!     <which> [--quick] [--seed <u64>] [--threads <n>] [--json <path>]
+//!     <which> [--quick] [--seed <u64>] [--threads <n>] [--search-threads <n>] [--json <path>]
 //! ```
 //!
 //! where `<which>` is one of `fig1a`, `fig1b`, `fig1c`, `fig3`, `fig5`, `fig6`,
@@ -15,7 +15,10 @@
 //! experiments (default unchanged, so output stays reproducible), and
 //! `--threads` fans the observation campaign and the model family across worker
 //! threads through the `counterpoint-collect` runner and the session layer
-//! (`0` = available parallelism; output is identical for every thread count).
+//! (`0` = available parallelism; output is identical for every thread count),
+//! and `--search-threads` gives the Figure 10 refinement search its own worker
+//! budget through the certificate-pruned `LatticeSearch` engine (default: the
+//! `--threads` budget; the search graph is byte-identical for every value).
 //! `--json` additionally writes a machine-readable report of the experiments
 //! that ran — full `counterpoint-session` [`Report`]s for the model-search
 //! tables and Figure 10, structured values for Figures 1c and 5 — as one JSON
@@ -67,6 +70,9 @@ struct Opts {
     seed: Option<u64>,
     /// Campaign worker threads (`--threads`; 0 = available parallelism).
     threads: usize,
+    /// Refinement-search worker threads (`--search-threads`; defaults to the
+    /// `--threads` budget).
+    search_threads: Option<usize>,
 }
 
 impl Opts {
@@ -96,6 +102,7 @@ struct Cli {
     quick: bool,
     seed: Option<u64>,
     threads: usize,
+    search_threads: Option<usize>,
     json: Option<String>,
 }
 
@@ -106,13 +113,15 @@ fn parse_args() -> Cli {
         quick: false,
         seed: None,
         threads: 1,
+        search_threads: None,
         json: None,
     };
     let mut which = None;
     let fail = |msg: String| -> ! {
         eprintln!("error: {msg}");
         eprintln!(
-            "usage: experiments <which> [--quick] [--seed <u64>] [--threads <n>] [--json <path>]"
+            "usage: experiments <which> [--quick] [--seed <u64>] [--threads <n>] \
+             [--search-threads <n>] [--json <path>]"
         );
         eprintln!(
             "where <which> is `all` or one of: {}",
@@ -146,12 +155,22 @@ fn parse_args() -> Cli {
                 cli.threads = parse("--threads", args.get(i + 1)) as usize;
                 i += 1;
             }
+            "--search-threads" => {
+                cli.search_threads = Some(parse("--search-threads", args.get(i + 1)) as usize);
+                i += 1;
+            }
             "--json" => {
                 cli.json = Some(string("--json", args.get(i + 1)));
                 i += 1;
             }
             flag if flag.starts_with("--seed=") => {
                 cli.seed = Some(parse("--seed", Some(&flag["--seed=".len()..].to_string())));
+            }
+            flag if flag.starts_with("--search-threads=") => {
+                cli.search_threads = Some(parse(
+                    "--search-threads",
+                    Some(&flag["--search-threads=".len()..].to_string()),
+                ) as usize);
             }
             flag if flag.starts_with("--threads=") => {
                 cli.threads =
@@ -185,6 +204,7 @@ fn main() {
         accesses: if cli.quick { 20_000 } else { 60_000 },
         seed: cli.seed,
         threads: cli.threads,
+        search_threads: cli.search_threads,
     };
 
     // Session reports are converted to the JSON value model only when
@@ -838,15 +858,15 @@ fn fig9(opts: &Opts) {
 /// Figure 10: the guided discovery/elimination search graph.
 fn fig10(opts: &Opts) -> Report {
     let feature_names: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
-    let report = opts
-        .inquiry(opts.accesses / 2)
-        .refine(
-            |features: &FeatureSet| build_feature_model("candidate", features),
-            &feature_names,
-            FeatureSet::new(),
-        )
-        .run()
-        .expect("the simulated campaign cannot fail");
+    let mut inquiry = opts.inquiry(opts.accesses / 2).refine(
+        |features: &FeatureSet| build_feature_model("candidate", features),
+        &feature_names,
+        FeatureSet::new(),
+    );
+    if let Some(search_threads) = opts.search_threads {
+        inquiry = inquiry.search_threads(search_threads);
+    }
+    let report = inquiry.run().expect("the simulated campaign cannot fail");
     let graph = report
         .refinement
         .as_ref()

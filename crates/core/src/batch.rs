@@ -118,8 +118,9 @@ const MAX_WITNESS_RAYS: usize = 8;
 /// observation scale outside the cone (along a cached certificate direction)
 /// for the certificate to short-circuit the LP.  The margin is ~10× the LP's
 /// own feasibility slop, so a certificate hit is always a verdict the LP would
-/// have reached too.
-const CERTIFICATE_MARGIN: f64 = 1e-6;
+/// have reached too.  The lattice-search engine applies the same margin when
+/// it prunes models with certificates cached from other models.
+pub(crate) const CERTIFICATE_MARGIN: f64 = 1e-6;
 
 /// The observation-independent state cached for the most recent confidence
 ///-region axes: the equilibrated coefficient matrix and the warm tableau.
@@ -182,9 +183,20 @@ pub struct BatchFeasibility<'a> {
     /// positive scaling, so if a scaled ray pierces the new observation's
     /// bounding box the observation is feasible without touching the LP.
     witness_rays: Vec<Vec<f64>>,
+    /// The support of each cached witness ray (indices of the generators its
+    /// flow combination used), kept in lockstep with `witness_rays`.  A ray is
+    /// provably inside any *other* cone that contains every support
+    /// generator, which is how the lattice search reuses rays across models.
+    witness_supports: Vec<Vec<usize>>,
     /// Scratch bounds, reused across observations.
     lo: Vec<f64>,
     hi: Vec<f64>,
+    /// A basis handed down from a parent engine (see
+    /// [`set_warm_basis`](BatchFeasibility::set_warm_basis)): applied to the
+    /// first tableau built for exactly these axes, then discarded.
+    warm_basis: Option<(Vec<Vec<f64>>, Vec<usize>)>,
+    /// The armed half of `warm_basis`: consumed by the next resolve.
+    pending_basis: Option<Vec<usize>>,
 }
 
 impl<'a> BatchFeasibility<'a> {
@@ -198,14 +210,75 @@ impl<'a> BatchFeasibility<'a> {
             cache: None,
             certificates: Vec::new(),
             witness_rays: Vec::new(),
+            witness_supports: Vec::new(),
             lo: Vec::new(),
             hi: Vec::new(),
+            warm_basis: None,
+            pending_basis: None,
         }
     }
 
     /// The model cone under test.
     pub fn cone(&self) -> &ModelCone {
         self.checker.cone()
+    }
+
+    /// The cone generators as dense `f64` vectors, in LP column order — the
+    /// ordering [`basis_handoff`](BatchFeasibility::basis_handoff) bases refer
+    /// to.
+    pub(crate) fn generator_vectors(&self) -> &[Vec<f64>] {
+        self.checker.generators()
+    }
+
+    /// Verifies that a Farkas separating direction — typically harvested from
+    /// *another* model's refutation — also applies to this cone: every
+    /// generator must lie on the non-negative side of the direction (within
+    /// the engine's strict tolerance).  This is the `O(d · nnz)`
+    /// cone-containment check the lattice search runs before reusing a
+    /// certificate to prune a submodel without touching the LP: if it holds,
+    /// any observation the direction separates is infeasible for this model
+    /// too.
+    pub fn certificate_applies(&self, direction: &[f64]) -> bool {
+        direction.len() == self.checker.cone().dimension()
+            && certificate_is_sound(&self.sparse, direction)
+    }
+
+    /// The current warm tableau state — the cached confidence-region axes and
+    /// the dual-simplex basis the last solve ended in — for handing to a
+    /// structurally related engine via
+    /// [`set_warm_basis`](BatchFeasibility::set_warm_basis).  `None` before
+    /// the first LP touch.  Basis entries index this engine's columns:
+    /// structural flows first (one per generator, in
+    /// generator order), then the band slacks.
+    pub fn basis_handoff(&self) -> Option<(Vec<Vec<f64>>, Vec<usize>)> {
+        self.cache
+            .as_ref()
+            .map(|cache| (cache.axes.clone(), cache.tableau.basis().to_vec()))
+    }
+
+    /// Seeds the first tableau built for exactly `axes` with `basis` — e.g. a
+    /// parent model's final basis from
+    /// [`basis_handoff`](BatchFeasibility::basis_handoff), with structural
+    /// columns re-indexed into this engine's generator order (unmappable
+    /// columns may be marked `usize::MAX`; they are skipped during
+    /// installation and the affected rows keep their slack).  Only the pivot
+    /// count changes: the dual simplex restores feasibility from whatever
+    /// basis is installed, and the engine still falls back to a cold solve on
+    /// non-convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` does not have `2 · axes.len()` entries.
+    pub fn set_warm_basis(&mut self, axes: Vec<Vec<f64>>, basis: Vec<usize>) {
+        assert_eq!(
+            basis.len(),
+            2 * axes.len(),
+            "a band system over {} axes has {} rows",
+            axes.len(),
+            2 * axes.len()
+        );
+        self.warm_basis = Some((axes, basis));
+        self.pending_basis = None;
     }
 
     /// Returns `true` if the observation's confidence region intersects the
@@ -223,9 +296,19 @@ impl<'a> BatchFeasibility<'a> {
             FeasibilityVerdict::Feasible { .. } => true,
             FeasibilityVerdict::Refuted { .. } => false,
             FeasibilityVerdict::Inconclusive { reason } => {
-                unreachable!("the no-evidence path panics inside the LP instead: {reason}")
+                panic!("LP failed to converge on every solve path: {reason}")
             }
         }
+    }
+
+    /// The cheapest non-panicking decision: the same no-evidence work as
+    /// [`is_feasible`](BatchFeasibility::is_feasible) (no witness or
+    /// certificate reconstruction, no allocation on the hot path), but LP
+    /// non-convergence surfaces as [`FeasibilityVerdict::Inconclusive`]
+    /// instead of panicking.  The lattice-search sweeps run on this and drain
+    /// the engine's internally harvested certificates once per model.
+    pub fn decide_lenient(&mut self, observation: &Observation) -> FeasibilityVerdict {
+        self.decide(observation, false)
     }
 
     /// Like [`is_feasible`](BatchFeasibility::is_feasible), but returns the
@@ -308,6 +391,7 @@ impl<'a> BatchFeasibility<'a> {
             .position(|ray| ray_pierces_box(ray, region, margin))
         {
             self.witness_rays[..=hit].rotate_right(1);
+            self.witness_supports[..=hit].rotate_right(1);
             let witness = if want_evidence {
                 witness_on_ray(&self.witness_rays[0], region, margin).unwrap_or_default()
             } else {
@@ -351,6 +435,17 @@ impl<'a> BatchFeasibility<'a> {
                     });
                 }
             }
+            // A handed-down parent basis applies once, to the first tableau
+            // whose axes match it exactly (the fresh tableau starts all-slack
+            // either way, so arming it here is sound on both branches above).
+            if self
+                .warm_basis
+                .as_ref()
+                .is_some_and(|(axes, _)| axes.as_slice() == region.axes())
+            {
+                let (_, basis) = self.warm_basis.take().expect("warm basis just matched");
+                self.pending_basis = Some(basis);
+            }
         }
 
         let cache = self.cache.as_mut().expect("cache was just populated");
@@ -366,8 +461,13 @@ impl<'a> BatchFeasibility<'a> {
         // On matching axes the factorisation is still valid and only the
         // bounds moved: `resolve` warm-starts the dual simplex from the basis
         // the previous observation ended in.  After an axes change the rebind
-        // above reset to the all-slack basis and this is a cold start.
-        let outcome = cache.tableau.resolve(&self.lo, &self.hi);
+        // above reset to the all-slack basis and this is a cold start — unless
+        // a parent engine handed its final basis down for these axes, in which
+        // case that basis is replayed first.
+        let outcome = match self.pending_basis.take() {
+            Some(basis) => cache.tableau.resolve_with_basis(&self.lo, &self.hi, &basis),
+            None => cache.tableau.resolve(&self.lo, &self.hi),
+        };
 
         match outcome {
             Ok(true) => {
@@ -420,16 +520,25 @@ impl<'a> BatchFeasibility<'a> {
                             lp.add_constraint(row, Relation::Le, hi[k]);
                         }
                         if !want_evidence {
-                            // Identical to the historical last resort,
-                            // including the panic on non-convergence.
-                            return if lp.is_feasible() {
-                                FeasibilityVerdict::Feasible {
-                                    witness: Vec::new(),
+                            // The historical last resort (the decision is the
+                            // two-phase primal's); non-convergence is reported
+                            // instead of panicking here — `is_feasible` turns
+                            // it back into the historical panic.
+                            return match lp.try_solve() {
+                                Ok(outcome) => {
+                                    if outcome.is_feasible() {
+                                        FeasibilityVerdict::Feasible {
+                                            witness: Vec::new(),
+                                        }
+                                    } else {
+                                        FeasibilityVerdict::Refuted {
+                                            certificate: Vec::new(),
+                                        }
+                                    }
                                 }
-                            } else {
-                                FeasibilityVerdict::Refuted {
-                                    certificate: Vec::new(),
-                                }
+                                Err(e) => FeasibilityVerdict::Inconclusive {
+                                    reason: format!("every LP solve path failed to converge: {e}"),
+                                },
                             };
                         }
                         match lp.try_solve() {
@@ -482,6 +591,16 @@ impl<'a> BatchFeasibility<'a> {
         if cache_open && norm.is_finite() && norm > 0.0 {
             self.witness_rays
                 .push(raw.iter().map(|v| v / norm).collect());
+            // The ray's support: the generators its flow combination used
+            // (the same `f > 1e-9` filter `flow_combination` applies).
+            self.witness_supports.push(
+                cache
+                    .tableau
+                    .basic_flows()
+                    .filter(|&(_, f)| f > 1e-9)
+                    .map(|(j, _)| j)
+                    .collect(),
+            );
         }
         if want_evidence {
             raw.iter().map(|v| v * scale).collect()
@@ -541,6 +660,42 @@ impl<'a> BatchFeasibility<'a> {
     /// touching the LP.
     pub fn witness_rays(&self) -> &[Vec<f64>] {
         &self.witness_rays
+    }
+
+    /// [`witness_rays`](BatchFeasibility::witness_rays) together with each
+    /// ray's support — the indices (into
+    /// [`generator_vectors`](BatchFeasibility::generator_vectors) order) of
+    /// the generators its flow combination used.  A ray is a point of any
+    /// cone containing all of its support generators, which lets the lattice
+    /// search reuse rays across models after an exact set-membership check.
+    pub(crate) fn witness_rays_with_supports(
+        &self,
+    ) -> impl Iterator<Item = (&Vec<f64>, &Vec<usize>)> {
+        self.witness_rays.iter().zip(&self.witness_supports)
+    }
+
+    /// The positive-flow combination the warm tableau currently holds, as a
+    /// unit ∞-norm ray plus its support, regardless of how the last decision
+    /// was reached.  Only flows strictly above the solver tolerance
+    /// contribute, so the combination is a cone point even when the tableau
+    /// sits in an intermediate or infeasible state — any non-negative
+    /// combination of generators is.  `None` before the first solve or when
+    /// every flow is (near) zero.
+    pub(crate) fn current_ray_with_support(&self) -> Option<(Vec<f64>, Vec<usize>)> {
+        let cache = self.cache.as_ref()?;
+        let dim = self.checker.cone().dimension();
+        let raw = flow_combination(&self.sparse, cache.tableau.basic_flows(), dim);
+        let norm = raw.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        if !norm.is_finite() || norm <= 0.0 {
+            return None;
+        }
+        let support: Vec<usize> = cache
+            .tableau
+            .basic_flows()
+            .filter(|&(_, f)| f > 1e-9)
+            .map(|(j, _)| j)
+            .collect();
+        Some((raw.iter().map(|v| v / norm).collect(), support))
     }
 
     /// Tests every observation, returning one verdict per observation in input
@@ -660,7 +815,7 @@ fn origin_separator(region: &ConfidenceRegion) -> Vec<f64> {
 /// margin is capped at half the axis width so exact (zero-width) observations
 /// can still match, and is otherwise `margin` — well above the LP's own
 /// feasibility slop, so a hit is always a verdict the LP would reach too.
-fn ray_pierces_box(ray: &[f64], region: &ConfidenceRegion, margin: f64) -> bool {
+pub(crate) fn ray_pierces_box(ray: &[f64], region: &ConfidenceRegion, margin: f64) -> bool {
     ray_box_interval(ray, region, margin).is_some()
 }
 

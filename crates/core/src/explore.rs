@@ -119,22 +119,43 @@ pub fn evaluate_models_with_threads(
         .collect()
 }
 
-/// Features that appear in *every* feasible model of an evaluation set.
+/// Intersects a sequence of feasible models' feature sets: the features present
+/// in *every* one of them, sorted, or `None` when the sequence is empty.
 ///
-/// If the workload suite exercises the hardware broadly enough, these features must
-/// be present in the real microarchitecture (paper, Figure 7's argument for feature
-/// `F_Y`).  Returns `None` when no model is feasible.
-pub fn essential_features(evaluations: &[ModelEvaluation]) -> Option<Vec<String>> {
-    let feasible: Vec<&ModelEvaluation> = evaluations.iter().filter(|e| e.feasible).collect();
-    if feasible.is_empty() {
-        return None;
-    }
-    let mut essential: BTreeSet<String> = feasible[0].features.iter().cloned().collect();
-    for eval in &feasible[1..] {
-        let current: BTreeSet<String> = eval.features.iter().cloned().collect();
-        essential = essential.intersection(&current).cloned().collect();
+/// If the workload suite exercises the hardware broadly enough, these features
+/// must be present in the real microarchitecture (paper, Figure 7's argument
+/// for feature `F_Y`).  This is the one implementation behind
+/// [`SearchGraph::essential_features`], the deprecated free
+/// [`essential_features`] and the session layer's report field — they must
+/// never drift apart.
+pub fn essential_feature_intersection<'a, I, J>(feasible: I) -> Option<Vec<String>>
+where
+    I: IntoIterator<Item = J>,
+    J: IntoIterator<Item = &'a String>,
+{
+    let mut sets = feasible.into_iter();
+    let mut essential: BTreeSet<String> = sets.next()?.into_iter().cloned().collect();
+    for set in sets {
+        let current: BTreeSet<&String> = set.into_iter().collect();
+        essential.retain(|f| current.contains(f));
     }
     Some(essential.into_iter().collect())
+}
+
+/// Features that appear in *every* feasible model of an evaluation set.
+/// Returns `None` when no model is feasible.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SearchGraph::essential_features` for search results, or \
+            `essential_feature_intersection` for a bare list of feature sets"
+)]
+pub fn essential_features(evaluations: &[ModelEvaluation]) -> Option<Vec<String>> {
+    essential_feature_intersection(
+        evaluations
+            .iter()
+            .filter(|e| e.feasible)
+            .map(|e| &e.features),
+    )
 }
 
 /// Which phase of the guided search produced a step.
@@ -195,18 +216,16 @@ impl SearchGraph {
             .collect()
     }
 
-    /// Features present in every feasible explored model.
+    /// Features present in every feasible explored model (empty when no
+    /// explored model is feasible).
     pub fn essential_features(&self) -> Vec<String> {
-        let feasible = self.feasible_feature_sets();
-        if feasible.is_empty() {
-            return Vec::new();
-        }
-        let mut essential: BTreeSet<String> = feasible[0].iter().cloned().collect();
-        for set in &feasible[1..] {
-            let current: BTreeSet<String> = set.iter().cloned().collect();
-            essential = essential.intersection(&current).cloned().collect();
-        }
-        essential.into_iter().collect()
+        essential_feature_intersection(
+            self.steps
+                .iter()
+                .filter(|s| s.feasible)
+                .map(|s| &s.features),
+        )
+        .unwrap_or_default()
     }
 }
 
@@ -214,15 +233,20 @@ impl SearchGraph {
 ///
 /// `G` maps a feature set to the corresponding model cone — in the Haswell case
 /// study this is the model-family generator from `counterpoint-models`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `LatticeSearch`, the certificate-pruned engine this type now \
+            delegates to (it adds parallel evaluation and cross-model \
+            certificate reuse while producing the identical `SearchGraph`)"
+)]
 pub struct GuidedSearch<G>
 where
     G: Fn(&FeatureSet) -> ModelCone,
 {
-    generator: G,
-    all_features: Vec<String>,
-    max_models: usize,
+    inner: crate::lattice::LatticeSearch<G>,
 }
 
+#[allow(deprecated)] // the shim implements the deprecated type it replaces
 impl<G> GuidedSearch<G>
 where
     G: Fn(&FeatureSet) -> ModelCone,
@@ -230,164 +254,199 @@ where
     /// Creates a search over the given feature universe.
     pub fn new<S: AsRef<str>>(generator: G, all_features: &[S]) -> GuidedSearch<G> {
         GuidedSearch {
-            generator,
-            all_features: all_features
-                .iter()
-                .map(|f| f.as_ref().to_string())
-                .collect(),
-            max_models: 256,
+            inner: crate::lattice::LatticeSearch::new(generator, all_features),
         }
     }
 
     /// Caps the number of models the search may evaluate (default 256).
     pub fn set_max_models(&mut self, limit: usize) {
-        self.max_models = limit;
-    }
-
-    fn count_infeasible(&self, features: &FeatureSet, observations: &[Observation]) -> usize {
-        let cone = (self.generator)(features);
-        FeasibilityChecker::new(&cone).count_infeasible(observations)
+        self.inner.set_max_models(limit);
     }
 
     /// Runs the two-phase search from an initial feature set.
     ///
-    /// *Discovery* greedily adds the feature that most reduces the number of
-    /// infeasible observations until a feasible model is found (or no feature
-    /// helps).  *Elimination* then recursively removes features from the feasible
-    /// candidate, keeping every removal that preserves feasibility and recording
-    /// minimal feasible sets; per the paper's empirical observation, subtrees under
-    /// infeasible prunings are not explored further.
+    /// A thin shim: the work happens in
+    /// [`LatticeSearch`](crate::lattice::LatticeSearch) (single-threaded, so
+    /// no `Sync` bound is required of the generator), which produces the
+    /// identical [`SearchGraph`].
     pub fn run(&self, initial: &FeatureSet, observations: &[Observation]) -> SearchGraph {
-        let mut steps: Vec<SearchStep> = Vec::new();
-        let mut edges: Vec<SearchEdge> = Vec::new();
-        let mut evaluated: BTreeSet<Vec<String>> = BTreeSet::new();
-
-        let record = |features: &FeatureSet,
-                      infeasible: usize,
-                      phase: SearchPhase,
-                      steps: &mut Vec<SearchStep>| {
-            steps.push(SearchStep {
-                features: features.iter().cloned().collect(),
-                infeasible_count: infeasible,
-                feasible: infeasible == 0,
-                phase,
-            });
-            steps.len() - 1
-        };
-
-        // Discovery phase.
-        let mut current = initial.clone();
-        let mut current_count = self.count_infeasible(&current, observations);
-        evaluated.insert(current.iter().cloned().collect());
-        let mut current_idx = record(&current, current_count, SearchPhase::Discovery, &mut steps);
-
-        while current_count > 0 && steps.len() < self.max_models {
-            let mut best: Option<(String, usize)> = None;
-            for feature in &self.all_features {
-                if current.contains(feature) {
-                    continue;
-                }
-                let mut candidate = current.clone();
-                candidate.insert(feature.clone());
-                let count = self.count_infeasible(&candidate, observations);
-                if best.as_ref().is_none_or(|(_, c)| count < *c) {
-                    best = Some((feature.clone(), count));
-                }
-            }
-            let Some((feature, count)) = best else { break };
-            if count >= current_count {
-                // No single feature helps; stop discovery.
-                break;
-            }
-            current.insert(feature.clone());
-            current_count = count;
-            evaluated.insert(current.iter().cloned().collect());
-            let new_idx = record(&current, count, SearchPhase::Discovery, &mut steps);
-            edges.push(SearchEdge {
-                from: current_idx,
-                to: new_idx,
-                feature,
-                phase: SearchPhase::Discovery,
-            });
-            current_idx = new_idx;
-        }
-
-        // Elimination phase (only if discovery reached a feasible model).
-        let mut minimal: Vec<Vec<String>> = Vec::new();
-        if current_count == 0 {
-            self.eliminate(
-                &current,
-                current_idx,
-                observations,
-                &mut steps,
-                &mut edges,
-                &mut evaluated,
-                &mut minimal,
-            );
-        }
-
-        SearchGraph {
-            steps,
-            edges,
-            minimal_feasible: minimal,
-        }
+        self.inner.run_sequential(initial, observations)
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn eliminate(
-        &self,
-        features: &FeatureSet,
-        from_idx: usize,
-        observations: &[Observation],
-        steps: &mut Vec<SearchStep>,
-        edges: &mut Vec<SearchEdge>,
-        evaluated: &mut BTreeSet<Vec<String>>,
-        minimal: &mut Vec<Vec<String>>,
-    ) {
-        let mut any_feasible_child = false;
-        for feature in features.iter().cloned().collect::<Vec<_>>() {
-            if steps.len() >= self.max_models {
-                break;
-            }
-            let mut candidate = features.clone();
-            candidate.remove(&feature);
-            let key: Vec<String> = candidate.iter().cloned().collect();
-            if evaluated.contains(&key) {
+/// The original cold-start sequential search, kept verbatim as the
+/// executable specification of the search semantics: every candidate model is
+/// re-solved from scratch through [`FeasibilityChecker`], with no caches, no
+/// certificate reuse and no parallelism.
+///
+/// [`LatticeSearch`](crate::lattice::LatticeSearch) must produce a
+/// [`SearchGraph`] equal to this function's output on every input — the
+/// differential test suite (`tests/search_equivalence.rs`) and the
+/// `lattice_search` benchmark baseline both call it.  It is *not* deprecated:
+/// it is the oracle, not an API to migrate away from.
+pub fn reference_search<G, S>(
+    generator: &G,
+    all_features: &[S],
+    max_models: usize,
+    initial: &FeatureSet,
+    observations: &[Observation],
+) -> SearchGraph
+where
+    G: Fn(&FeatureSet) -> ModelCone,
+    S: AsRef<str>,
+{
+    let all_features: Vec<String> = all_features
+        .iter()
+        .map(|f| f.as_ref().to_string())
+        .collect();
+    // One cold solve per (candidate model, observation) pair — the literal
+    // inner loop of the original search, with no state carried anywhere.
+    // `FeasibilityChecker::is_feasible` and the batched engine agree verdict
+    // for verdict on every input, so this is the semantics oracle.
+    let count_infeasible = |features: &FeatureSet| {
+        let cone = generator(features);
+        let checker = FeasibilityChecker::new(&cone);
+        observations
+            .iter()
+            .filter(|o| !checker.is_feasible(o))
+            .count()
+    };
+
+    let mut steps: Vec<SearchStep> = Vec::new();
+    let mut edges: Vec<SearchEdge> = Vec::new();
+    let mut evaluated: BTreeSet<Vec<String>> = BTreeSet::new();
+
+    let record = |features: &FeatureSet,
+                  infeasible: usize,
+                  phase: SearchPhase,
+                  steps: &mut Vec<SearchStep>| {
+        steps.push(SearchStep {
+            features: features.iter().cloned().collect(),
+            infeasible_count: infeasible,
+            feasible: infeasible == 0,
+            phase,
+        });
+        steps.len() - 1
+    };
+
+    // Discovery phase.
+    let mut current = initial.clone();
+    let mut current_count = count_infeasible(&current);
+    evaluated.insert(current.iter().cloned().collect());
+    let mut current_idx = record(&current, current_count, SearchPhase::Discovery, &mut steps);
+
+    while current_count > 0 && steps.len() < max_models {
+        let mut best: Option<(String, usize)> = None;
+        for feature in &all_features {
+            if current.contains(feature) {
                 continue;
             }
-            evaluated.insert(key);
-            let count = self.count_infeasible(&candidate, observations);
-            steps.push(SearchStep {
-                features: candidate.iter().cloned().collect(),
-                infeasible_count: count,
-                feasible: count == 0,
-                phase: SearchPhase::Elimination,
-            });
-            let new_idx = steps.len() - 1;
-            edges.push(SearchEdge {
-                from: from_idx,
-                to: new_idx,
-                feature: feature.clone(),
-                phase: SearchPhase::Elimination,
-            });
-            if count == 0 {
-                any_feasible_child = true;
-                self.eliminate(
-                    &candidate,
-                    new_idx,
-                    observations,
-                    steps,
-                    edges,
-                    evaluated,
-                    minimal,
-                );
+            let mut candidate = current.clone();
+            candidate.insert(feature.clone());
+            let count = count_infeasible(&candidate);
+            if best.as_ref().is_none_or(|(_, c)| count < *c) {
+                best = Some((feature.clone(), count));
             }
         }
-        if !any_feasible_child {
-            let set: Vec<String> = features.iter().cloned().collect();
-            if !minimal.contains(&set) {
-                minimal.push(set);
-            }
+        let Some((feature, count)) = best else { break };
+        if count >= current_count {
+            // No single feature helps; stop discovery.
+            break;
+        }
+        current.insert(feature.clone());
+        current_count = count;
+        evaluated.insert(current.iter().cloned().collect());
+        let new_idx = record(&current, count, SearchPhase::Discovery, &mut steps);
+        edges.push(SearchEdge {
+            from: current_idx,
+            to: new_idx,
+            feature,
+            phase: SearchPhase::Discovery,
+        });
+        current_idx = new_idx;
+    }
+
+    // Elimination phase (only if discovery reached a feasible model).
+    let mut minimal: Vec<Vec<String>> = Vec::new();
+    if current_count == 0 {
+        reference_eliminate(
+            &count_infeasible,
+            max_models,
+            &current,
+            current_idx,
+            &mut steps,
+            &mut edges,
+            &mut evaluated,
+            &mut minimal,
+        );
+    }
+
+    SearchGraph {
+        steps,
+        edges,
+        minimal_feasible: minimal,
+    }
+}
+
+/// The elimination recursion of [`reference_search`] (the original
+/// `GuidedSearch::eliminate`, verbatim).
+#[allow(clippy::too_many_arguments)]
+fn reference_eliminate<C>(
+    count_infeasible: &C,
+    max_models: usize,
+    features: &FeatureSet,
+    from_idx: usize,
+    steps: &mut Vec<SearchStep>,
+    edges: &mut Vec<SearchEdge>,
+    evaluated: &mut BTreeSet<Vec<String>>,
+    minimal: &mut Vec<Vec<String>>,
+) where
+    C: Fn(&FeatureSet) -> usize,
+{
+    let mut any_feasible_child = false;
+    for feature in features.iter().cloned().collect::<Vec<_>>() {
+        if steps.len() >= max_models {
+            break;
+        }
+        let mut candidate = features.clone();
+        candidate.remove(&feature);
+        let key: Vec<String> = candidate.iter().cloned().collect();
+        if evaluated.contains(&key) {
+            continue;
+        }
+        evaluated.insert(key);
+        let count = count_infeasible(&candidate);
+        steps.push(SearchStep {
+            features: candidate.iter().cloned().collect(),
+            infeasible_count: count,
+            feasible: count == 0,
+            phase: SearchPhase::Elimination,
+        });
+        let new_idx = steps.len() - 1;
+        edges.push(SearchEdge {
+            from: from_idx,
+            to: new_idx,
+            feature: feature.clone(),
+            phase: SearchPhase::Elimination,
+        });
+        if count == 0 {
+            any_feasible_child = true;
+            reference_eliminate(
+                count_infeasible,
+                max_models,
+                &candidate,
+                new_idx,
+                steps,
+                edges,
+                evaluated,
+                minimal,
+            );
+        }
+    }
+    if !any_feasible_child {
+        let set: Vec<String> = features.iter().cloned().collect();
+        if !minimal.contains(&set) {
+            minimal.push(set);
         }
     }
 }

@@ -15,8 +15,10 @@
 //! 4. [`constraints`] deduces the explicit model constraints (facets of the cone)
 //!    and identifies which ones an infeasible observation violates — the feedback
 //!    the expert uses to refine the model.
-//! 5. [`explore`] automates the discovery/elimination search over a lattice of
-//!    candidate microarchitectural features (paper, Section 5 and Appendix C).
+//! 5. [`explore`] defines the discovery/elimination search semantics over a
+//!    lattice of candidate microarchitectural features (paper, Section 5 and
+//!    Appendix C), and [`lattice`] provides [`LatticeSearch`], the parallel
+//!    certificate-pruned engine that executes them.
 //!
 //! # Quick start
 //!
@@ -50,16 +52,20 @@ pub mod cone;
 pub mod constraints;
 pub mod explore;
 pub mod feasibility;
+pub mod lattice;
 pub mod observation;
 
 pub use batch::{check_models, check_models_verdicts, BatchFeasibility, FeasibilityVerdict};
 pub use cone::ModelCone;
 pub use constraints::{deduce_constraints, ConstraintSet, NamedConstraint};
 pub use explore::{
-    essential_features, feature_set, ExplorationModel, FeatureSet, GuidedSearch, ModelEvaluation,
-    SearchEdge, SearchGraph, SearchStep,
+    essential_feature_intersection, feature_set, reference_search, ExplorationModel, FeatureSet,
+    ModelEvaluation, SearchEdge, SearchGraph, SearchStep,
 };
 #[allow(deprecated)] // re-exported so downstream migrations stay source-compatible
-pub use explore::{evaluate_models, evaluate_models_with_threads};
+pub use explore::{
+    essential_features, evaluate_models, evaluate_models_with_threads, GuidedSearch,
+};
 pub use feasibility::{FeasibilityChecker, FeasibilityReport};
+pub use lattice::{LatticeSearch, LatticeStats, PrunedModel};
 pub use observation::Observation;

@@ -71,13 +71,15 @@ pub use counterpoint_collect::{
     ReplayBackend, SimBackend, Trace, TraceRecord, WorkloadRun,
 };
 pub use counterpoint_core::{
-    check_models, check_models_verdicts, deduce_constraints, essential_features, feature_set,
-    BatchFeasibility, ConstraintSet, ExplorationModel, FeasibilityChecker, FeasibilityReport,
-    FeasibilityVerdict, FeatureSet, GuidedSearch, ModelCone, ModelEvaluation, Observation,
-    SearchGraph,
+    check_models, check_models_verdicts, deduce_constraints, essential_feature_intersection,
+    feature_set, reference_search, BatchFeasibility, ConstraintSet, ExplorationModel,
+    FeasibilityChecker, FeasibilityReport, FeasibilityVerdict, FeatureSet, LatticeSearch,
+    LatticeStats, ModelCone, ModelEvaluation, Observation, SearchGraph,
 };
 #[allow(deprecated)] // re-exported so downstream migrations stay source-compatible
-pub use counterpoint_core::{evaluate_models, evaluate_models_with_threads};
+pub use counterpoint_core::{
+    essential_features, evaluate_models, evaluate_models_with_threads, GuidedSearch,
+};
 pub use counterpoint_mudd::dsl::compile_uop;
 pub use counterpoint_mudd::{CounterSignature, CounterSpace, MuDd, MuDdBuilder};
 pub use counterpoint_session::{Inquiry, Report, SessionError, Verdict};

@@ -18,8 +18,8 @@ use crate::report::{
 use crate::verdict::Verdict;
 use counterpoint_collect::{Campaign, CampaignCell, CounterBackend, SimBackend, Trace};
 use counterpoint_core::{
-    check_models_verdicts, deduce_constraints, ConstraintSet, ExplorationModel, FeatureSet,
-    GuidedSearch, ModelCone, Observation,
+    check_models_verdicts, deduce_constraints, essential_feature_intersection, ConstraintSet,
+    ExplorationModel, FeatureSet, LatticeSearch, ModelCone, Observation,
 };
 use counterpoint_haswell::mmu::MmuConfig;
 use counterpoint_haswell::pmu::PmuConfig;
@@ -49,9 +49,10 @@ enum Source {
 }
 
 /// The optional refinement-search stage: a feature-lattice generator plus the
-/// search's starting point.
+/// search's starting point.  The generator is `Sync` so the lattice-search
+/// workers can call it concurrently.
 struct Refinement {
-    generator: Box<dyn Fn(&FeatureSet) -> ModelCone>,
+    generator: Box<dyn Fn(&FeatureSet) -> ModelCone + Sync>,
     universe: Vec<String>,
     initial: FeatureSet,
 }
@@ -65,6 +66,7 @@ pub struct Inquiry {
     source: Source,
     models: Vec<ExplorationModel>,
     threads: usize,
+    search_threads: Option<usize>,
     seed: Option<u64>,
     with_constraints: bool,
     refinement: Option<Refinement>,
@@ -92,6 +94,7 @@ impl fmt::Debug for Inquiry {
             .field("source", &source)
             .field("models", &self.models.len())
             .field("threads", &self.threads)
+            .field("search_threads", &self.search_threads)
             .field("seed", &self.seed)
             .field("with_constraints", &self.with_constraints)
             .field("refinement", &self.refinement.is_some())
@@ -107,6 +110,7 @@ impl Inquiry {
             source: Source::Unset,
             models: Vec::new(),
             threads: 1,
+            search_threads: None,
             seed: None,
             with_constraints: false,
             refinement: None,
@@ -198,11 +202,22 @@ impl Inquiry {
         self
     }
 
-    /// Sets the worker-thread budget for both the collection campaign and the
-    /// verdict fan-out (`0` = the host's available parallelism; default 1).
-    /// The report is byte-identical for every value.
+    /// Sets the worker-thread budget for the collection campaign, the verdict
+    /// fan-out and (unless overridden by
+    /// [`search_threads`](Inquiry::search_threads)) the refinement search
+    /// (`0` = the host's available parallelism; default 1).  The report is
+    /// byte-identical for every value.
     pub fn threads(mut self, threads: usize) -> Inquiry {
         self.threads = threads;
+        self
+    }
+
+    /// Overrides the worker-thread budget of the refinement search alone
+    /// (`0` = the host's available parallelism; default: the inquiry's
+    /// [`threads`](Inquiry::threads) budget).  The [`LatticeSearch`] engine
+    /// is deterministic, so the report is byte-identical for every value.
+    pub fn search_threads(mut self, threads: usize) -> Inquiry {
+        self.search_threads = Some(threads);
         self
     }
 
@@ -230,7 +245,7 @@ impl Inquiry {
     /// `refinement` field.
     pub fn refine<G, S>(mut self, generator: G, universe: &[S], initial: FeatureSet) -> Inquiry
     where
-        G: Fn(&FeatureSet) -> ModelCone + 'static,
+        G: Fn(&FeatureSet) -> ModelCone + Sync + 'static,
         S: AsRef<str>,
     {
         self.refinement = Some(Refinement {
@@ -268,6 +283,7 @@ impl Inquiry {
             source,
             models,
             threads,
+            search_threads,
             seed,
             with_constraints,
             refinement,
@@ -388,7 +404,16 @@ impl Inquiry {
             })
             .collect();
 
-        let essential_features = essential_feature_intersection(&models, &model_rows);
+        // The one shared intersection implementation (also behind
+        // `SearchGraph::essential_features`), so the report field and the
+        // search graph can never drift apart.
+        let essential_features = essential_feature_intersection(
+            models
+                .iter()
+                .zip(&model_rows)
+                .filter(|(_, row)| row.feasible)
+                .map(|(model, _)| &model.features),
+        );
 
         let constraints: Vec<ModelConstraints> = models
             .iter()
@@ -412,10 +437,11 @@ impl Inquiry {
             .unwrap_or_default();
 
         let refinement_graph = refinement.map(|r| {
-            let mut search = GuidedSearch::new(r.generator, &r.universe);
+            let mut search = LatticeSearch::new(r.generator, &r.universe);
             if let Some(limit) = refinement_cap {
                 search.set_max_models(limit);
             }
+            search.set_threads(search_threads.unwrap_or(threads));
             search.run(&r.initial, &observations)
         });
 
@@ -443,24 +469,6 @@ impl Inquiry {
             },
         })
     }
-}
-
-/// Features present in every feasible model of the verdict matrix, or `None`
-/// when no model is feasible (the paper's Figure 7 argument).
-fn essential_feature_intersection(
-    models: &[ExplorationModel],
-    rows: &[ModelVerdicts],
-) -> Option<Vec<String>> {
-    let mut feasible = models
-        .iter()
-        .zip(rows)
-        .filter(|(_, row)| row.feasible)
-        .map(|(model, _)| &model.features);
-    let mut essential = feasible.next()?.clone();
-    for features in feasible {
-        essential = essential.intersection(features).cloned().collect();
-    }
-    Some(essential.into_iter().collect())
 }
 
 #[cfg(test)]

@@ -1,0 +1,75 @@
+//! Golden reproduction of the paper's Figure 8 search trajectory, end-to-end
+//! through the session layer: one `Inquiry` collects the reduced case-study
+//! campaign from the simulated Haswell MMU and runs the discovery/elimination
+//! refinement search over the five Table 4 features.  The resulting
+//! [`SearchGraph`] is pinned byte-for-byte against a checked-in JSON golden —
+//! any change to the campaign, the feasibility engine or the search layer
+//! that moves the trajectory shows up as a diff of this file.  (The
+//! experiments binary's `fig10` path covers the full-scale variant.)
+
+use counterpoint::models::family::build_feature_model;
+use counterpoint::models::harness::HarnessConfig;
+use counterpoint::models::Feature;
+use counterpoint::{FeatureSet, Inquiry, SearchGraph};
+
+/// The checked-in expected search graph (regenerate by running this test with
+/// `GOLDEN_REGEN=1` and copying the printed JSON, or see EXPERIMENTS.md).
+const EXPECTED: &str = include_str!("golden/fig8_search_graph.json");
+
+fn search_graph() -> SearchGraph {
+    let mut config = HarnessConfig::quick();
+    config.accesses_per_workload = 30_000;
+    let feature_names: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
+    let report = Inquiry::new()
+        .harness(config)
+        .refine(
+            |features: &FeatureSet| build_feature_model("candidate", features),
+            &feature_names,
+            FeatureSet::new(),
+        )
+        .run()
+        .expect("the simulated harness cannot fail");
+    report
+        .refinement
+        .expect("the refinement stage was configured")
+}
+
+#[test]
+fn fig8_search_trajectory_matches_the_golden_graph() {
+    let graph = search_graph();
+    let rendered = serde_json::to_string_pretty(&graph).expect("graphs serialize") + "\n";
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        println!("{rendered}");
+    }
+    assert_eq!(
+        rendered, EXPECTED,
+        "the Fig. 8 search trajectory moved; if intentional, regenerate \
+         tests/golden/fig8_search_graph.json"
+    );
+
+    // Qualitative pins on top of the byte equality, so a regenerated golden
+    // still has to reproduce the paper's conclusions.
+    assert!(
+        !graph.steps[0].feasible,
+        "the empty (conventional-wisdom) model must start refuted"
+    );
+    assert!(graph.steps.iter().any(|s| s.feasible));
+    assert!(!graph.minimal_feasible.is_empty());
+    let essential = graph.essential_features();
+    for feature in [
+        Feature::EarlyPsc,
+        Feature::Merging,
+        Feature::TlbPrefetch,
+        Feature::WalkBypass,
+    ] {
+        assert!(
+            essential.contains(&feature.name().to_string()),
+            "{feature} must be essential, got {essential:?}"
+        );
+    }
+
+    // The golden also matches a deserialized round-trip of itself (guards the
+    // serde path the report embeds the graph through).
+    let parsed: SearchGraph = serde_json::from_str(EXPECTED).expect("golden parses");
+    assert_eq!(parsed, graph);
+}

@@ -4,7 +4,7 @@
 use counterpoint::models::family::{build_feature_model, feature_sets_table3};
 use counterpoint::models::harness::{case_study_campaign, HarnessConfig};
 use counterpoint::models::Feature;
-use counterpoint::{ExplorationModel, FeatureSet, GuidedSearch, Inquiry, Report};
+use counterpoint::{ExplorationModel, FeatureSet, Inquiry, LatticeSearch, Report};
 
 fn observations() -> Vec<counterpoint::Observation> {
     let mut config = HarnessConfig::quick();
@@ -81,11 +81,20 @@ fn essential_features_match_the_papers_conclusions() {
 fn guided_search_discovers_a_feasible_model_from_scratch() {
     let observations = observations();
     let feature_names: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
-    let search = GuidedSearch::new(
+    let search = LatticeSearch::new(
         |features: &FeatureSet| build_feature_model("candidate", features),
         &feature_names,
     );
     let graph = search.run(&FeatureSet::new(), &observations);
+
+    // The deprecated `GuidedSearch` shim delegates to the same engine and
+    // must return the identical graph.
+    #[allow(deprecated)]
+    let shim = counterpoint::GuidedSearch::new(
+        |features: &FeatureSet| build_feature_model("candidate", features),
+        &feature_names,
+    );
+    assert_eq!(shim.run(&FeatureSet::new(), &observations), graph);
 
     assert!(
         !graph.steps[0].feasible,

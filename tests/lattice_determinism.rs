@@ -1,0 +1,114 @@
+//! Thread-determinism property tests for the lattice search: the serialized
+//! [`SearchGraph`] — and the whole session [`Report`] embedding it — must be
+//! byte-identical for 1, 2 and 8 search threads and across repeated runs with
+//! the same seed.  Worker timing may change *how* a count was obtained
+//! (memo, certificate prune, LP) but never the count, so the JSON cannot
+//! move.
+
+use counterpoint::models::family::build_feature_model;
+use counterpoint::models::harness::HarnessConfig;
+use counterpoint::models::Feature;
+use counterpoint::mudd::{CounterSignature, CounterSpace};
+use counterpoint::{FeatureSet, Inquiry, LatticeSearch, ModelCone, Observation};
+use proptest::prelude::*;
+
+const DIM: usize = 3;
+
+/// A small additive random lattice over three counters.
+fn cone(base: &[Vec<u32>], per_feature: &[Vec<u32>], set: &FeatureSet) -> ModelCone {
+    let space = CounterSpace::new(&["c0", "c1", "c2"]);
+    let mut sigs: Vec<Vec<u32>> = base.to_vec();
+    for (i, sig) in per_feature.iter().enumerate() {
+        if set.contains(&format!("f{i}")) {
+            sigs.push(sig.clone());
+        }
+    }
+    let counter_sigs: Vec<CounterSignature> = sigs
+        .into_iter()
+        .map(CounterSignature::from_counts)
+        .collect();
+    let n = counter_sigs.len();
+    ModelCone::from_signatures("random", &space, counter_sigs, n)
+}
+
+/// Deterministic pseudo-random f64 in `[0, range)` from a seed and index.
+fn pseudo(seed: u64, i: u64, range: f64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(i.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z ^= z >> 29;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 32;
+    (z % 1_000_000) as f64 / 1_000_000.0 * range
+}
+
+fn observations(seed: u64) -> Vec<Observation> {
+    (0..6u64)
+        .map(|i| {
+            let values: Vec<f64> = (0..DIM as u64)
+                .map(|d| pseudo(seed, i * 16 + d, 20.0).floor())
+                .collect();
+            Observation::exact(&format!("p{i}"), &values)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serialized search graphs are byte-identical across thread counts and
+    /// across repeated runs.
+    #[test]
+    fn search_graph_json_is_thread_invariant(
+        base in proptest::collection::vec(proptest::collection::vec(0u32..4, DIM), 1..4),
+        per_feature in proptest::collection::vec(proptest::collection::vec(0u32..4, DIM), 1..4),
+        seed in 0u64..10_000,
+    ) {
+        let observations = observations(seed);
+        let universe: Vec<String> = (0..per_feature.len()).map(|i| format!("f{i}")).collect();
+        let generator = |set: &FeatureSet| cone(&base, &per_feature, set);
+        let mut search = LatticeSearch::new(generator, &universe);
+        let baseline = serde_json::to_string(&search.run(&FeatureSet::new(), &observations))
+            .expect("graphs serialize");
+        for threads in [1usize, 2, 8] {
+            search.set_threads(threads);
+            for repeat in 0..2 {
+                let json = serde_json::to_string(&search.run(&FeatureSet::new(), &observations))
+                    .expect("graphs serialize");
+                prop_assert_eq!(
+                    &json, &baseline,
+                    "graph JSON moved at {} threads (repeat {})", threads, repeat
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end: a campaign-backed `Inquiry` with a refinement stage renders
+/// byte-identical report JSON for 1, 2 and 8 search threads and across
+/// repeated runs with the same seed.
+#[test]
+fn inquiry_report_json_is_search_thread_invariant() {
+    let feature_names: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
+    let run = |search_threads: usize| {
+        let mut config = HarnessConfig::quick();
+        config.accesses_per_workload = 20_000;
+        Inquiry::new()
+            .harness(config)
+            .seed(42)
+            .refine(
+                |features: &FeatureSet| build_feature_model("candidate", features),
+                &feature_names,
+                FeatureSet::new(),
+            )
+            .search_threads(search_threads)
+            .run()
+            .expect("the simulated harness cannot fail")
+            .to_json()
+    };
+    let baseline = run(1);
+    assert_eq!(run(1), baseline, "repeated run with the same seed moved");
+    for threads in [2usize, 8] {
+        assert_eq!(run(threads), baseline, "search_threads = {threads}");
+    }
+}
