@@ -8,7 +8,9 @@
 # (the vendored criterion shim writes each binary's medians JSON under
 # target/criterion/current/), then lets the `bench_gate` binary merge them into
 # BENCH_<sha>.json and fail if any median regressed more than the tolerance
-# against the checked-in BENCH_baseline.json.
+# against the checked-in BENCH_baseline.json.  A --max-ratio guard additionally
+# pins the telemetry-enabled session bench within 5% of its disabled twin, so
+# the always-compiled telemetry sink can never quietly tax the hot path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,4 +40,5 @@ cargo run --release -q -p counterpoint-bench --bin bench_gate -- \
     --baseline BENCH_baseline.json \
     --out "BENCH_${sha}.json" \
     --tolerance-pct "$tolerance" \
+    --max-ratio "session_pipeline/inquiry_report_telemetry:session_pipeline/inquiry_report:1.05" \
     ${extra[@]+"${extra[@]}"}

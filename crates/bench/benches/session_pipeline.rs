@@ -35,6 +35,20 @@ fn run_inquiry(models: &[ExplorationModel], observations: &[Observation]) -> usi
     report.models.iter().map(|m| m.infeasible_count).sum()
 }
 
+fn run_inquiry_telemetry(models: &[ExplorationModel], observations: &[Observation]) -> usize {
+    let report = Inquiry::new()
+        .observations(observations.to_vec())
+        .models(models.to_vec())
+        .telemetry(true)
+        .run()
+        .expect("pre-built observations cannot fail");
+    assert!(
+        report.telemetry.is_some(),
+        "the bench process owns the telemetry sink"
+    );
+    report.models.iter().map(|m| m.infeasible_count).sum()
+}
+
 fn run_direct(cones: &[&ModelCone], observations: &[Observation]) -> usize {
     check_models(cones, observations, 1)
         .iter()
@@ -90,6 +104,12 @@ fn bench_session_pipeline(c: &mut Criterion) {
     });
     group.bench_function("inquiry_report", |b| {
         b.iter(|| run_inquiry(&models, &observations))
+    });
+    // Same session with a live telemetry recording per iteration: the
+    // `bench_gate --max-ratio` guard holds this within 5% of `inquiry_report`,
+    // pinning the cost of the metrics/span sink on the hot path.
+    group.bench_function("inquiry_report_telemetry", |b| {
+        b.iter(|| run_inquiry_telemetry(&models, &observations))
     });
     group.finish();
 }

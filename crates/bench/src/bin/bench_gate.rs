@@ -14,12 +14,19 @@
 //! bench_gate --current-dir target/criterion/current \
 //!            --baseline BENCH_baseline.json \
 //!            --out BENCH_abc123.json \
-//!            [--tolerance-pct 20] [--min-gate-ns 20000] [--update-baseline]
+//!            [--tolerance-pct 20] [--min-gate-ns 20000] [--update-baseline] \
+//!            [--max-ratio <numerator>:<denominator>:<limit>]...
 //! ```
 //!
 //! `--update-baseline` rewrites the baseline file with the current medians
 //! instead of comparing (used after an intentional performance change; see
 //! `EXPERIMENTS.md`).
+//!
+//! `--max-ratio` (repeatable) pins the ratio of two *current* medians — e.g.
+//! the telemetry-enabled session bench against its disabled twin — and fails
+//! the gate when `numerator / denominator` exceeds `limit`.  Ratios are
+//! checked in `--update-baseline` runs too: they guard invariants of the
+//! current tree, not regressions against history.
 
 use serde_json::JsonValue;
 use std::collections::BTreeMap;
@@ -36,6 +43,8 @@ struct Args {
     /// shared CI runner dwarfs any plausible regression.
     min_gate_ns: f64,
     update_baseline: bool,
+    /// `(numerator, denominator, limit)` triples from `--max-ratio`.
+    max_ratios: Vec<(String, String, f64)>,
 }
 
 fn parse_args() -> Args {
@@ -45,11 +54,13 @@ fn parse_args() -> Args {
     let mut tolerance_pct = 20.0;
     let mut min_gate_ns = 20_000.0;
     let mut update_baseline = false;
+    let mut max_ratios = Vec::new();
     let fail = |msg: &str| -> ! {
         eprintln!("bench_gate: {msg}");
         eprintln!(
             "usage: bench_gate --current-dir <dir> --baseline <file> --out <file> \
-             [--tolerance-pct <pct>] [--min-gate-ns <ns>] [--update-baseline]"
+             [--tolerance-pct <pct>] [--min-gate-ns <ns>] [--update-baseline] \
+             [--max-ratio <num>:<den>:<limit>]..."
         );
         std::process::exit(2);
     };
@@ -74,6 +85,17 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| fail("invalid --min-gate-ns"));
             }
             "--update-baseline" => update_baseline = true,
+            "--max-ratio" => {
+                let spec = value("--max-ratio");
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [num, den, limit] = parts.as_slice() else {
+                    fail("--max-ratio expects <numerator>:<denominator>:<limit>");
+                };
+                let limit: f64 = limit
+                    .parse()
+                    .unwrap_or_else(|_| fail("invalid --max-ratio limit"));
+                max_ratios.push((num.to_string(), den.to_string(), limit));
+            }
             other => fail(&format!("unknown flag `{other}`")),
         }
     }
@@ -84,6 +106,7 @@ fn parse_args() -> Args {
         tolerance_pct,
         min_gate_ns,
         update_baseline,
+        max_ratios,
     }
 }
 
@@ -147,6 +170,36 @@ fn main() -> ExitCode {
     std::fs::write(&args.out, render_medians(&current))
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out.display()));
     println!("bench_gate: wrote {}", args.out.display());
+
+    // Ratio guards hold in every mode (including `--update-baseline`): they
+    // pin invariants of the current tree, not regressions against history.
+    let mut ratio_failures = Vec::new();
+    for (num, den, limit) in &args.max_ratios {
+        let lookup = |name: &String| {
+            *current
+                .get(name)
+                .unwrap_or_else(|| panic!("--max-ratio names unknown benchmark `{name}`"))
+        };
+        let ratio = lookup(num) / lookup(den).max(1e-9);
+        let over = ratio > *limit;
+        println!(
+            "bench_gate: ratio {num} / {den} = {ratio:.3} (limit {limit:.3}){}",
+            if over { "  <- OVER LIMIT" } else { "" }
+        );
+        if over {
+            ratio_failures.push(format!("{num} / {den} = {ratio:.3} > {limit:.3}"));
+        }
+    }
+    if !ratio_failures.is_empty() {
+        eprintln!(
+            "bench_gate: {} ratio guard(s) failed:",
+            ratio_failures.len()
+        );
+        for failure in &ratio_failures {
+            eprintln!("  {failure}");
+        }
+        return ExitCode::FAILURE;
+    }
 
     if args.update_baseline {
         std::fs::write(&args.baseline, render_medians(&current))

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p counterpoint-bench --bin experiments -- \
-//!     <which> [--quick] [--seed <u64>] [--threads <n>] [--search-threads <n>] [--json <path>]
+//!     <which> [--quick] [--seed <u64>] [--threads <n>] [--search-threads <n>] [--json <path>] \
+//!     [--telemetry <prefix>]
 //! ```
 //!
 //! where `<which>` is one of `fig1a`, `fig1b`, `fig1c`, `fig3`, `fig5`, `fig6`,
@@ -25,6 +26,11 @@
 //! object keyed by experiment name.  The JSON is deterministic across runs and
 //! thread counts (session reports exclude wall-clock timing by construction),
 //! so it diffs cleanly as a CI artifact.
+//! `--telemetry <prefix>` records the whole run through the
+//! `counterpoint-telemetry` sink and writes `<prefix>.metrics.json` (counter /
+//! histogram / warning snapshot) and `<prefix>.trace.json` (a Chrome Trace
+//! Event dump — load it at <https://ui.perfetto.dev>).  The printed tables and
+//! any `--json` report are byte-identical with and without the flag.
 //!
 //! The mapping from experiment to paper table/figure, and the measured-vs-paper
 //! comparison, is recorded in `EXPERIMENTS.md`.
@@ -104,6 +110,7 @@ struct Cli {
     threads: usize,
     search_threads: Option<usize>,
     json: Option<String>,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Cli {
@@ -115,13 +122,14 @@ fn parse_args() -> Cli {
         threads: 1,
         search_threads: None,
         json: None,
+        telemetry: None,
     };
     let mut which = None;
     let fail = |msg: String| -> ! {
         eprintln!("error: {msg}");
         eprintln!(
             "usage: experiments <which> [--quick] [--seed <u64>] [--threads <n>] \
-             [--search-threads <n>] [--json <path>]"
+             [--search-threads <n>] [--json <path>] [--telemetry <prefix>]"
         );
         eprintln!(
             "where <which> is `all` or one of: {}",
@@ -163,6 +171,10 @@ fn parse_args() -> Cli {
                 cli.json = Some(string("--json", args.get(i + 1)));
                 i += 1;
             }
+            "--telemetry" => {
+                cli.telemetry = Some(string("--telemetry", args.get(i + 1)));
+                i += 1;
+            }
             flag if flag.starts_with("--seed=") => {
                 cli.seed = Some(parse("--seed", Some(&flag["--seed=".len()..].to_string())));
             }
@@ -178,6 +190,9 @@ fn parse_args() -> Cli {
             }
             flag if flag.starts_with("--json=") => {
                 cli.json = Some(flag["--json=".len()..].to_string());
+            }
+            flag if flag.starts_with("--telemetry=") => {
+                cli.telemetry = Some(flag["--telemetry=".len()..].to_string());
             }
             flag if flag.starts_with("--") => fail(format!("unknown flag `{flag}`")),
             name => {
@@ -200,6 +215,13 @@ fn parse_args() -> Cli {
 
 fn main() {
     let cli = parse_args();
+    // Claim the telemetry sink for the whole run: every Inquiry the selected
+    // experiments build contributes to this one recording (their own
+    // `telemetry(...)` hook yields to an active outer recording).
+    let recording = cli
+        .telemetry
+        .as_ref()
+        .map(|_| counterpoint::telemetry::Recording::start());
     let opts = Opts {
         accesses: if cli.quick { 20_000 } else { 60_000 },
         seed: cli.seed,
@@ -264,6 +286,15 @@ fn main() {
         std::fs::write(path, text + "\n")
             .unwrap_or_else(|e| panic!("cannot write --json file `{path}`: {e}"));
         eprintln!("wrote JSON report to {path}");
+    }
+
+    if let (Some(prefix), Some(recording)) = (&cli.telemetry, recording) {
+        let snapshot = recording.finish();
+        let (metrics, trace) = snapshot
+            .write_files(prefix)
+            .unwrap_or_else(|e| panic!("cannot write --telemetry files at `{prefix}`: {e}"));
+        eprintln!("wrote telemetry metrics to {metrics}");
+        eprintln!("wrote Chrome trace (load at https://ui.perfetto.dev) to {trace}");
     }
 }
 

@@ -10,6 +10,7 @@ use counterpoint_core::Observation;
 use counterpoint_haswell::mem::PageSize;
 use counterpoint_haswell::mmu::MmuConfig;
 use counterpoint_haswell::pmu::PmuConfig;
+use counterpoint_telemetry as telemetry;
 use counterpoint_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -209,8 +210,13 @@ impl Campaign {
         F: Fn(&CampaignCell) -> B + Sync,
     {
         let run_one = |cell: &CampaignCell| -> Result<(Observation, TraceRecord), CollectError> {
+            let _cell_span = telemetry::span("campaign_cell", &cell.label);
+            telemetry::add(telemetry::Metric::CampaignCells, 1);
             let mut backend = make_backend(cell);
-            let schedule = backend.schedule()?;
+            let schedule = {
+                let _span = telemetry::span("schedule_group", &cell.label);
+                backend.schedule()?
+            };
             // Backends that answer from a recording never read the accesses, so
             // skip the (potentially expensive) trace generation for them.
             let accesses = if backend.consumes_accesses() {

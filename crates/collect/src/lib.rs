@@ -63,6 +63,6 @@ pub use error::CollectError;
 #[cfg(feature = "perf")]
 pub use perf::{LinuxPerfBackend, DEFAULT_PHYSICAL_COUNTERS};
 pub use replay::ReplayBackend;
-pub use schedule::EventSchedule;
+pub use schedule::{EventSchedule, NOISE_INFLATION_WARN_THRESHOLD};
 pub use sim::SimBackend;
 pub use trace::{Trace, TraceRecord, TRACE_FORMAT_VERSION};

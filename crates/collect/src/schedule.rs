@@ -12,7 +12,15 @@
 
 use counterpoint_haswell::pmu::multiplexing_rounds;
 use counterpoint_mudd::CounterSpace;
+use counterpoint_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+
+/// Noise-inflation level above which [`EventSchedule::plan`] records a
+/// structured telemetry warning: an inflation factor of 2 means extrapolation
+/// noise has doubled every confidence-region half-width, the point where
+/// marginal constraint violations (Figure 1c) start to hide inside the
+/// widened regions.
+pub const NOISE_INFLATION_WARN_THRESHOLD: f64 = 2.0;
 
 /// A multiplexing plan: which logical events are counted on which scheduling
 /// round.
@@ -44,11 +52,49 @@ impl EventSchedule {
         for event_idx in 0..events.len() {
             rounds[event_idx % num_rounds].push(event_idx);
         }
-        EventSchedule {
+        let schedule = EventSchedule {
             events,
             physical_counters,
             rounds,
+        };
+        // Historically the statistical price of oversubscription was silent:
+        // events beyond the physical budget were dealt into extra rounds and
+        // nothing recorded that the resulting extrapolation noise existed.
+        // Surface both facts through the telemetry sink.
+        if telemetry::enabled() {
+            telemetry::add(
+                telemetry::Metric::ScheduleRounds,
+                schedule.num_rounds() as u64,
+            );
+            let over = schedule.oversubscribed_events();
+            if over > 0 {
+                telemetry::add(telemetry::Metric::ScheduleOversubscribedEvents, over as u64);
+                telemetry::warn(
+                    "schedule_oversubscribed",
+                    format!(
+                        "{} events exceed the {}-counter budget by {over}: multiplexing \
+                         across {} rounds at duty cycle 1/{}",
+                        schedule.num_events(),
+                        schedule.physical_counters(),
+                        schedule.num_rounds(),
+                        schedule.num_rounds(),
+                    ),
+                );
+            }
+            let inflation = schedule.inflation_factor();
+            if inflation > NOISE_INFLATION_WARN_THRESHOLD {
+                telemetry::add(telemetry::Metric::ScheduleInflationWarnings, 1);
+                telemetry::warn(
+                    "schedule_noise_inflation",
+                    format!(
+                        "multiplexing inflates confidence-region noise by {inflation:.2}x \
+                         (threshold {NOISE_INFLATION_WARN_THRESHOLD:.2}x); consider splitting \
+                         the event set or raising the interval count",
+                    ),
+                );
+            }
         }
+        schedule
     }
 
     /// Plans a schedule for every counter of a [`CounterSpace`], in space order.
@@ -97,6 +143,15 @@ impl EventSchedule {
     /// `true` when more than one round is needed (events exceed the budget).
     pub fn is_multiplexed(&self) -> bool {
         self.rounds.len() > 1
+    }
+
+    /// How many requested events exceed the simultaneous physical-counter
+    /// budget (zero when everything fits in one round).  These events are not
+    /// dropped — the round-robin deal multiplexes them — but each one is only
+    /// observed on a [`duty_cycle`](Self::duty_cycle) fraction of the
+    /// interval.
+    pub fn oversubscribed_events(&self) -> usize {
+        self.events.len().saturating_sub(self.physical_counters)
     }
 
     /// Fraction of the measurement interval each event is actually counted
@@ -155,6 +210,19 @@ mod tests {
         assert_eq!(s.round_of(30), 30 % 7);
         assert!(s.is_multiplexed());
         assert_eq!(s.inflation_factor(), (7.0f64).sqrt());
+        // 22 events ride beyond the 4-counter budget, and √7 ≈ 2.65 crosses
+        // the noise-inflation warning threshold.  (The telemetry counters
+        // these feed are pinned by the workspace `telemetry_determinism`
+        // suite, which owns the process-global sink.)
+        assert_eq!(s.oversubscribed_events(), 22);
+        assert!(s.inflation_factor() > NOISE_INFLATION_WARN_THRESHOLD);
+    }
+
+    #[test]
+    fn fitting_schedule_is_not_oversubscribed() {
+        let s = EventSchedule::plan(names(4), 4);
+        assert_eq!(s.oversubscribed_events(), 0);
+        assert!(s.inflation_factor() <= NOISE_INFLATION_WARN_THRESHOLD);
     }
 
     #[test]

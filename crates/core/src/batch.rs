@@ -37,6 +37,7 @@ use crate::feasibility::{
 use crate::observation::Observation;
 use counterpoint_lp::{LinearProgram, Relation, Tableau};
 use counterpoint_stats::ConfidenceRegion;
+use counterpoint_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -372,6 +373,7 @@ impl<'a> BatchFeasibility<'a> {
             .iter()
             .position(|c| region.interval_along(c).1 < -margin)
         {
+            telemetry::add(telemetry::Metric::CertificatePrunes, 1);
             // Most recently useful certificate first.
             self.certificates[..=hit].rotate_right(1);
             let certificate = if want_evidence {
@@ -390,6 +392,7 @@ impl<'a> BatchFeasibility<'a> {
             .iter()
             .position(|ray| ray_pierces_box(ray, region, margin))
         {
+            telemetry::add(telemetry::Metric::WitnessRaySettlements, 1);
             self.witness_rays[..=hit].rotate_right(1);
             self.witness_supports[..=hit].rotate_right(1);
             let witness = if want_evidence {
@@ -405,6 +408,14 @@ impl<'a> BatchFeasibility<'a> {
             .cache
             .as_ref()
             .is_some_and(|cache| cache.axes.as_slice() == region.axes());
+        telemetry::add(
+            if axes_match {
+                telemetry::Metric::CoefficientCacheHits
+            } else {
+                telemetry::Metric::CoefficientCacheMisses
+            },
+            1,
+        );
         if !axes_match {
             match self.cache.as_mut() {
                 // Same shape: rebuild the coefficient matrix and refill the
@@ -484,6 +495,8 @@ impl<'a> BatchFeasibility<'a> {
                 // checker does — a cold dual-simplex solve, with the two-phase
                 // primal as the last resort — so the agreement contract holds
                 // even on this path.
+                telemetry::add(telemetry::Metric::ColdSolverFallbacks, 1);
+                let _span = telemetry::span("lp_cold_solve", observation.name());
                 self.cache = None;
                 let matrix = ConeMatrix::build(region.axes(), self.checker.generators());
                 let mut lo = Vec::with_capacity(matrix.rows.len());
@@ -885,6 +898,7 @@ pub fn check_models(
     threads: usize,
 ) -> Vec<Vec<bool>> {
     fan_out_models(cones, threads, |cone| {
+        let _span = telemetry::span("model_sweep", cone.name());
         BatchFeasibility::new(cone).check_all(observations)
     })
 }
@@ -900,6 +914,7 @@ pub fn check_models_verdicts(
     threads: usize,
 ) -> Vec<Vec<FeasibilityVerdict>> {
     fan_out_models(cones, threads, |cone| {
+        let _span = telemetry::span("model_sweep", cone.name());
         BatchFeasibility::new(cone).check_all_verdicts(observations)
     })
 }

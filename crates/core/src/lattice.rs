@@ -59,6 +59,7 @@ use crate::cone::ModelCone;
 use crate::explore::{FeatureSet, SearchEdge, SearchGraph, SearchPhase, SearchStep};
 use crate::feasibility::observation_scale;
 use crate::observation::Observation;
+use counterpoint_telemetry as telemetry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -552,6 +553,8 @@ where
     fn counts_seq(&mut self, sets: &[FeatureSet], parent: Option<&FeatureSet>) -> Vec<usize> {
         let parent_handoff = self.parent_handoff(parent);
         let mut counts = Vec::with_capacity(sets.len());
+        let mut evaluated = 0u64;
+        let _span = telemetry::span("frontier_batch", &sets.len().to_string());
         for set in sets {
             let key: Vec<String> = set.iter().cloned().collect();
             if let Some(&count) = self.memo.get(&key) {
@@ -567,9 +570,12 @@ where
                 &self.pool,
                 parent_handoff.as_ref(),
             );
+            evaluated += 1;
             counts.push(outcome.infeasible);
             self.record(key, outcome);
         }
+        telemetry::add(telemetry::Metric::FrontierBatches, 1);
+        telemetry::observe(telemetry::Histogram::FrontierBatchSize, evaluated);
         counts
     }
 
@@ -580,7 +586,9 @@ where
             .cloned()
     }
 
-    /// Folds one model's outcome into the memo and the stats.
+    /// Folds one model's outcome into the memo and the stats.  The driver
+    /// thread is the only caller, so the telemetry mirror of the pool-level
+    /// work accounting lands in a single, stable order.
     fn record(&mut self, key: Vec<String>, outcome: ModelOutcome) {
         self.stats.models_evaluated += 1;
         self.stats.observations_swept += self.observations.len();
@@ -591,6 +599,25 @@ where
         self.stats.inconclusive += outcome.inconclusive;
         if outcome.got_warm_basis {
             self.stats.warm_basis_handoffs += 1;
+        }
+        if telemetry::enabled() {
+            telemetry::add(telemetry::Metric::FrontierModelsEvaluated, 1);
+            telemetry::add(
+                telemetry::Metric::CertificatePrunes,
+                outcome.pruned.len() as u64,
+            );
+            telemetry::add(
+                telemetry::Metric::WitnessRaySettlements,
+                outcome.witnessed.len() as u64,
+            );
+            telemetry::add(
+                if outcome.got_warm_basis {
+                    telemetry::Metric::WarmBasisHandoffHits
+                } else {
+                    telemetry::Metric::WarmBasisHandoffMisses
+                },
+                1,
+            );
         }
         if !outcome.pruned.is_empty() || !outcome.witnessed.is_empty() {
             self.stats.pruned_models.push(PrunedModel {
@@ -642,19 +669,27 @@ where
         if workers <= 1 {
             return self.counts_seq(sets, parent);
         }
+        let _span = telemetry::span("frontier_batch", &todo.len().to_string());
+        telemetry::add(telemetry::Metric::FrontierBatches, 1);
+        telemetry::observe(telemetry::Histogram::FrontierBatchSize, todo.len() as u64);
         self.stats.memoized_hits += sets.len() - todo.len();
         let parent_handoff = self.parent_handoff(parent);
         let slots: Vec<Mutex<Option<ModelOutcome>>> =
             todo.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        // Per-worker work accounting, read back in worker-index order after
+        // the scope joins so the telemetry gauge layout is stable.
+        let processed: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
         let generator = self.generator;
         let observations = self.observations;
         let margins = &self.margins;
         let pool = &self.pool;
         let handoff = parent_handoff.as_ref();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for worker in 0..workers {
+                let processed = &processed[worker];
+                let (next, todo, slots) = (&next, &todo, &slots);
+                scope.spawn(move || loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     let Some(set) = todo.get(idx) else {
                         break;
@@ -662,9 +697,15 @@ where
                     let outcome =
                         evaluate_model(generator, set, observations, margins, pool, handoff);
                     *slots[idx].lock().expect("search worker panicked") = Some(outcome);
+                    processed.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
+        if telemetry::enabled() {
+            for (worker, count) in processed.iter().enumerate() {
+                telemetry::add_worker_frontier_models(worker, count.load(Ordering::Relaxed) as u64);
+            }
+        }
         for (set, slot) in todo.iter().zip(slots) {
             let outcome = slot
                 .into_inner()

@@ -62,6 +62,7 @@ pub use counterpoint_mudd as mudd;
 pub use counterpoint_numeric as numeric;
 pub use counterpoint_session as session;
 pub use counterpoint_stats as stats;
+pub use counterpoint_telemetry as telemetry;
 pub use counterpoint_workloads as workloads;
 
 #[cfg(feature = "perf")]

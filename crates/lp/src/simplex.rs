@@ -1,5 +1,6 @@
 //! Two-phase dense primal simplex.
 
+use counterpoint_telemetry as telemetry;
 use std::fmt;
 
 /// Relation of a linear constraint to its right-hand side.
@@ -367,6 +368,7 @@ impl Tableau {
         self.basis.clear();
         self.basis.extend(n..n + 2 * self.num_bands);
         self.infeasible_row = None;
+        telemetry::add(telemetry::Metric::LpRefactorizations, 1);
     }
 
     /// The structural (flow) variables that are basic in the current basis,
@@ -454,6 +456,7 @@ impl Tableau {
         // columns are simply not installed (the row keeps its current basic
         // variable, typically its slack).
         let pivot_tol = self.epsilon.max(1e-7);
+        let mut replayed = 0u64;
         for (row, &col) in basis.iter().enumerate() {
             if col >= total || self.basis[row] == col || self.in_basis[col] {
                 continue;
@@ -461,14 +464,31 @@ impl Tableau {
             self.load_column(col);
             if self.colbuf[row].abs() > pivot_tol {
                 self.pivot(row, col);
+                replayed += 1;
             }
         }
+        telemetry::add(telemetry::Metric::LpBasisReplayPivots, replayed);
         self.resolve(lo, hi)
     }
 
     /// Dual-simplex feasibility restoration from the current (dual-feasible,
-    /// since the objective is zero) basis.
+    /// since the objective is zero) basis.  Pivot counts are reported to the
+    /// telemetry sink in one flush per solve so the disabled-telemetry cost
+    /// stays off the pivot loop.
     fn restore_feasibility(&mut self) -> Result<bool, LpError> {
+        let mut pivots = 0u64;
+        let result = self.restore_feasibility_counted(&mut pivots);
+        if telemetry::enabled() {
+            telemetry::add(telemetry::Metric::LpPivots, pivots);
+            if result.is_ok() {
+                telemetry::add(telemetry::Metric::LpSolves, 1);
+                telemetry::observe(telemetry::Histogram::LpPivotsPerSolve, pivots);
+            }
+        }
+        result
+    }
+
+    fn restore_feasibility_counted(&mut self, pivots: &mut u64) -> Result<bool, LpError> {
         self.infeasible_row = None;
         let m = 2 * self.num_bands;
         // Accept residual per-row violations up to the same threshold the
@@ -572,6 +592,7 @@ impl Tableau {
             };
             self.load_column(col);
             self.pivot(row, col);
+            *pivots += 1;
         }
     }
 

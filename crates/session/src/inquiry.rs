@@ -13,7 +13,8 @@
 
 use crate::error::SessionError;
 use crate::report::{
-    ModelConstraints, ModelVerdicts, ObservationSummary, Report, Timing, REPORT_FORMAT_VERSION,
+    ModelConstraints, ModelVerdicts, ObservationSummary, Report, StageTimings,
+    REPORT_FORMAT_VERSION,
 };
 use crate::verdict::Verdict;
 use counterpoint_collect::{Campaign, CampaignCell, CounterBackend, SimBackend, Trace};
@@ -24,6 +25,7 @@ use counterpoint_core::{
 use counterpoint_haswell::mmu::MmuConfig;
 use counterpoint_haswell::pmu::PmuConfig;
 use counterpoint_models::harness::{case_study_campaign, HarnessConfig};
+use counterpoint_telemetry as telemetry;
 use std::fmt;
 use std::time::Instant;
 
@@ -71,6 +73,7 @@ pub struct Inquiry {
     with_constraints: bool,
     refinement: Option<Refinement>,
     refinement_cap: Option<usize>,
+    telemetry: bool,
 }
 
 impl Default for Inquiry {
@@ -98,6 +101,7 @@ impl fmt::Debug for Inquiry {
             .field("seed", &self.seed)
             .field("with_constraints", &self.with_constraints)
             .field("refinement", &self.refinement.is_some())
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -115,6 +119,7 @@ impl Inquiry {
             with_constraints: false,
             refinement: None,
             refinement_cap: None,
+            telemetry: false,
         }
     }
 
@@ -256,6 +261,20 @@ impl Inquiry {
         self
     }
 
+    /// Enables telemetry for the run: [`run`](Inquiry::run) claims the
+    /// process-wide telemetry sink (when free), records spans and metrics
+    /// across every pipeline stage, and attaches the resulting
+    /// [`TelemetryReport`](counterpoint_telemetry::TelemetryReport) to
+    /// [`Report::telemetry`].  When another recording is already active (a
+    /// harness started one around several inquiries), this run's
+    /// instrumentation flows into that recording instead and
+    /// `Report::telemetry` stays `None`.  Off by default; the serialized
+    /// report JSON is byte-identical either way.
+    pub fn telemetry(mut self, enabled: bool) -> Inquiry {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Caps the number of models the refinement search may evaluate (default:
     /// the search's own limit of 256).  Order-independent: takes effect as
     /// long as [`refine`](Inquiry::refine) is also called before
@@ -288,12 +307,23 @@ impl Inquiry {
             with_constraints,
             refinement,
             refinement_cap,
+            telemetry: record_telemetry,
         } = self;
+
+        // Claim the process-wide sink if asked to (and it is free: a `None`
+        // here means an enclosing recording absorbs this run's telemetry).
+        // Dropping the recording on any early-error return disables
+        // collection again.
+        let recording = record_telemetry
+            .then(telemetry::Recording::try_start)
+            .flatten();
+        let inquiry_span = telemetry::span("inquiry", "");
 
         if models.is_empty() && refinement.is_none() {
             return Err(SessionError::NoModels);
         }
 
+        let collect_stage = telemetry::stage_span("collect");
         let observations: Vec<Observation> = match source {
             Source::Unset => return Err(SessionError::NoObservations),
             Source::Observations(observations) => observations,
@@ -331,7 +361,7 @@ impl Inquiry {
                 });
             }
         }
-        let collect_ms = started.elapsed().as_secs_f64() * 1e3;
+        let collect_ms = collect_stage.finish_ms();
 
         let observation_dimension = observations[0].dimension();
         for model in &models {
@@ -358,7 +388,7 @@ impl Inquiry {
             }
         }
 
-        let evaluate_started = Instant::now();
+        let evaluate_stage = telemetry::stage_span("evaluate");
         let cones: Vec<&ModelCone> = models.iter().map(|m| &m.cone).collect();
         let matrix = check_models_verdicts(&cones, &observations, threads);
 
@@ -435,7 +465,9 @@ impl Inquiry {
                     .map(|cone| cone.counters().names().to_vec())
             })
             .unwrap_or_default();
+        let evaluate_ms = evaluate_stage.finish_ms();
 
+        let refine_stage = telemetry::stage_span("refine");
         let refinement_graph = refinement.map(|r| {
             let mut search = LatticeSearch::new(r.generator, &r.universe);
             if let Some(limit) = refinement_cap {
@@ -444,8 +476,12 @@ impl Inquiry {
             search.set_threads(search_threads.unwrap_or(threads));
             search.run(&r.initial, &observations)
         });
+        let refine_ms = refine_stage.finish_ms();
 
-        let evaluate_ms = evaluate_started.elapsed().as_secs_f64() * 1e3;
+        // Close the root span before finishing so its 'E' event makes the
+        // snapshot, then detach the recording (if this run owned one).
+        drop(inquiry_span);
+        let telemetry_snapshot = recording.map(telemetry::Recording::finish);
         Ok(Report {
             version: REPORT_FORMAT_VERSION,
             counters,
@@ -462,11 +498,13 @@ impl Inquiry {
             essential_features,
             constraints,
             refinement: refinement_graph,
-            timing: Timing {
+            stages: StageTimings {
                 collect_ms,
                 evaluate_ms,
+                refine_ms,
                 total_ms: started.elapsed().as_secs_f64() * 1e3,
             },
+            telemetry: telemetry_snapshot,
         })
     }
 }
@@ -536,7 +574,7 @@ mod tests {
             .unwrap()
             .violated_constraints()
             .is_empty());
-        assert!(report.timing.total_ms >= 0.0);
+        assert!(report.stages.total_ms >= 0.0);
     }
 
     #[test]
@@ -653,6 +691,29 @@ mod tests {
                 .unwrap();
             assert_eq!(report.to_json(), baseline, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn telemetry_snapshot_lands_in_the_report() {
+        let report = toy_inquiry()
+            .refine(toy_cone, &["Fy", "Fboth"], FeatureSet::new())
+            .telemetry(true)
+            .run()
+            .unwrap();
+        let snapshot = report.telemetry.expect("this run owned the sink");
+        // Presence (not counts): other tests in this binary may contribute to
+        // the sink while the recording is active, but only this run opens the
+        // stage spans.
+        for stage in ["inquiry", "collect", "evaluate", "refine"] {
+            assert!(
+                snapshot.events.iter().any(|e| e.name == stage),
+                "missing {stage} span"
+            );
+        }
+        assert!(snapshot.counter(telemetry::Metric::LpSolves) > 0);
+        assert!(report.stages.total_ms >= 0.0);
+        // Without the builder flag no snapshot is attached.
+        assert!(toy_inquiry().run().unwrap().telemetry.is_none());
     }
 
     #[test]

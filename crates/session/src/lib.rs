@@ -75,6 +75,7 @@ pub mod verdict;
 pub use error::SessionError;
 pub use inquiry::Inquiry;
 pub use report::{
-    ModelConstraints, ModelVerdicts, ObservationSummary, Report, Timing, REPORT_FORMAT_VERSION,
+    ModelConstraints, ModelVerdicts, ObservationSummary, Report, StageTimings, Timing,
+    REPORT_FORMAT_VERSION,
 };
 pub use verdict::Verdict;

@@ -7,12 +7,13 @@
 //! renderings and the refinement [`SearchGraph`].  Serialization is
 //! deterministic — two runs of the same inquiry, at any thread count, render
 //! byte-identical JSON — so reports diff cleanly as CI artifacts.  Wall-clock
-//! [`Timing`] is carried in memory but `#[serde(skip)]`ped to keep that
-//! property.
+//! [`StageTimings`] and the optional [`TelemetryReport`] snapshot are carried
+//! in memory but `#[serde(skip)]`ped to keep that property.
 
 use crate::error::SessionError;
 use crate::verdict::Verdict;
 use counterpoint_core::SearchGraph;
+use counterpoint_telemetry::TelemetryReport;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -63,14 +64,33 @@ pub struct ModelConstraints {
     pub constraints: Vec<String>,
 }
 
-/// Wall-clock timing of an inquiry run.  In-memory only: serialization skips
-/// it so report JSON stays deterministic across runs and thread counts.
+/// Per-stage wall-clock timings of an inquiry run, measured by the telemetry
+/// layer's stage spans (`counterpoint_telemetry::stage_span`), which tick even
+/// when no recording is active.  In-memory only: serialization skips the
+/// timings so report JSON stays deterministic across runs and thread counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTimings {
+    /// Milliseconds spent collecting (or replaying) observations.
+    pub collect_ms: f64,
+    /// Milliseconds spent on the verdict matrix and constraint deduction.
+    pub evaluate_ms: f64,
+    /// Milliseconds spent in the refinement search (zero when the inquiry
+    /// configured none).
+    pub refine_ms: f64,
+    /// Total wall-clock milliseconds of the run.
+    pub total_ms: f64,
+}
+
+/// The legacy two-stage timing view, kept so existing callers of
+/// [`Report::timing`] keep compiling while they migrate to
+/// [`Report::stages`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Timing {
     /// Milliseconds spent collecting (or replaying) observations.
     pub collect_ms: f64,
     /// Milliseconds spent on the verdict matrix, constraint deduction and the
-    /// refinement search.
+    /// refinement search (the refinement stage folded in, as before the
+    /// per-stage split).
     pub evaluate_ms: f64,
     /// Total wall-clock milliseconds of the run.
     pub total_ms: f64,
@@ -96,12 +116,28 @@ pub struct Report {
     /// The discovery/elimination search graph (populated only when the
     /// inquiry configured a refinement search).
     pub refinement: Option<SearchGraph>,
-    /// Wall-clock timing of the run (not serialized).
+    /// Per-stage wall-clock timings of the run (not serialized).
     #[serde(skip)]
-    pub timing: Timing,
+    pub stages: StageTimings,
+    /// The telemetry snapshot of the run, present when the inquiry enabled
+    /// telemetry with [`Inquiry::telemetry`](crate::Inquiry::telemetry) and
+    /// owned the process-wide sink (not serialized; export it with
+    /// [`TelemetryReport::write_files`]).
+    #[serde(skip)]
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl Report {
+    /// The legacy two-stage timing view of [`stages`](Report::stages).
+    #[deprecated(since = "0.1.0", note = "use `Report::stages` for per-stage timings")]
+    pub fn timing(&self) -> Timing {
+        Timing {
+            collect_ms: self.stages.collect_ms,
+            evaluate_ms: self.stages.evaluate_ms + self.stages.refine_ms,
+            total_ms: self.stages.total_ms,
+        }
+    }
+
     /// Renders the report as pretty-printed JSON — the CI artifact format.
     /// Deterministic: identical inquiries produce identical bytes.
     pub fn to_json(&self) -> String {
@@ -205,11 +241,13 @@ mod tests {
                 constraints: vec!["load.pde$_miss <= load.causes_walk".to_string()],
             }],
             refinement: None,
-            timing: Timing {
+            stages: StageTimings {
                 collect_ms: 12.5,
                 evaluate_ms: 3.25,
-                total_ms: 15.75,
+                refine_ms: 1.0,
+                total_ms: 16.75,
             },
+            telemetry: None,
         }
     }
 
@@ -218,10 +256,30 @@ mod tests {
         let report = sample_report();
         let json = report.to_json();
         let back = Report::from_json(&json).unwrap();
-        // Timing is process-local and must not survive serialization.
-        assert_eq!(back.timing, Timing::default());
+        // Timings and telemetry are process-local and must not survive
+        // serialization.
+        assert_eq!(back.stages, StageTimings::default());
+        assert_eq!(back.telemetry, None);
         assert_eq!(back.to_json(), json, "re-serialization must be byte-exact");
-        assert!(!json.contains("timing"), "timing must not leak into JSON");
+        assert!(!json.contains("timing"), "timings must not leak into JSON");
+        assert!(!json.contains("stages"), "timings must not leak into JSON");
+        assert!(
+            !json.contains("telemetry"),
+            "telemetry must not leak into JSON"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_timing_shim_matches_the_stage_timings() {
+        let report = sample_report();
+        let legacy = report.timing();
+        assert_eq!(legacy.collect_ms, report.stages.collect_ms);
+        assert_eq!(
+            legacy.evaluate_ms,
+            report.stages.evaluate_ms + report.stages.refine_ms
+        );
+        assert_eq!(legacy.total_ms, report.stages.total_ms);
     }
 
     #[test]

@@ -65,7 +65,7 @@ fn main() {
          compatible but only required when walk bypassing is not modelled.)"
     );
     println!(
-        "\ntimings: collect {:.0} ms, evaluate {:.0} ms",
-        report.timing.collect_ms, report.timing.evaluate_ms
+        "\ntimings: collect {:.0} ms, evaluate {:.0} ms, refine {:.0} ms",
+        report.stages.collect_ms, report.stages.evaluate_ms, report.stages.refine_ms
     );
 }

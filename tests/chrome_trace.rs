@@ -1,0 +1,124 @@
+//! Chrome Trace Event dump validation: the span dump an inquiry records must
+//! parse as JSON, obey the B/E stack discipline per thread, and round-trip
+//! bit-exactly through the vendored `serde_json` value model (every value is
+//! an integer or a string, and the value model preserves key order).
+
+use counterpoint::mudd::{CounterSignature, CounterSpace};
+use counterpoint::{FeatureSet, Inquiry, ModelCone, Observation};
+use serde_json::JsonValue;
+use std::collections::HashMap;
+
+fn toy_cone(features: &FeatureSet) -> ModelCone {
+    let space = CounterSpace::new(&["x", "y"]);
+    let mut sigs = vec![CounterSignature::from_counts(vec![1, 0])];
+    if features.contains("Fy") {
+        sigs.push(CounterSignature::from_counts(vec![1, 1]));
+    }
+    if features.contains("Fboth") {
+        sigs.push(CounterSignature::from_counts(vec![0, 1]));
+    }
+    let n = sigs.len();
+    ModelCone::from_signatures("toy", &space, sigs, n)
+}
+
+fn str_field<'a>(event: &'a JsonValue, key: &str) -> &'a str {
+    event
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| panic!("event field `{key}` must be a string"))
+}
+
+fn int_field(event: &JsonValue, key: &str) -> i128 {
+    match event.get(key) {
+        Some(&JsonValue::Int(n)) => n,
+        other => panic!("event field `{key}` must be an integer, got {other:?}"),
+    }
+}
+
+/// The single test of this binary (sole owner of the process-global sink):
+/// record a threaded refinement inquiry and validate its trace dump.
+#[test]
+fn chrome_trace_dump_is_well_formed_and_round_trips() {
+    let report = Inquiry::new()
+        .observations(vec![
+            Observation::exact("x-only", &[10.0, 0.0]),
+            Observation::exact("balanced", &[10.0, 6.0]),
+        ])
+        .model("base", toy_cone(&FeatureSet::new()))
+        .refine(toy_cone, &["Fy", "Fboth"], FeatureSet::new())
+        .threads(2)
+        .search_threads(2)
+        .telemetry(true)
+        .run()
+        .expect("the toy inquiry cannot fail");
+    let trace = report
+        .telemetry
+        .expect("this run owns the sink")
+        .chrome_trace_json();
+
+    // Bit-exact round trip: parse with the vendored serde_json (insertion-
+    // ordered objects, exact integers) and re-serialise compactly.
+    let value: JsonValue = serde_json::from_str(&trace).expect("trace dump must parse");
+    assert_eq!(
+        serde_json::to_string(&value).expect("trace value is finite"),
+        trace,
+        "re-serialising the parsed dump must reproduce the bytes"
+    );
+
+    let Some(JsonValue::Array(events)) = value.get("traceEvents") else {
+        panic!("trace dump must be an object with a `traceEvents` array");
+    };
+    assert!(!events.is_empty(), "the inquiry must record spans");
+
+    // Validate each event's shape and enforce the B/E stack discipline per
+    // logical thread: every E closes the innermost open B of the same name
+    // and span id, and timestamps never go backwards within a thread.
+    let mut stacks: HashMap<i128, Vec<(String, i128)>> = HashMap::new();
+    let mut last_ts: HashMap<i128, i128> = HashMap::new();
+    let mut names: Vec<String> = Vec::new();
+    for event in events {
+        let name = str_field(event, "name");
+        assert_eq!(str_field(event, "cat"), "counterpoint");
+        let phase = str_field(event, "ph");
+        let ts = int_field(event, "ts");
+        assert!(ts >= 0, "timestamps are µs since the recording epoch");
+        assert_eq!(int_field(event, "pid"), 1);
+        let tid = int_field(event, "tid");
+        let args = event.get("args").expect("every event carries args");
+        let id = int_field(args, "id");
+        args.get("key")
+            .and_then(JsonValue::as_str)
+            .expect("args.key must be a string");
+
+        let prev = last_ts.entry(tid).or_insert(0);
+        assert!(*prev <= ts, "per-thread timestamps must be non-decreasing");
+        *prev = ts;
+
+        let stack = stacks.entry(tid).or_default();
+        match phase {
+            "B" => {
+                stack.push((name.to_string(), id));
+                names.push(name.to_string());
+            }
+            "E" => {
+                let (open_name, open_id) = stack
+                    .pop()
+                    .unwrap_or_else(|| panic!("E event `{name}` without an open span"));
+                assert_eq!(open_name, name, "E must close the innermost open B");
+                assert_eq!(open_id, id, "E must carry the span id it closes");
+            }
+            other => panic!("unexpected phase `{other}`"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "thread {tid} left spans open: {stack:?}");
+    }
+
+    // The pipeline's coarse span sites all appear.
+    for expected in ["inquiry", "collect", "evaluate", "refine", "model_sweep"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "span `{expected}` missing from the dump (got {names:?})"
+        );
+    }
+}
