@@ -33,12 +33,23 @@ cargo bench -p counterpoint-bench \
     --bench substrate \
     -- --save-baseline current
 
+summary_file="${CARGO_TARGET_DIR:-target}/criterion/bench_gate_summary.md"
+
 # ${extra[@]+...}: expand only when non-empty (bash 3.2's set -u chokes on
 # plain "${extra[@]}" for an empty array).
+status=0
 cargo run --release -q -p counterpoint-bench --bin bench_gate -- \
     --current-dir "$medians_dir" \
     --baseline BENCH_baseline.json \
     --out "BENCH_${sha}.json" \
     --tolerance-pct "$tolerance" \
+    --summary "$summary_file" \
     --max-ratio "session_pipeline/inquiry_report_telemetry:session_pipeline/inquiry_report:1.05" \
-    ${extra[@]+"${extra[@]}"}
+    ${extra[@]+"${extra[@]}"} || status=$?
+
+# Surface the comparison on the PR's checks page (pass or fail) when running
+# under GitHub Actions; harmless locally.
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" && -f "$summary_file" ]]; then
+    cat "$summary_file" >> "$GITHUB_STEP_SUMMARY"
+fi
+exit "$status"

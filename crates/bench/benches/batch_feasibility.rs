@@ -116,6 +116,25 @@ fn bench_batch_feasibility(c: &mut Criterion) {
     group.bench_function("table3_family_batched", |b| {
         b.iter(|| check_models(&family_refs, &observations, 1))
     });
+    // The family sweep on point observations — the workload shape of the
+    // exact-observation lattice search, decided one observation at a time
+    // with no cross-observation state: a fresh engine per observation, so
+    // every verdict is one cold two-tier solve (tier-1 factorized f64 first,
+    // exact recertification only on thin margins).  This is the entry the
+    // bench gate watches for the fast-path solver core.
+    group.bench_function("table3_family_per_observation_exact", |b| {
+        b.iter(|| {
+            family
+                .iter()
+                .map(|cone| {
+                    exact
+                        .iter()
+                        .filter(|o| !BatchFeasibility::new(cone).is_feasible(o))
+                        .count()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
     group.finish();
 }
 

@@ -15,6 +15,7 @@
 //!            --baseline BENCH_baseline.json \
 //!            --out BENCH_abc123.json \
 //!            [--tolerance-pct 20] [--min-gate-ns 20000] [--update-baseline] \
+//!            [--summary <file>] \
 //!            [--max-ratio <numerator>:<denominator>:<limit>]...
 //! ```
 //!
@@ -22,11 +23,20 @@
 //! instead of comparing (used after an intentional performance change; see
 //! `EXPERIMENTS.md`).
 //!
+//! `--summary <file>` additionally writes the comparison as a markdown table
+//! (benchmark, baseline, current, delta %) — `ci/bench_gate.sh` appends it to
+//! `$GITHUB_STEP_SUMMARY` so perf deltas are visible on the PR without
+//! downloading artifacts.
+//!
 //! `--max-ratio` (repeatable) pins the ratio of two *current* medians — e.g.
 //! the telemetry-enabled session bench against its disabled twin — and fails
 //! the gate when `numerator / denominator` exceeds `limit`.  Ratios are
 //! checked in `--update-baseline` runs too: they guard invariants of the
 //! current tree, not regressions against history.
+//!
+//! A baseline entry that emits no median in the current run (renamed or
+//! deleted bench) is a hard failure outside `--update-baseline`: a silently
+//! vanished benchmark would otherwise exempt itself from the gate forever.
 
 use serde_json::JsonValue;
 use std::collections::BTreeMap;
@@ -43,6 +53,8 @@ struct Args {
     /// shared CI runner dwarfs any plausible regression.
     min_gate_ns: f64,
     update_baseline: bool,
+    /// Markdown summary destination from `--summary`, if requested.
+    summary: Option<PathBuf>,
     /// `(numerator, denominator, limit)` triples from `--max-ratio`.
     max_ratios: Vec<(String, String, f64)>,
 }
@@ -54,13 +66,14 @@ fn parse_args() -> Args {
     let mut tolerance_pct = 20.0;
     let mut min_gate_ns = 20_000.0;
     let mut update_baseline = false;
+    let mut summary = None;
     let mut max_ratios = Vec::new();
     let fail = |msg: &str| -> ! {
         eprintln!("bench_gate: {msg}");
         eprintln!(
             "usage: bench_gate --current-dir <dir> --baseline <file> --out <file> \
              [--tolerance-pct <pct>] [--min-gate-ns <ns>] [--update-baseline] \
-             [--max-ratio <num>:<den>:<limit>]..."
+             [--summary <file>] [--max-ratio <num>:<den>:<limit>]..."
         );
         std::process::exit(2);
     };
@@ -85,6 +98,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| fail("invalid --min-gate-ns"));
             }
             "--update-baseline" => update_baseline = true,
+            "--summary" => summary = Some(PathBuf::from(value("--summary"))),
             "--max-ratio" => {
                 let spec = value("--max-ratio");
                 let parts: Vec<&str> = spec.split(':').collect();
@@ -106,6 +120,7 @@ fn parse_args() -> Args {
         tolerance_pct,
         min_gate_ns,
         update_baseline,
+        summary,
         max_ratios,
     }
 }
@@ -201,14 +216,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    if args.update_baseline {
-        std::fs::write(&args.baseline, render_medians(&current))
-            .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.baseline.display()));
-        println!("bench_gate: baseline {} updated", args.baseline.display());
-        return ExitCode::SUCCESS;
-    }
+    // The baseline may legitimately not exist yet when establishing one.
+    let baseline = if args.baseline.exists() {
+        read_medians(&args.baseline)
+    } else if args.update_baseline {
+        BTreeMap::new()
+    } else {
+        panic!(
+            "baseline {} does not exist (establish one with --update-baseline)",
+            args.baseline.display()
+        );
+    };
 
-    let baseline = read_medians(&args.baseline);
     let mut regressions = Vec::new();
     println!(
         "{:<55} {:>14} {:>14} {:>9}",
@@ -231,17 +250,47 @@ fn main() -> ExitCode {
             _ => println!("{name:<55} {:>14} {now:>14.0} {:>9}", "(new)", "-"),
         }
     }
-    for name in baseline.keys().filter(|n| !current.contains_key(*n)) {
+    // Baseline benches that emitted no median this run: a renamed or deleted
+    // bench must not silently exempt itself from the gate.
+    let missing: Vec<&String> = baseline
+        .keys()
+        .filter(|n| !current.contains_key(*n))
+        .collect();
+    for name in &missing {
         println!("{name:<55} {:>14} {:>14} {:>9}", "(missing)", "-", "-");
     }
 
-    if regressions.is_empty() {
-        println!(
-            "bench_gate: OK — no median regressed more than {:.0}%",
-            args.tolerance_pct
+    if let Some(path) = &args.summary {
+        let summary = render_summary(&current, &baseline, &regressions, &missing, &args);
+        std::fs::write(path, summary)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("bench_gate: wrote summary {}", path.display());
+    }
+
+    if args.update_baseline {
+        std::fs::write(&args.baseline, render_medians(&current))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.baseline.display()));
+        println!("bench_gate: baseline {} updated", args.baseline.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed = false;
+    if !missing.is_empty() {
+        failed = true;
+        eprintln!(
+            "bench_gate: {} baseline benchmark(s) emitted no median this run:",
+            missing.len()
         );
-        ExitCode::SUCCESS
-    } else {
+        for name in &missing {
+            eprintln!("  {name}");
+        }
+        eprintln!(
+            "bench_gate: if a bench was renamed or removed intentionally, re-baseline with \
+             `ci/bench_gate.sh --update` and commit the refreshed BENCH_baseline.json"
+        );
+    }
+    if !regressions.is_empty() {
+        failed = true;
         eprintln!(
             "bench_gate: {} benchmark(s) regressed more than {:.0}%:",
             regressions.len(),
@@ -250,6 +299,67 @@ fn main() -> ExitCode {
         for (name, was, now, delta) in &regressions {
             eprintln!("  {name}: {was:.0} ns -> {now:.0} ns ({delta:+.1}%)");
         }
-        ExitCode::FAILURE
     }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_gate: OK — no median regressed more than {:.0}%",
+            args.tolerance_pct
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Renders the baseline-vs-current comparison as a markdown table plus a
+/// one-line verdict, for `$GITHUB_STEP_SUMMARY`.
+fn render_summary(
+    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+    regressions: &[(String, f64, f64, f64)],
+    missing: &[&String],
+    args: &Args,
+) -> String {
+    let mut md = String::from("## Bench gate\n\n");
+    md.push_str("| benchmark | baseline (ns) | current (ns) | delta |\n");
+    md.push_str("|---|---:|---:|---:|\n");
+    for (name, &now) in current {
+        match baseline.get(name) {
+            Some(&was) if was > 0.0 => {
+                let delta_pct = (now - was) / was * 100.0;
+                let mark = if regressions.iter().any(|(n, ..)| n == name) {
+                    " ⚠️"
+                } else {
+                    ""
+                };
+                md.push_str(&format!(
+                    "| `{name}` | {was:.0} | {now:.0} | {delta_pct:+.1}%{mark} |\n"
+                ));
+            }
+            _ => md.push_str(&format!("| `{name}` | — (new) | {now:.0} | — |\n")),
+        }
+    }
+    for name in missing {
+        md.push_str(&format!(
+            "| `{name}` | {:.0} | — (missing) | — |\n",
+            baseline[*name]
+        ));
+    }
+    md.push('\n');
+    if args.update_baseline {
+        md.push_str("Baseline re-established from this run.\n");
+    } else if regressions.is_empty() && missing.is_empty() {
+        md.push_str(&format!(
+            "**OK** — no median regressed more than {:.0}% (floor {:.0} ns).\n",
+            args.tolerance_pct, args.min_gate_ns
+        ));
+    } else {
+        md.push_str(&format!(
+            "**FAILED** — {} regression(s) over {:.0}%, {} missing baseline bench(es).\n",
+            regressions.len(),
+            args.tolerance_pct,
+            missing.len()
+        ));
+    }
+    md
 }

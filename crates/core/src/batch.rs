@@ -31,11 +31,10 @@
 //! matter how many workers run or which finishes first.
 
 use crate::cone::ModelCone;
-use crate::feasibility::{
-    observation_scale, row_bounds, sparsify_generators, ConeMatrix, FeasibilityChecker,
-};
+use crate::feasibility::{observation_scale, row_bounds, ConeMatrix, FeasibilityChecker};
 use crate::observation::Observation;
-use counterpoint_lp::{LinearProgram, Relation, Tableau};
+use counterpoint_lp::{FactorTableau, LinearProgram, Relation, Tableau};
+use counterpoint_numeric::Rational;
 use counterpoint_stats::ConfidenceRegion;
 use counterpoint_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -124,12 +123,23 @@ const MAX_WITNESS_RAYS: usize = 8;
 pub(crate) const CERTIFICATE_MARGIN: f64 = 1e-6;
 
 /// The observation-independent state cached for the most recent confidence
-///-region axes: the equilibrated coefficient matrix and the warm tableau.
+///-region axes: the equilibrated coefficient matrix and the warm solvers.
+///
+/// `tableau` is the exact tier-2 engine — the historical dense-`B⁻¹` dual
+/// simplex every piece of returned evidence flows through, byte-identical to
+/// the pre-two-tier engine.  `fast` is the tier-1 factorized solver the
+/// no-evidence decision path runs on; it is built lazily on the first
+/// decision solve so pure evidence engines never pay for it.
 #[derive(Clone, Debug)]
 struct AxesCache {
     axes: Vec<Vec<f64>>,
+    /// Whether `axes` is the identity basis — lets the per-observation cache
+    /// check skip the `O(d²)` axes comparison for exact observations, which
+    /// all share the standard axes.
+    standard: bool,
     matrix: ConeMatrix,
     tableau: Tableau,
+    fast: Option<FactorTableau>,
 }
 
 /// Warm-started feasibility testing of many observations against one model
@@ -172,7 +182,8 @@ pub struct BatchFeasibility<'a> {
     checker: FeasibilityChecker<'a>,
     /// Non-zero generator entries in index order — μpath signatures are
     /// sparse, so the per-observation coefficient matmul iterates only these.
-    sparse: Vec<Vec<(usize, f64)>>,
+    /// Borrowed from the cone's memoized conversion.
+    sparse: &'a [Vec<(usize, f64)>],
     cache: Option<AxesCache>,
     /// Counter-space separating directions harvested from past infeasible
     /// solves (unit ∞-norm, `c · g ≥ 0` for every generator), most recently
@@ -204,7 +215,7 @@ impl<'a> BatchFeasibility<'a> {
     /// Prepares a batched engine for the given model cone.
     pub fn new(cone: &'a ModelCone) -> BatchFeasibility<'a> {
         let checker = FeasibilityChecker::new(cone);
-        let sparse = sparsify_generators(checker.generators());
+        let sparse = cone.generators_f64().sparse.as_slice();
         BatchFeasibility {
             checker,
             sparse,
@@ -241,7 +252,7 @@ impl<'a> BatchFeasibility<'a> {
     /// too.
     pub fn certificate_applies(&self, direction: &[f64]) -> bool {
         direction.len() == self.checker.cone().dimension()
-            && certificate_is_sound(&self.sparse, direction)
+            && certificate_is_sound(self.sparse, direction)
     }
 
     /// The current warm tableau state — the cached confidence-region axes and
@@ -252,9 +263,17 @@ impl<'a> BatchFeasibility<'a> {
     /// structural flows first (one per generator, in
     /// generator order), then the band slacks.
     pub fn basis_handoff(&self) -> Option<(Vec<Vec<f64>>, Vec<usize>)> {
-        self.cache
-            .as_ref()
-            .map(|cache| (cache.axes.clone(), cache.tableau.basis().to_vec()))
+        self.cache.as_ref().map(|cache| {
+            // Decision engines solve on the tier-1 factorization; its basis
+            // uses the same column numbering, so the handoff survives the
+            // representation change.  Evidence engines never build `fast` and
+            // keep handing off the exact tableau's basis.
+            let basis = match cache.fast.as_ref() {
+                Some(fast) => fast.basis().to_vec(),
+                None => cache.tableau.basis().to_vec(),
+            };
+            (cache.axes.clone(), basis)
+        })
     }
 
     /// Seeds the first tableau built for exactly `axes` with `basis` — e.g. a
@@ -404,10 +423,9 @@ impl<'a> BatchFeasibility<'a> {
         }
 
         let num_flows = self.checker.generators().len();
-        let axes_match = self
-            .cache
-            .as_ref()
-            .is_some_and(|cache| cache.axes.as_slice() == region.axes());
+        let axes_match = self.cache.as_ref().is_some_and(|cache| {
+            (cache.standard && region.standard_axes()) || cache.axes.as_slice() == region.axes()
+        });
         telemetry::add(
             if axes_match {
                 telemetry::Metric::CoefficientCacheHits
@@ -431,18 +449,24 @@ impl<'a> BatchFeasibility<'a> {
                 // the bounds-only path below, where the factorisation itself
                 // survives.
                 Some(cache) if cache.tableau.num_bands() == region.axes().len() => {
-                    cache.matrix.build_sparse_into(region.axes(), &self.sparse);
+                    cache.matrix.build_sparse_into(region.axes(), self.sparse);
                     cache.tableau.rebind(&cache.matrix.rows);
+                    if let Some(fast) = cache.fast.as_mut() {
+                        fast.rebind(&cache.matrix.rows);
+                    }
                     clone_axes_into(&mut cache.axes, region.axes());
+                    cache.standard = region.standard_axes();
                 }
                 _ => {
                     let mut matrix = ConeMatrix::empty();
-                    matrix.build_sparse_into(region.axes(), &self.sparse);
+                    matrix.build_sparse_into(region.axes(), self.sparse);
                     let tableau = Tableau::band(num_flows, &matrix.rows);
                     self.cache = Some(AxesCache {
                         axes: region.axes().to_vec(),
+                        standard: region.standard_axes(),
                         matrix,
                         tableau,
+                        fast: None,
                     });
                 }
             }
@@ -475,6 +499,47 @@ impl<'a> BatchFeasibility<'a> {
         // above reset to the all-slack basis and this is a cold start — unless
         // a parent engine handed its final basis down for these axes, in which
         // case that basis is replayed first.
+
+        if !want_evidence {
+            // Tier 1: the factorized f64 solver decides, and only verdicts
+            // whose terminal margin is comfortably wide are trusted.  Thin
+            // margins escalate to a cold tier-2 solve whose arithmetic is
+            // bit-identical to `FeasibilityChecker::is_feasible`, so the
+            // agreement contract holds exactly where fast arithmetic is
+            // shakiest.  Evidence solves never come through here — the warm
+            // tier-2 tableau below stays the engine of record for Report
+            // bytes.
+            if cache.fast.is_none() {
+                cache.fast = Some(FactorTableau::band(num_flows, &cache.matrix.rows));
+            }
+            let fast = cache.fast.as_mut().expect("tier-1 solver just built");
+            let outcome = match self.pending_basis.take() {
+                Some(basis) => fast.resolve_with_basis(&self.lo, &self.hi, &basis),
+                None => fast.resolve(&self.lo, &self.hi),
+            };
+            let verdict = match outcome {
+                Ok(out) if out.confident => {
+                    if out.feasible {
+                        self.harvest_feasible_fast();
+                        FeasibilityVerdict::Feasible {
+                            witness: Vec::new(),
+                        }
+                    } else {
+                        self.harvest_refuted_fast(region);
+                        FeasibilityVerdict::Refuted {
+                            certificate: Vec::new(),
+                        }
+                    }
+                }
+                Ok(_) => {
+                    telemetry::add(telemetry::Metric::LpTier2Escalations, 1);
+                    self.escalate_exact(observation, region)
+                }
+                Err(_) => self.cold_fallback(observation, region, scale, false),
+            };
+            return verdict;
+        }
+
         let outcome = match self.pending_basis.take() {
             Some(basis) => cache.tableau.resolve_with_basis(&self.lo, &self.hi, &basis),
             None => cache.tableau.resolve(&self.lo, &self.hi),
@@ -489,98 +554,107 @@ impl<'a> BatchFeasibility<'a> {
                 let certificate = self.conclude_refuted(region, want_evidence);
                 FeasibilityVerdict::Refuted { certificate }
             }
+            Err(_) => self.cold_fallback(observation, region, scale, want_evidence),
+        }
+    }
+
+    /// The historical non-convergence escape hatch, shared by both tiers: the
+    /// warm path cycled out of its iteration budget, so drop the poisoned
+    /// state and answer exactly like the per-observation checker does — a
+    /// cold dual-simplex solve, with the two-phase primal as the last resort
+    /// — so the agreement contract holds even on this path.
+    fn cold_fallback(
+        &mut self,
+        observation: &Observation,
+        region: &ConfidenceRegion,
+        scale: f64,
+        want_evidence: bool,
+    ) -> FeasibilityVerdict {
+        let dim = self.checker.cone().dimension();
+        let num_flows = self.checker.generators().len();
+        telemetry::add(telemetry::Metric::ColdSolverFallbacks, 1);
+        let _span = telemetry::span("lp_cold_solve", observation.name());
+        self.cache = None;
+        let matrix = ConeMatrix::build(region.axes(), self.checker.generators());
+        let mut lo = Vec::with_capacity(matrix.rows.len());
+        let mut hi = Vec::with_capacity(matrix.rows.len());
+        for k in 0..matrix.rows.len() {
+            let (l, h) = row_bounds(region, &matrix, k, scale);
+            lo.push(l);
+            hi.push(h);
+        }
+        let mut cold = Tableau::band(num_flows, &matrix.rows);
+        match cold.resolve(&lo, &hi) {
+            Ok(true) => {
+                let witness = if want_evidence {
+                    scaled_flow_combination(self.sparse, cold.basic_flows(), scale, dim)
+                } else {
+                    Vec::new()
+                };
+                FeasibilityVerdict::Feasible { witness }
+            }
+            Ok(false) => {
+                let certificate = if want_evidence {
+                    fold_certificate(region, &matrix, &cold, dim)
+                        .filter(|c| certificate_is_sound(self.sparse, c))
+                        .unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                FeasibilityVerdict::Refuted { certificate }
+            }
             Err(_) => {
-                // The warm path cycled out of its iteration budget; drop the
-                // poisoned state and answer exactly like the per-observation
-                // checker does — a cold dual-simplex solve, with the two-phase
-                // primal as the last resort — so the agreement contract holds
-                // even on this path.
-                telemetry::add(telemetry::Metric::ColdSolverFallbacks, 1);
-                let _span = telemetry::span("lp_cold_solve", observation.name());
-                self.cache = None;
-                let matrix = ConeMatrix::build(region.axes(), self.checker.generators());
-                let mut lo = Vec::with_capacity(matrix.rows.len());
-                let mut hi = Vec::with_capacity(matrix.rows.len());
-                for k in 0..matrix.rows.len() {
-                    let (l, h) = row_bounds(region, &matrix, k, scale);
-                    lo.push(l);
-                    hi.push(h);
+                let mut lp = LinearProgram::new(num_flows);
+                for (k, row) in matrix.rows.iter().enumerate() {
+                    lp.add_constraint(row, Relation::Ge, lo[k]);
+                    lp.add_constraint(row, Relation::Le, hi[k]);
                 }
-                let mut cold = Tableau::band(num_flows, &matrix.rows);
-                match cold.resolve(&lo, &hi) {
-                    Ok(true) => {
-                        let witness = if want_evidence {
-                            scaled_flow_combination(&self.sparse, cold.basic_flows(), scale, dim)
-                        } else {
-                            Vec::new()
-                        };
-                        FeasibilityVerdict::Feasible { witness }
-                    }
-                    Ok(false) => {
-                        let certificate = if want_evidence {
-                            fold_certificate(region, &matrix, &cold, dim)
-                                .filter(|c| certificate_is_sound(&self.sparse, c))
-                                .unwrap_or_default()
-                        } else {
-                            Vec::new()
-                        };
-                        FeasibilityVerdict::Refuted { certificate }
-                    }
-                    Err(_) => {
-                        let mut lp = LinearProgram::new(num_flows);
-                        for (k, row) in matrix.rows.iter().enumerate() {
-                            lp.add_constraint(row, Relation::Ge, lo[k]);
-                            lp.add_constraint(row, Relation::Le, hi[k]);
-                        }
-                        if !want_evidence {
-                            // The historical last resort (the decision is the
-                            // two-phase primal's); non-convergence is reported
-                            // instead of panicking here — `is_feasible` turns
-                            // it back into the historical panic.
-                            return match lp.try_solve() {
-                                Ok(outcome) => {
-                                    if outcome.is_feasible() {
-                                        FeasibilityVerdict::Feasible {
-                                            witness: Vec::new(),
-                                        }
-                                    } else {
-                                        FeasibilityVerdict::Refuted {
-                                            certificate: Vec::new(),
-                                        }
-                                    }
+                if !want_evidence {
+                    // The historical last resort (the decision is the
+                    // two-phase primal's); non-convergence is reported
+                    // instead of panicking here — `is_feasible` turns
+                    // it back into the historical panic.
+                    return match lp.try_solve() {
+                        Ok(outcome) => {
+                            if outcome.is_feasible() {
+                                FeasibilityVerdict::Feasible {
+                                    witness: Vec::new(),
                                 }
-                                Err(e) => FeasibilityVerdict::Inconclusive {
-                                    reason: format!("every LP solve path failed to converge: {e}"),
-                                },
-                            };
-                        }
-                        match lp.try_solve() {
-                            Ok(outcome) => match outcome.solution() {
-                                Some(flows) => {
-                                    let witness = scaled_flow_combination(
-                                        &self.sparse,
-                                        flows.iter().copied().enumerate(),
-                                        scale,
-                                        dim,
-                                    );
-                                    FeasibilityVerdict::Feasible { witness }
-                                }
-                                // Two-phase infeasibility yields no usable
-                                // multipliers through this interface.
-                                None => FeasibilityVerdict::Refuted {
+                            } else {
+                                FeasibilityVerdict::Refuted {
                                     certificate: Vec::new(),
-                                },
-                            },
-                            Err(e) => FeasibilityVerdict::Inconclusive {
-                                reason: format!("every LP solve path failed to converge: {e}"),
-                            },
+                                }
+                            }
                         }
-                    }
+                        Err(e) => FeasibilityVerdict::Inconclusive {
+                            reason: format!("every LP solve path failed to converge: {e}"),
+                        },
+                    };
+                }
+                match lp.try_solve() {
+                    Ok(outcome) => match outcome.solution() {
+                        Some(flows) => {
+                            let witness = scaled_flow_combination(
+                                self.sparse,
+                                flows.iter().copied().enumerate(),
+                                scale,
+                                dim,
+                            );
+                            FeasibilityVerdict::Feasible { witness }
+                        }
+                        // Two-phase infeasibility yields no usable
+                        // multipliers through this interface.
+                        None => FeasibilityVerdict::Refuted {
+                            certificate: Vec::new(),
+                        },
+                    },
+                    Err(e) => FeasibilityVerdict::Inconclusive {
+                        reason: format!("every LP solve path failed to converge: {e}"),
+                    },
                 }
             }
         }
     }
-
     /// Wraps up a feasible warm solve: reconstructs the counter-space cone
     /// point of the solution the tableau just found (`y* = Σ f_j · g_j` over
     /// the basic flows) and caches its unit-norm ray for future feasible
@@ -599,7 +673,7 @@ impl<'a> BatchFeasibility<'a> {
         // Accumulate the *unscaled* flow combination first: the cached ray is
         // normalised from it (bit-identical to the historical harvest), and
         // the returned witness re-applies the observation scale afterwards.
-        let raw = flow_combination(&self.sparse, cache.tableau.basic_flows(), dim);
+        let raw = flow_combination(self.sparse, cache.tableau.basic_flows(), dim);
         let norm = raw.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
         if cache_open && norm.is_finite() && norm > 0.0 {
             self.witness_rays
@@ -645,7 +719,7 @@ impl<'a> BatchFeasibility<'a> {
         let Some(direction) = fold_certificate(region, &cache.matrix, &cache.tableau, dim) else {
             return Vec::new();
         };
-        if !certificate_is_sound(&self.sparse, &direction) {
+        if !certificate_is_sound(self.sparse, &direction) {
             return Vec::new();
         }
         if cache_open {
@@ -655,6 +729,138 @@ impl<'a> BatchFeasibility<'a> {
             direction
         } else {
             Vec::new()
+        }
+    }
+
+    /// Escalates a near-degenerate tier-1 verdict: re-answers the observation
+    /// with a cold tier-2 solve on the cached coefficient matrix and bounds —
+    /// the exact arithmetic `FeasibilityChecker::is_feasible` runs, bit for
+    /// bit — and harvests the exact solve's evidence into the short-circuit
+    /// pools so the escalation still pays forward.
+    fn escalate_exact(
+        &mut self,
+        observation: &Observation,
+        region: &ConfidenceRegion,
+    ) -> FeasibilityVerdict {
+        let dim = self.checker.cone().dimension();
+        let num_flows = self.checker.generators().len();
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("escalation follows a tier-1 solve");
+        let mut cold = Tableau::band(num_flows, &cache.matrix.rows);
+        match cold.resolve(&self.lo, &self.hi) {
+            Ok(true) => {
+                let cache_open = self.witness_rays.len() < MAX_WITNESS_RAYS;
+                if cache_open {
+                    let raw = flow_combination(self.sparse, cold.basic_flows(), dim);
+                    let norm = raw.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+                    if norm.is_finite() && norm > 0.0 {
+                        self.witness_rays
+                            .push(raw.iter().map(|v| v / norm).collect());
+                        self.witness_supports.push(
+                            cold.basic_flows()
+                                .filter(|&(_, f)| f > 1e-9)
+                                .map(|(j, _)| j)
+                                .collect(),
+                        );
+                    }
+                }
+                FeasibilityVerdict::Feasible {
+                    witness: Vec::new(),
+                }
+            }
+            Ok(false) => {
+                let cache = self.cache.as_ref().expect("cache is still warm");
+                if self.certificates.len() < MAX_CERTIFICATES {
+                    if let Some(direction) = fold_certificate(region, &cache.matrix, &cold, dim) {
+                        if certificate_is_sound(self.sparse, &direction) {
+                            self.certificates.push(direction);
+                        }
+                    }
+                }
+                FeasibilityVerdict::Refuted {
+                    certificate: Vec::new(),
+                }
+            }
+            Err(_) => {
+                // Even the cold dual simplex cycled: fall through to the
+                // historical fallback chain (which re-runs it once more after
+                // dropping the warm state, then tries the two-phase primal).
+                let scale = observation_scale(region);
+                self.cold_fallback(observation, region, scale, false)
+            }
+        }
+    }
+
+    /// Wraps up a confidently feasible tier-1 solve: harvests the factorized
+    /// tableau's flow combination into the witness-ray pool (the same
+    /// `f > 1e-9` support filter as the exact harvest).  When the smallest
+    /// included flow sits near that inclusion threshold, the combination is
+    /// recomputed in exact rational arithmetic before the ray is trusted —
+    /// the margin-triggered recertification of the witness machinery.  On
+    /// overflow or disagreement the ray is simply not cached; the verdict is
+    /// unaffected.
+    fn harvest_feasible_fast(&mut self) {
+        if self.witness_rays.len() >= MAX_WITNESS_RAYS {
+            return;
+        }
+        let Some(fast) = self.cache.as_ref().and_then(|c| c.fast.as_ref()) else {
+            return;
+        };
+        let dim = self.checker.cone().dimension();
+        let raw = flow_combination(self.sparse, fast.basic_flows(), dim);
+        let norm = raw.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        if !norm.is_finite() || norm <= 0.0 {
+            return;
+        }
+        let min_flow = fast
+            .basic_flows()
+            .filter(|&(_, f)| f > 1e-9)
+            .fold(f64::INFINITY, |acc, (_, f)| acc.min(f));
+        if min_flow < FLOW_RECERT_MARGIN {
+            telemetry::add(telemetry::Metric::LpExactRecertifications, 1);
+            let flows: Vec<(usize, f64)> = fast.basic_flows().filter(|&(_, f)| f > 1e-9).collect();
+            if !combination_recertifies(self.sparse, &flows, &raw) {
+                return;
+            }
+        }
+        let support: Vec<usize> = fast
+            .basic_flows()
+            .filter(|&(_, f)| f > 1e-9)
+            .map(|(j, _)| j)
+            .collect();
+        self.witness_rays
+            .push(raw.iter().map(|v| v / norm).collect());
+        self.witness_supports.push(support);
+    }
+
+    /// Wraps up a confidently infeasible tier-1 solve: folds the factorized
+    /// tableau's Farkas multipliers into a counter-space separating direction
+    /// and caches it for future short-circuits.  The soundness re-check runs
+    /// the historical float criterion, escalating any generator whose margin
+    /// is near the threshold to exact rational arithmetic (the
+    /// margin-triggered recertification of the certificate machinery); exact
+    /// overflow degrades to not caching the direction.
+    fn harvest_refuted_fast(&mut self, region: &ConfidenceRegion) {
+        if self.certificates.len() >= MAX_CERTIFICATES {
+            return;
+        }
+        let Some(cache) = self.cache.as_ref() else {
+            return;
+        };
+        let Some(fast) = cache.fast.as_ref() else {
+            return;
+        };
+        let dim = self.checker.cone().dimension();
+        let Some(pi) = fast.farkas_multipliers() else {
+            return;
+        };
+        let Some(direction) = fold_certificate_from(region, &cache.matrix, pi, dim) else {
+            return;
+        };
+        if certificate_is_sound_recertified(self.sparse, &direction) {
+            self.certificates.push(direction);
         }
     }
 
@@ -697,18 +903,32 @@ impl<'a> BatchFeasibility<'a> {
     pub(crate) fn current_ray_with_support(&self) -> Option<(Vec<f64>, Vec<usize>)> {
         let cache = self.cache.as_ref()?;
         let dim = self.checker.cone().dimension();
-        let raw = flow_combination(&self.sparse, cache.tableau.basic_flows(), dim);
+        // Read whichever solver actually ran last: the tier-1 factorization
+        // on decision engines, the exact tableau everywhere else.  One pass
+        // over the basic flows accumulates the combination and collects the
+        // support together (the `f > 1e-9` inclusion criterion is shared).
+        let mut raw = vec![0.0; dim];
+        let mut support = Vec::new();
+        let flows: Box<dyn Iterator<Item = (usize, f64)>> = match cache.fast.as_ref() {
+            Some(fast) => Box::new(fast.basic_flows()),
+            None => Box::new(cache.tableau.basic_flows()),
+        };
+        for (j, f) in flows {
+            if f > 1e-9 {
+                for &(i, c) in &self.sparse[j] {
+                    raw[i] += f * c;
+                }
+                support.push(j);
+            }
+        }
         let norm = raw.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
         if !norm.is_finite() || norm <= 0.0 {
             return None;
         }
-        let support: Vec<usize> = cache
-            .tableau
-            .basic_flows()
-            .filter(|&(_, f)| f > 1e-9)
-            .map(|(j, _)| j)
-            .collect();
-        Some((raw.iter().map(|v| v / norm).collect(), support))
+        for v in &mut raw {
+            *v /= norm;
+        }
+        Some((raw, support))
     }
 
     /// Tests every observation, returning one verdict per observation in input
@@ -763,6 +983,17 @@ fn scaled_flow_combination(
         .collect()
 }
 
+/// How close (relative to the generator's coefficient mass) a float soundness
+/// margin may come to its threshold before the comparison is re-run in exact
+/// rational arithmetic — the trigger of the certificate recertification path.
+const CERT_RECERT_MARGIN: f64 = 1e-7;
+
+/// A confidently feasible tier-1 solve whose smallest included flow is below
+/// this recomputes the flow combination exactly before caching the witness
+/// ray: a flow just above the `1e-9` inclusion threshold is where float error
+/// could smuggle a non-positive weight into the support.
+const FLOW_RECERT_MARGIN: f64 = 1e-8;
+
 /// Folds a tableau's Farkas multipliers back through the confidence-region
 /// axes into a unit-∞-norm counter-space direction:
 /// `c = Σ_k (π_{2k+1} − π_{2k}) / bound_div_k · axis_k`.  `None` if the
@@ -773,7 +1004,18 @@ fn fold_certificate(
     tableau: &Tableau,
     dim: usize,
 ) -> Option<Vec<f64>> {
-    let pi = tableau.farkas_multipliers()?;
+    fold_certificate_from(region, matrix, tableau.farkas_multipliers()?, dim)
+}
+
+/// [`fold_certificate`] from bare multipliers in interleaved row order — the
+/// shared folding arithmetic behind both the tier-2 tableau and the tier-1
+/// factorized solver.
+fn fold_certificate_from(
+    region: &ConfidenceRegion,
+    matrix: &ConeMatrix,
+    pi: &[f64],
+    dim: usize,
+) -> Option<Vec<f64>> {
     let mut direction = vec![0.0; dim];
     for (k, axis) in region.axes().iter().enumerate() {
         let weight = (pi[2 * k + 1] - pi[2 * k]) / matrix.bound_divs[k];
@@ -803,6 +1045,91 @@ fn certificate_is_sound(sparse: &[Vec<(usize, f64)>], direction: &[f64]) -> bool
         });
         proj >= -1e-9 * (1.0 + mass)
     })
+}
+
+/// [`certificate_is_sound`] with margin-triggered exact recertification: each
+/// generator's projection is first judged in floats, and any projection within
+/// [`CERT_RECERT_MARGIN`] (mass-relative) of the soundness threshold is
+/// re-evaluated in exact rational arithmetic — every finite f64 converts
+/// exactly, so the exact comparison is authoritative.  A rational overflow
+/// (far outside the counter regime) conservatively rejects the direction:
+/// the evidence is dropped, never a verdict.
+fn certificate_is_sound_recertified(sparse: &[Vec<(usize, f64)>], direction: &[f64]) -> bool {
+    sparse.iter().all(|g| {
+        let (proj, mass) = g.iter().fold((0.0f64, 0.0f64), |(p, m), &(i, c)| {
+            (p + direction[i] * c, m + c.abs())
+        });
+        let threshold = -1e-9 * (1.0 + mass);
+        if (proj - threshold).abs() <= CERT_RECERT_MARGIN * (1.0 + mass) {
+            telemetry::add(telemetry::Metric::LpExactRecertifications, 1);
+            exact_projection_is_sound(g, direction).unwrap_or(false)
+        } else {
+            proj >= threshold
+        }
+    })
+}
+
+/// The exact-arithmetic verdict of the soundness criterion for one generator:
+/// `Σᵢ direction[i]·gᵢ + 1e-9·(1 + Σᵢ|gᵢ|) ≥ 0` evaluated over [`Rational`]s
+/// (all inputs are finite f64s, hence exact dyadic rationals).  `None` when an
+/// intermediate overflows `i128`.
+fn exact_projection_is_sound(g: &[(usize, f64)], direction: &[f64]) -> Option<bool> {
+    let mut proj = Rational::ZERO;
+    let mut mass = Rational::ZERO;
+    for &(i, c) in g {
+        let c = Rational::try_from_f64(c)?;
+        let d = Rational::try_from_f64(direction[i])?;
+        proj = proj.checked_add(d.checked_mul(c)?)?;
+        let abs_c = if c.is_negative() {
+            Rational::ZERO.checked_sub(c)?
+        } else {
+            c
+        };
+        mass = mass.checked_add(abs_c)?;
+    }
+    let eps = Rational::try_from_f64(1e-9)?;
+    let slack = eps.checked_mul(Rational::ONE.checked_add(mass)?)?;
+    Some(!proj.checked_add(slack)?.is_negative())
+}
+
+/// Exactly recomputes the flow combination `Σ fⱼ·gⱼ` over [`Rational`]s and
+/// checks the float accumulation against it componentwise (within `1e-9` of
+/// the combination's magnitude): the margin-triggered recertification of a
+/// near-threshold witness harvest.  `false` on rational overflow — the caller
+/// drops the ray rather than trusting an unverifiable one.
+fn combination_recertifies(
+    sparse: &[Vec<(usize, f64)>],
+    flows: &[(usize, f64)],
+    raw: &[f64],
+) -> bool {
+    exact_combination_matches(sparse, flows, raw).unwrap_or(false)
+}
+
+fn exact_combination_matches(
+    sparse: &[Vec<(usize, f64)>],
+    flows: &[(usize, f64)],
+    raw: &[f64],
+) -> Option<bool> {
+    let mut exact = vec![Rational::ZERO; raw.len()];
+    for &(j, f) in flows {
+        if f.is_sign_negative() {
+            // A "positive" flow that is actually negative would make the
+            // combination leave the cone outright.
+            return Some(false);
+        }
+        let f = Rational::try_from_f64(f)?;
+        for &(i, c) in &sparse[j] {
+            let c = Rational::try_from_f64(c)?;
+            exact[i] = exact[i].checked_add(f.checked_mul(c)?)?;
+        }
+    }
+    let tolerance = 1e-9 * raw.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+    for (value, expected) in raw.iter().zip(&exact) {
+        if (value - expected.to_f64()).abs() > tolerance {
+            return Some(false);
+        }
+    }
+    Some(true)
 }
 
 /// A separating certificate for the degenerate origin-only cone: some region
@@ -839,15 +1166,14 @@ pub(crate) fn ray_pierces_box(ray: &[f64], region: &ConfidenceRegion, margin: f6
 fn ray_box_interval(ray: &[f64], region: &ConfidenceRegion, margin: f64) -> Option<(f64, f64)> {
     let mut t_lo = 0.0f64;
     let mut t_hi = f64::INFINITY;
-    for (axis, &width) in region.axes().iter().zip(region.half_widths()) {
-        let proj_center: f64 = axis.iter().zip(region.center()).map(|(a, c)| a * c).sum();
+    // Clips `[t_lo, t_hi]` against one axis of the box; false means empty.
+    let mut clip = |proj_center: f64, width: f64, c: f64| -> bool {
         let m = margin.min(0.5 * width);
         let lo = proj_center - width + m;
         let hi = proj_center + width - m;
-        let c: f64 = axis.iter().zip(ray).map(|(a, r)| a * r).sum();
         if c == 0.0 {
             if lo > 0.0 || hi < 0.0 {
-                return None;
+                return false;
             }
         } else if c > 0.0 {
             t_lo = t_lo.max(lo / c);
@@ -856,8 +1182,23 @@ fn ray_box_interval(ray: &[f64], region: &ConfidenceRegion, margin: f64) -> Opti
             t_lo = t_lo.max(hi / c);
             t_hi = t_hi.min(lo / c);
         }
-        if t_lo > t_hi {
-            return None;
+        t_lo <= t_hi
+    };
+    if region.standard_axes() {
+        // Axis k projects onto component k directly (bit-identical to the
+        // dense dots below) — the common exact-observation case.
+        for (k, &width) in region.half_widths().iter().enumerate() {
+            if !clip(region.center()[k], width, ray[k]) {
+                return None;
+            }
+        }
+    } else {
+        for (axis, &width) in region.axes().iter().zip(region.half_widths()) {
+            let proj_center: f64 = axis.iter().zip(region.center()).map(|(a, c)| a * c).sum();
+            let c: f64 = axis.iter().zip(ray).map(|(a, r)| a * r).sum();
+            if !clip(proj_center, width, c) {
+                return None;
+            }
         }
     }
     Some((t_lo, t_hi))

@@ -60,7 +60,7 @@ use crate::explore::{FeatureSet, SearchEdge, SearchGraph, SearchPhase, SearchSte
 use crate::feasibility::observation_scale;
 use crate::observation::Observation;
 use counterpoint_telemetry as telemetry;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -839,11 +839,15 @@ where
     // same direction first merely wins the dedup race — the masks are
     // deterministic, so either copy is correct), and amortised over every
     // later model.
+    let pooled_directions: std::collections::HashSet<Vec<u64>> = certificate_snapshot
+        .iter()
+        .map(|p| generator_bits(&p.direction))
+        .collect();
     let new_directions: Vec<Vec<f64>> = engine
         .farkas_certificates()
         .iter()
         .rev()
-        .filter(|c| !certificate_snapshot.iter().any(|p| &&p.direction == c))
+        .filter(|c| !pooled_directions.contains(&generator_bits(c)))
         .cloned()
         .collect();
     if !new_directions.is_empty() {
@@ -868,10 +872,17 @@ where
     // Rays come from two harvests: the engine's internal MRU cache (few, but
     // worth a full cross-observation pierce mask each) and the per-solve self
     // rays collected above (many, each carrying its single known bit).
-    // Identical rays merge by OR-ing masks.
+    // Identical rays merge by OR-ing masks, keyed by their exact bit patterns
+    // so every merge is a hash lookup instead of an O(pool) vector scan.
+    let snapshot_index: HashMap<Vec<u64>, usize> = ray_snapshot
+        .iter()
+        .enumerate()
+        .rev() // first occurrence wins on (impossible) duplicate keys
+        .map(|(i, p)| (generator_bits(&p.ray), i))
+        .collect();
     let new_cached_rays: Vec<(Vec<f64>, Vec<usize>)> = engine
         .witness_rays_with_supports()
-        .filter(|(ray, _)| !ray_snapshot.iter().any(|p| &&p.ray == ray))
+        .filter(|(ray, _)| !snapshot_index.contains_key(&generator_bits(ray)))
         .map(|(ray, support)| (ray.clone(), support.clone()))
         .collect();
     if !new_cached_rays.is_empty() || !self_rays.is_empty() {
@@ -883,21 +894,35 @@ where
                 .collect()
         };
         let words = observations.len().div_ceil(64);
-        let mut fresh: Vec<PoolRay> = new_cached_rays
-            .into_iter()
-            .map(|(ray, support)| PoolRay {
+        let mut fresh: Vec<PoolRay> = Vec::new();
+        let mut fresh_index: HashMap<Vec<u64>, usize> = HashMap::new();
+        for (ray, support) in new_cached_rays {
+            let key = generator_bits(&ray);
+            if fresh_index.contains_key(&key) {
+                continue;
+            }
+            fresh_index.insert(key, fresh.len());
+            fresh.push(PoolRay {
                 pierced: pierce_mask(&ray, observations, margins),
                 support: key_of(&support),
                 ray,
-            })
-            .collect();
+            });
+        }
         for (ray, support, obs) in self_rays {
-            if let Some(existing) = fresh.iter_mut().find(|p| p.ray == ray) {
-                existing.pierced[obs / 64] |= 1 << (obs % 64);
+            let key = generator_bits(&ray);
+            if let Some(&at) = fresh_index.get(&key) {
+                fresh[at].pierced[obs / 64] |= 1 << (obs % 64);
                 continue;
+            }
+            // Already pooled with this observation's bit set: nothing to add.
+            if let Some(&at) = snapshot_index.get(&key) {
+                if mask_bit(&ray_snapshot[at].pierced, obs) {
+                    continue;
+                }
             }
             let mut pierced = vec![0u64; words];
             pierced[obs / 64] |= 1 << (obs % 64);
+            fresh_index.insert(key, fresh.len());
             fresh.push(PoolRay {
                 pierced,
                 support: key_of(&support),
@@ -906,17 +931,30 @@ where
         }
         let cap = ray_pool_cap(observations.len());
         let mut rays = pool.rays.lock().expect("ray pool poisoned");
+        let mut pool_index: HashMap<Vec<u64>, usize> = HashMap::new();
+        for (i, p) in rays.iter().enumerate() {
+            pool_index.entry(generator_bits(&p.ray)).or_insert(i);
+        }
+        let mut newly: Vec<Arc<PoolRay>> = Vec::new();
         for ray in fresh {
-            if let Some(existing) = rays.iter_mut().find(|p| p.ray == ray.ray) {
+            if let Some(&at) = pool_index.get(&generator_bits(&ray.ray)) {
                 // `make_mut` clones only if a reader still holds the old
                 // snapshot; the bits it saw remain valid either way.
-                for (acc, word) in Arc::make_mut(existing).pierced.iter_mut().zip(&ray.pierced) {
+                for (acc, word) in Arc::make_mut(&mut rays[at])
+                    .pierced
+                    .iter_mut()
+                    .zip(&ray.pierced)
+                {
                     *acc |= word;
                 }
                 continue;
             }
-            rays.insert(0, Arc::new(ray));
+            newly.push(Arc::new(ray));
         }
+        // Most recently harvested first, matching the historical insert-at-0
+        // order (each successive insert landed in front of the previous one).
+        newly.reverse();
+        rays.splice(0..0, newly);
         rays.truncate(cap);
     }
 

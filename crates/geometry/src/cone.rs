@@ -92,13 +92,15 @@ impl GeneratorCone {
         );
         let dim = generators[0].len();
         let mut out: Vec<RatVector> = Vec::with_capacity(generators.len());
+        let mut seen: std::collections::HashSet<RatVector> =
+            std::collections::HashSet::with_capacity(generators.len());
         for g in generators {
             assert_eq!(g.len(), dim, "all generators must have the same dimension");
             let n = g.normalize_primitive();
             if n.is_zero() {
                 continue;
             }
-            if !out.contains(&n) {
+            if seen.insert(n.clone()) {
                 out.push(n);
             }
         }
@@ -106,6 +108,35 @@ impl GeneratorCone {
             dim,
             generators: out,
         }
+    }
+
+    /// Creates a cone from generators that already satisfy the invariants
+    /// [`GeneratorCone::new`] establishes: every generator is primitive
+    /// (integer components with gcd 1), non-zero, of dimension `dim`, and the
+    /// list holds no duplicates.  Callers that normalise upstream in plain
+    /// integer arithmetic (e.g. μpath counter signatures) use this to skip the
+    /// per-generator `i128` gcd reductions; debug builds re-verify the
+    /// invariants.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if any invariant is violated.
+    pub fn from_primitive(dim: usize, generators: Vec<RatVector>) -> GeneratorCone {
+        debug_assert!(
+            generators
+                .iter()
+                .all(|g| g.len() == dim && !g.is_zero() && g.normalize_primitive() == *g),
+            "generators must be primitive, non-zero, and of dimension {dim}"
+        );
+        debug_assert_eq!(
+            generators
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            generators.len(),
+            "generators must be deduplicated"
+        );
+        GeneratorCone { dim, generators }
     }
 
     /// The cone containing only the origin, in the given ambient dimension.

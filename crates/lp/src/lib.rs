@@ -28,6 +28,8 @@
 //! }
 //! ```
 
+pub mod factor;
 pub mod simplex;
 
+pub use factor::{FactorTableau, FastOutcome};
 pub use simplex::{LinearProgram, LpError, LpOutcome, Relation, Tableau};

@@ -276,6 +276,8 @@ pub struct Tableau {
     max_iterations: usize,
 }
 
+// PROFILING TEMP — remove before commit.
+#[allow(missing_docs)]
 impl Tableau {
     /// Builds a tableau for the band system `lo ≤ A·x ≤ hi` over `x ≥ 0`,
     /// starting from the all-slack basis.  `bands` holds the rows of `A`.

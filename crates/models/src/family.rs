@@ -8,23 +8,100 @@ use crate::prefetch::{standalone_prefetch_mudd, TriggerSpec};
 use counterpoint_core::{FeatureSet, ModelCone};
 use counterpoint_haswell::full_counter_space;
 use counterpoint_haswell::hec::AccessType;
-use counterpoint_mudd::MuDd;
+use counterpoint_mudd::{CounterSpace, MuDd};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Memoised demand μDD construction over the full Haswell counter space.
+///
+/// μDDs are immutable and `demand_mudd` is a pure function of its options, but
+/// the guided lattice search re-derives the same handful of diagram variants
+/// hundreds of times per run, and diagram construction (builder validation,
+/// node naming) dominates model-cone assembly.  The cache key captures every
+/// input `demand_mudd` sees except the counter space, which is always
+/// [`full_counter_space`] for the builders in this module (checked in debug
+/// builds).
+fn cached_demand_mudd(space: &CounterSpace, opts: &DemandOptions) -> Arc<MuDd> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<MuDd>>>> = OnceLock::new();
+    let mut key = format!("{:?}|{:?}", opts.access, opts.inline_prefetch);
+    for feature in &opts.features {
+        key.push('\x1f');
+        key.push_str(feature);
+    }
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(mudd) = cache.lock().unwrap().get(&key) {
+        debug_assert_eq!(mudd.counters(), space, "cache is per-counter-space");
+        return Arc::clone(mudd);
+    }
+    let mudd = Arc::new(demand_mudd(space, opts));
+    Arc::clone(cache.lock().unwrap().entry(key).or_insert(mudd))
+}
+
+/// Cache storage of [`cached_prefetch_mudd`], keyed by its two flags.
+type PrefetchMuddCache = OnceLock<Mutex<HashMap<(bool, bool), Arc<MuDd>>>>;
+
+/// Memoised stand-alone prefetch μDD (see [`cached_demand_mudd`]).
+fn cached_prefetch_mudd(space: &CounterSpace, early_psc: bool, pml4e: bool) -> Arc<MuDd> {
+    static CACHE: PrefetchMuddCache = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(mudd) = cache.lock().unwrap().get(&(early_psc, pml4e)) {
+        debug_assert_eq!(mudd.counters(), space, "cache is per-counter-space");
+        return Arc::clone(mudd);
+    }
+    let mudd = Arc::new(standalone_prefetch_mudd(space, early_psc, pml4e));
+    Arc::clone(
+        cache
+            .lock()
+            .unwrap()
+            .entry((early_psc, pml4e))
+            .or_insert(mudd),
+    )
+}
+
+/// Entry cap for the feature-model cone cache: generous for the 2⁵ subsets of
+/// [`Feature::ALL`] the searches explore, while bounding memory if a caller
+/// sweeps arbitrary feature names.
+const MODEL_CACHE_CAP: usize = 64;
 
 /// Builds the model cone of an initial-search model identified by its feature set
 /// (the `m`-family of Table 3, and the generator used by the guided search).
+///
+/// Cone assembly is a pure function of `(name, features)`, and the guided
+/// search re-derives the same feature subsets on every trajectory, so the
+/// finished cones are memoised alongside the μDD cache (bounded to
+/// `MODEL_CACHE_CAP` first-come entries).
 pub fn build_feature_model(name: &str, features: &FeatureSet) -> ModelCone {
+    static CACHE: OnceLock<Mutex<HashMap<String, ModelCone>>> = OnceLock::new();
+    let mut key = name.to_string();
+    for feature in features {
+        key.push('\x1f');
+        key.push_str(feature);
+    }
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(cone) = cache.lock().unwrap().get(&key) {
+        return cone.clone();
+    }
+    let cone = build_feature_model_uncached(name, features);
+    let mut cache = cache.lock().unwrap();
+    if cache.len() < MODEL_CACHE_CAP {
+        cache.entry(key).or_insert_with(|| cone.clone());
+    }
+    cone
+}
+
+fn build_feature_model_uncached(name: &str, features: &FeatureSet) -> ModelCone {
     let space = full_counter_space();
-    let load = demand_mudd(&space, &DemandOptions::new(AccessType::Load, features));
-    let store = demand_mudd(&space, &DemandOptions::new(AccessType::Store, features));
-    let mut mudds: Vec<MuDd> = vec![load, store];
+    let load = cached_demand_mudd(&space, &DemandOptions::new(AccessType::Load, features));
+    let store = cached_demand_mudd(&space, &DemandOptions::new(AccessType::Store, features));
+    let mut mudds: Vec<Arc<MuDd>> = vec![load, store];
     if has(features, Feature::TlbPrefetch) {
-        mudds.push(standalone_prefetch_mudd(
+        mudds.push(cached_prefetch_mudd(
             &space,
             has(features, Feature::EarlyPsc),
             has(features, Feature::Pml4eCache),
         ));
     }
-    let refs: Vec<&MuDd> = mudds.iter().collect();
+    let refs: Vec<&MuDd> = mudds.iter().map(Arc::as_ref).collect();
     ModelCone::from_mudds(name, &refs).expect("case-study models stay within the path limit")
 }
 
@@ -81,13 +158,13 @@ pub fn build_trigger_model(name: &str, spec: &TriggerSpec) -> ModelCone {
         }
     }
 
-    let load = demand_mudd(&space, &load_opts);
-    let store = demand_mudd(&space, &store_opts);
-    let mut mudds: Vec<MuDd> = vec![load, store];
+    let load = cached_demand_mudd(&space, &load_opts);
+    let store = cached_demand_mudd(&space, &store_opts);
+    let mut mudds: Vec<Arc<MuDd>> = vec![load, store];
     if spec.speculative {
-        mudds.push(standalone_prefetch_mudd(&space, true, true));
+        mudds.push(cached_prefetch_mudd(&space, true, true));
     }
-    let refs: Vec<&MuDd> = mudds.iter().collect();
+    let refs: Vec<&MuDd> = mudds.iter().map(Arc::as_ref).collect();
     ModelCone::from_mudds(name, &refs).expect("trigger models stay within the path limit")
 }
 
@@ -141,14 +218,14 @@ pub fn build_abort_model(name: &str, points: &[AbortPoint]) -> ModelCone {
         Feature::Merging,
         Feature::Pml4eCache,
     ]);
-    let load = demand_mudd(&space, &DemandOptions::new(AccessType::Load, &features));
-    let store = demand_mudd(&space, &DemandOptions::new(AccessType::Store, &features));
-    let prefetch = standalone_prefetch_mudd(&space, true, true);
-    let mut mudds: Vec<MuDd> = vec![load, store, prefetch];
+    let load = cached_demand_mudd(&space, &DemandOptions::new(AccessType::Load, &features));
+    let store = cached_demand_mudd(&space, &DemandOptions::new(AccessType::Store, &features));
+    let prefetch = cached_prefetch_mudd(&space, true, true);
+    let mut mudds: Vec<Arc<MuDd>> = vec![load, store, prefetch];
     if let Some(aborts) = abort_request_mudd(&space, points) {
-        mudds.push(aborts);
+        mudds.push(Arc::new(aborts));
     }
-    let refs: Vec<&MuDd> = mudds.iter().collect();
+    let refs: Vec<&MuDd> = mudds.iter().map(Arc::as_ref).collect();
     ModelCone::from_mudds(name, &refs).expect("abort models stay within the path limit")
 }
 

@@ -156,6 +156,40 @@ pub struct MuDd {
     pub(crate) max_paths: usize,
 }
 
+/// Where a μpath traversal deposits completed paths: full [`MuPath`]s for
+/// [`MuDd::enumerate_paths`], or bare counter signatures for
+/// [`MuDd::path_signatures`] (which skips the per-path trail/assignment
+/// clones).
+enum PathSink<'a> {
+    Paths(&'a mut Vec<MuPath>),
+    Signatures(&'a mut Vec<CounterSignature>),
+}
+
+impl PathSink<'_> {
+    fn len(&self) -> usize {
+        match self {
+            PathSink::Paths(v) => v.len(),
+            PathSink::Signatures(v) => v.len(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        trail: &[NodeId],
+        assignment: &BTreeMap<String, String>,
+        signature: &CounterSignature,
+    ) {
+        match self {
+            PathSink::Paths(v) => v.push(MuPath::new(
+                trail.to_vec(),
+                assignment.clone(),
+                signature.clone(),
+            )),
+            PathSink::Signatures(v) => v.push(signature.clone()),
+        }
+    }
+}
+
 impl MuDd {
     /// The model's name.
     pub fn name(&self) -> &str {
@@ -212,13 +246,13 @@ impl MuDd {
         let mut paths = Vec::new();
         let mut signature = CounterSignature::zero(self.counters.len());
         let mut node_trail = Vec::new();
-        let assignment = BTreeMap::new();
+        let mut assignment = BTreeMap::new();
         self.visit(
             self.start,
-            &assignment,
+            &mut assignment,
             &mut signature,
             &mut node_trail,
-            &mut paths,
+            &mut PathSink::Paths(&mut paths),
         )?;
         Ok(paths)
     }
@@ -226,10 +260,10 @@ impl MuDd {
     fn visit(
         &self,
         node: usize,
-        assignment: &BTreeMap<String, String>,
+        assignment: &mut BTreeMap<String, String>,
         signature: &mut CounterSignature,
         trail: &mut Vec<NodeId>,
-        paths: &mut Vec<MuPath>,
+        sink: &mut PathSink<'_>,
     ) -> Result<(), MuDdError> {
         trail.push(NodeId(node));
         let mut incremented = None;
@@ -239,16 +273,12 @@ impl MuDd {
                 incremented = Some(*idx);
             }
             NodeKind::End => {
-                if paths.len() >= self.max_paths {
+                if sink.len() >= self.max_paths {
                     return Err(MuDdError::PathExplosion {
                         limit: self.max_paths,
                     });
                 }
-                paths.push(MuPath::new(
-                    trail.clone(),
-                    assignment.clone(),
-                    signature.clone(),
-                ));
+                sink.record(trail, assignment, signature);
                 trail.pop();
                 return Ok(());
             }
@@ -257,42 +287,49 @@ impl MuDd {
 
         let result = match &self.nodes[node] {
             NodeKind::Decision(property) => {
-                if let Some(value) = assignment.get(property) {
+                if assignment.contains_key(property) {
                     // Property already fixed earlier in the traversal: follow the
                     // matching edge if it exists, otherwise the path is
                     // contradictory and contributes nothing.
-                    if let Some((target, _)) = self.causal_out[node]
+                    let value = assignment.get(property).map(String::as_str);
+                    match self.causal_out[node]
                         .iter()
-                        .find(|(_, label)| label.as_deref() == Some(value.as_str()))
+                        .find(|(_, label)| label.as_deref() == value)
+                        .map(|&(target, _)| target)
                     {
-                        self.visit(*target, assignment, signature, trail, paths)
-                    } else {
-                        Ok(())
+                        Some(target) => self.visit(target, assignment, signature, trail, sink),
+                        None => Ok(()),
                     }
                 } else {
-                    for (target, label) in &self.causal_out[node] {
+                    // The assignment is extended in place and unwound after
+                    // each branch — the enumeration shares one map instead of
+                    // cloning it per decision edge.
+                    let mut result = Ok(());
+                    for i in 0..self.causal_out[node].len() {
+                        let (target, label) = &self.causal_out[node][i];
+                        let target = *target;
                         let value = label
-                            .as_ref()
+                            .clone()
                             .expect("validated: decision edges are labelled");
-                        let mut extended = assignment.clone();
-                        extended.insert(property.clone(), value.clone());
-                        self.visit(*target, &extended, signature, trail, paths)?;
+                        assignment.insert(property.clone(), value);
+                        result = self.visit(target, assignment, signature, trail, sink);
+                        assignment.remove(property);
+                        if result.is_err() {
+                            break;
+                        }
                     }
-                    Ok(())
+                    result
                 }
             }
             _ => {
                 let (target, _) = self.causal_out[node][0];
-                self.visit(target, assignment, signature, trail, paths)
+                self.visit(target, assignment, signature, trail, sink)
             }
         };
 
         if let Some(idx) = incremented {
             // Undo the increment on backtrack.
-            let counts = signature.counts().to_vec();
-            let mut restored = counts;
-            restored[idx] -= 1;
-            *signature = CounterSignature::from_counts(restored);
+            signature.decrement(idx);
         }
         trail.pop();
         result
@@ -300,15 +337,26 @@ impl MuDd {
 
     /// Convenience: the counter signatures of all μpaths (not deduplicated).
     ///
+    /// Runs the same traversal as [`MuDd::enumerate_paths`] but records only
+    /// each path's counter signature, skipping the per-path trail and
+    /// assignment clones — the fast path for model-cone construction.
+    ///
     /// # Errors
     ///
     /// Propagates [`MuDdError::PathExplosion`] from path enumeration.
     pub fn path_signatures(&self) -> Result<Vec<CounterSignature>, MuDdError> {
-        Ok(self
-            .enumerate_paths()?
-            .into_iter()
-            .map(MuPath::into_signature)
-            .collect())
+        let mut signatures = Vec::new();
+        let mut signature = CounterSignature::zero(self.counters.len());
+        let mut node_trail = Vec::new();
+        let mut assignment = BTreeMap::new();
+        self.visit(
+            self.start,
+            &mut assignment,
+            &mut signature,
+            &mut node_trail,
+            &mut PathSink::Signatures(&mut signatures),
+        )?;
+        Ok(signatures)
     }
 
     /// Number of μpaths (equal to `enumerate_paths()?.len()`).

@@ -79,6 +79,21 @@ impl CounterSignature {
         self.counts[idx] += by;
     }
 
+    /// Decrement counter `idx` by one — the backtracking inverse of
+    /// [`increment`](CounterSignature::increment) used during μpath
+    /// enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the count is already zero.
+    pub fn decrement(&mut self, idx: usize) {
+        assert!(
+            self.counts[idx] > 0,
+            "cannot decrement counter {idx} below zero"
+        );
+        self.counts[idx] -= 1;
+    }
+
     /// The increment count of counter `idx`.
     ///
     /// # Panics

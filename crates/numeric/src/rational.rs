@@ -234,7 +234,12 @@ impl Rational {
         }
     }
 
-    fn checked_add(self, other: Rational) -> Option<Rational> {
+    /// Overflow-safe addition: `None` when an intermediate exceeds `i128`
+    /// instead of panicking like the `+` operator.  The two-tier feasibility
+    /// engine recertifies near-degenerate float verdicts through these checked
+    /// entry points and degrades gracefully (drops the evidence, keeps the
+    /// verdict) when a value falls outside the exact regime.
+    pub fn checked_add(self, other: Rational) -> Option<Rational> {
         // a/b + c/d = (a*d + c*b) / (b*d); use lcm to keep magnitudes small.
         let g = gcd_i128(self.den, other.den);
         let lhs = self.num.checked_mul(other.den / g)?;
@@ -242,6 +247,64 @@ impl Rational {
         let num = lhs.checked_add(rhs)?;
         let den = (self.den / g).checked_mul(other.den)?;
         Rational::try_new(num, den).ok()
+    }
+
+    /// Overflow-safe multiplication: the checked counterpart of the `*`
+    /// operator (see [`checked_add`](Rational::checked_add)).
+    pub fn checked_mul(self, other: Rational) -> Option<Rational> {
+        self.checked_mul_impl(other)
+    }
+
+    /// Overflow-safe subtraction (see [`checked_add`](Rational::checked_add)).
+    pub fn checked_sub(self, other: Rational) -> Option<Rational> {
+        let negated = Rational {
+            num: other.num.checked_neg()?,
+            den: other.den,
+        };
+        self.checked_add(negated)
+    }
+
+    /// The *exact* rational value of a finite `f64` — every finite double is
+    /// a dyadic rational `±m · 2^e`, so no rounding is involved.  `None` for
+    /// NaN, infinities, and values whose exact numerator or denominator
+    /// exceeds `i128` (|e| too large): such values are far outside the
+    /// counter-space regime and callers fall back to float arithmetic.
+    ///
+    /// ```
+    /// use counterpoint_numeric::Rational;
+    /// assert_eq!(Rational::try_from_f64(0.25), Some(Rational::new(1, 4)));
+    /// assert_eq!(Rational::try_from_f64(-3.0), Some(Rational::from_integer(-3)));
+    /// assert_eq!(Rational::try_from_f64(f64::NAN), None);
+    /// ```
+    pub fn try_from_f64(value: f64) -> Option<Rational> {
+        if !value.is_finite() {
+            return None;
+        }
+        if value == 0.0 {
+            return Some(Rational::ZERO);
+        }
+        let bits = value.to_bits();
+        let sign = if bits >> 63 == 1 { -1i128 } else { 1i128 };
+        let biased = ((bits >> 52) & 0x7ff) as i64;
+        let fraction = (bits & ((1u64 << 52) - 1)) as i128;
+        // Subnormals have no implicit leading bit and a fixed exponent.
+        let (mantissa, exponent) = if biased == 0 {
+            (fraction, -1074i64)
+        } else {
+            (fraction + (1i128 << 52), biased - 1075)
+        };
+        if exponent >= 0 {
+            let shift = u32::try_from(exponent).ok()?;
+            let scale = 1i128.checked_shl(shift).filter(|_| shift < 127)?;
+            let num = mantissa.checked_mul(scale)?;
+            Some(Rational::from_integer(sign * num))
+        } else {
+            let shift = u32::try_from(-exponent).ok()?;
+            if shift >= 127 {
+                return None;
+            }
+            Rational::try_new(sign * mantissa, 1i128 << shift).ok()
+        }
     }
 
     fn checked_mul_impl(self, other: Rational) -> Option<Rational> {

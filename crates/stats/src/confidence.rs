@@ -44,6 +44,24 @@ pub struct ConfidenceRegion {
     confidence: f64,
     num_samples: usize,
     noise_model: NoiseModel,
+    /// Whether `axes` is exactly the standard basis (`axes[k] == e_k`), cached
+    /// at construction.  Exact and independent-noise regions are axis-aligned
+    /// by construction, and every projection against them collapses from a
+    /// dense `O(d)` dot per axis to a single component read — the fast paths
+    /// below rely on this.
+    standard_axes: bool,
+}
+
+/// Returns `true` when `axes` is exactly the standard basis of `R^dim`.
+fn axes_are_standard(axes: &[Vec<f64>], dim: usize) -> bool {
+    axes.len() == dim
+        && axes.iter().enumerate().all(|(k, axis)| {
+            axis.len() == dim
+                && axis
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &v)| v == if i == k { 1.0 } else { 0.0 })
+        })
 }
 
 impl ConfidenceRegion {
@@ -106,6 +124,7 @@ impl ConfidenceRegion {
             }
         };
 
+        let standard_axes = axes_are_standard(&axes, dim);
         ConfidenceRegion {
             center,
             axes,
@@ -113,6 +132,7 @@ impl ConfidenceRegion {
             confidence,
             num_samples: samples.len(),
             noise_model,
+            standard_axes,
         }
     }
 
@@ -136,6 +156,7 @@ impl ConfidenceRegion {
             confidence: 1.0,
             num_samples: 1,
             noise_model: NoiseModel::Independent,
+            standard_axes: true,
         }
     }
 
@@ -174,6 +195,16 @@ impl ConfidenceRegion {
         self.noise_model
     }
 
+    /// Returns `true` if the region's axes are exactly the standard basis
+    /// (`axes[k] == e_k`), as produced by [`ConfidenceRegion::exact`] and the
+    /// [`NoiseModel::Independent`] construction.  Projections against such a
+    /// region need one component read per axis instead of a dense dot, and
+    /// callers on hot paths (the LP bound builder, certificate pruning) branch
+    /// on this.
+    pub fn standard_axes(&self) -> bool {
+        self.standard_axes
+    }
+
     /// Returns `true` if the point lies inside the bounding box.
     ///
     /// # Panics
@@ -181,6 +212,15 @@ impl ConfidenceRegion {
     /// Panics if `point` has the wrong dimension.
     pub fn contains(&self, point: &[f64]) -> bool {
         assert_eq!(point.len(), self.dimension(), "point dimension mismatch");
+        if self.standard_axes {
+            // Axis k projects the delta onto component k, bit-identically to
+            // the dense dot below (every other term of the dot is `x · 0`).
+            return point
+                .iter()
+                .zip(self.center.iter())
+                .zip(self.half_widths.iter())
+                .all(|((p, c), width)| (p - c).abs() <= width + 1e-9);
+        }
         let delta = FVector::from_slice(point).sub(&FVector::from_slice(&self.center));
         self.axes
             .iter()
@@ -203,6 +243,19 @@ impl ConfidenceRegion {
     /// Panics if `a` has the wrong dimension.
     pub fn interval_along(&self, a: &[f64]) -> (f64, f64) {
         assert_eq!(a.len(), self.dimension(), "direction dimension mismatch");
+        if self.standard_axes {
+            // `a · e_k == a[k]` exactly, so the spread collapses to one
+            // multiply per axis (the dense path recomputes a full dot per
+            // axis).  Same summation order as `FVector::dot`, so the result
+            // is bit-identical.
+            let centre_proj: f64 = a.iter().zip(self.center.iter()).map(|(x, c)| x * c).sum();
+            let spread: f64 = a
+                .iter()
+                .zip(self.half_widths.iter())
+                .map(|(x, width)| (x * width).abs())
+                .sum();
+            return (centre_proj - spread, centre_proj + spread);
+        }
         let a_vec = FVector::from_slice(a);
         let centre_proj = a_vec.dot(&FVector::from_slice(&self.center));
         let spread: f64 = self

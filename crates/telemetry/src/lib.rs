@@ -126,11 +126,17 @@ pub enum Metric {
     ScheduleOversubscribedEvents,
     /// Schedules whose noise inflation exceeded the warning threshold.
     ScheduleInflationWarnings,
+    /// Fast (tier-1) feasibility solves whose verdict margin was too thin and
+    /// were re-run on the exact tier-2 engine.
+    LpTier2Escalations,
+    /// Harvested certificates or witness rays whose float margin was
+    /// near-degenerate and were re-verified in exact rational arithmetic.
+    LpExactRecertifications,
 }
 
 impl Metric {
     /// Every counter, in stable snapshot order.
-    pub const ALL: [Metric; 17] = [
+    pub const ALL: [Metric; 19] = [
         Metric::LpSolves,
         Metric::LpPivots,
         Metric::LpRefactorizations,
@@ -148,6 +154,8 @@ impl Metric {
         Metric::ScheduleRounds,
         Metric::ScheduleOversubscribedEvents,
         Metric::ScheduleInflationWarnings,
+        Metric::LpTier2Escalations,
+        Metric::LpExactRecertifications,
     ];
 
     /// The snake_case name used in metrics snapshots.
@@ -170,6 +178,8 @@ impl Metric {
             Metric::ScheduleRounds => "schedule_rounds",
             Metric::ScheduleOversubscribedEvents => "schedule_oversubscribed_events",
             Metric::ScheduleInflationWarnings => "schedule_inflation_warnings",
+            Metric::LpTier2Escalations => "lp_tier2_escalations",
+            Metric::LpExactRecertifications => "lp_exact_recertifications",
         }
     }
 }

@@ -247,6 +247,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     let mut best = Duration::MAX;
     let mut total = Duration::ZERO;
     let mut per_sample = Vec::with_capacity(samples);
+    let mut per_sample_ns = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut bencher = Bencher {
             iters,
@@ -257,14 +258,20 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         best = best.min(per);
         total += per;
         per_sample.push(per);
+        // Fractional per-iteration time: `Duration` division floors to whole
+        // nanoseconds, which collapses sub-ns workloads (and sub-ns precision
+        // on fast ones) to zero in the recorded baseline.
+        per_sample_ns.push(bencher.elapsed.as_secs_f64() * 1e9 / iters as f64);
     }
     let mean = total / samples as u32;
     per_sample.sort_unstable();
     let median = per_sample[per_sample.len() / 2];
+    per_sample_ns.sort_unstable_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median_ns = per_sample_ns[per_sample_ns.len() / 2];
     RESULTS
         .lock()
         .expect("criterion results poisoned")
-        .push((label.to_string(), median.as_nanos() as f64));
+        .push((label.to_string(), median_ns));
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6),
         Throughput::Bytes(n) => format!(
@@ -312,9 +319,11 @@ mod tests {
         let mut group = c.benchmark_group("demo");
         group.sample_size(2);
         group.throughput(Throughput::Elements(100));
-        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        // Black-box the loop bounds so optimized builds cannot const-fold the
+        // workload to a sub-nanosecond constant (the medians must stay > 0).
+        group.bench_function("sum", |b| b.iter(|| (0..black_box(100u64)).sum::<u64>()));
         group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>())
+            b.iter(|| (0..black_box(n)).sum::<u64>())
         });
         group.finish();
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
