@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The determinism & soundness static-analysis gate, runnable locally too:
+#
+#   ci/lint.sh            # lint crates/, tests/, examples/; fail on findings
+#
+# Runs `counterpoint-lint` (rules D1-D5, see README "Static invariant
+# checking") over the workspace with the checked-in allowlist
+# ci/lint_allow.toml, writing the machine-readable report to
+# target/lint_report.json (uploaded as a CI artifact).  Exits nonzero on any
+# unallowlisted finding or stale allowlist entry.  The lint walks crates/
+# including crates/lint itself, so the lint crate is self-linted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+report="${CARGO_TARGET_DIR:-target}/lint_report.json"
+cargo run -q -p counterpoint-lint -- --out "$report"
+echo "lint report written to $report"

@@ -60,7 +60,7 @@ use crate::explore::{FeatureSet, SearchEdge, SearchGraph, SearchPhase, SearchSte
 use crate::feasibility::observation_scale;
 use crate::observation::Observation;
 use counterpoint_telemetry as telemetry;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -839,7 +839,7 @@ where
     // same direction first merely wins the dedup race — the masks are
     // deterministic, so either copy is correct), and amortised over every
     // later model.
-    let pooled_directions: std::collections::HashSet<Vec<u64>> = certificate_snapshot
+    let pooled_directions: BTreeSet<Vec<u64>> = certificate_snapshot
         .iter()
         .map(|p| generator_bits(&p.direction))
         .collect();
@@ -874,7 +874,7 @@ where
     // rays collected above (many, each carrying its single known bit).
     // Identical rays merge by OR-ing masks, keyed by their exact bit patterns
     // so every merge is a hash lookup instead of an O(pool) vector scan.
-    let snapshot_index: HashMap<Vec<u64>, usize> = ray_snapshot
+    let snapshot_index: BTreeMap<Vec<u64>, usize> = ray_snapshot
         .iter()
         .enumerate()
         .rev() // first occurrence wins on (impossible) duplicate keys
@@ -895,7 +895,7 @@ where
         };
         let words = observations.len().div_ceil(64);
         let mut fresh: Vec<PoolRay> = Vec::new();
-        let mut fresh_index: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut fresh_index: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
         for (ray, support) in new_cached_rays {
             let key = generator_bits(&ray);
             if fresh_index.contains_key(&key) {
@@ -931,7 +931,7 @@ where
         }
         let cap = ray_pool_cap(observations.len());
         let mut rays = pool.rays.lock().expect("ray pool poisoned");
-        let mut pool_index: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut pool_index: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
         for (i, p) in rays.iter().enumerate() {
             pool_index.entry(generator_bits(&p.ray)).or_insert(i);
         }

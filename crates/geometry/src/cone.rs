@@ -92,8 +92,7 @@ impl GeneratorCone {
         );
         let dim = generators[0].len();
         let mut out: Vec<RatVector> = Vec::with_capacity(generators.len());
-        let mut seen: std::collections::HashSet<RatVector> =
-            std::collections::HashSet::with_capacity(generators.len());
+        let mut seen: std::collections::BTreeSet<RatVector> = std::collections::BTreeSet::new();
         for g in generators {
             assert_eq!(g.len(), dim, "all generators must have the same dimension");
             let n = g.normalize_primitive();
@@ -131,7 +130,7 @@ impl GeneratorCone {
         debug_assert_eq!(
             generators
                 .iter()
-                .collect::<std::collections::HashSet<_>>()
+                .collect::<std::collections::BTreeSet<_>>()
                 .len(),
             generators.len(),
             "generators must be deduplicated"

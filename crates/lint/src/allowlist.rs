@@ -1,0 +1,235 @@
+//! The checked-in exemption list (`ci/lint_allow.toml`) and its parser.
+//!
+//! A deliberately small TOML subset — `[[allow]]` tables of quoted-string
+//! key/value pairs plus `#` comment lines — parsed by hand so the lint stays
+//! dependency-free.  Every entry must name a rule, a path glob, and a
+//! non-empty justification; entries that match no current finding are
+//! *stale* and fail the lint, so the allowlist can never silently outlive
+//! the code it excuses.
+
+use std::fmt;
+use std::path::Path;
+
+/// One `[[allow]]` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (`"D1"` … `"D5"`).
+    pub rule: String,
+    /// Path glob the entry applies to (`*` within a segment, `**` across
+    /// segments), matched against repo-relative forward-slash paths.
+    pub path: String,
+    /// Optional substring that must occur in the finding's source line,
+    /// narrowing the exemption to specific code.
+    pub contains: Option<String>,
+    /// Human-readable reason the exemption is sound.  Required.
+    pub justification: String,
+    /// 1-based line of the `[[allow]]` header, for diagnostics.
+    pub line: u32,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule {} at {}", self.rule, self.path)?;
+        if let Some(c) = &self.contains {
+            write!(f, " (contains {c:?})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the TOML-subset text.  `origin` names the source in errors.
+    pub fn parse(text: &str, origin: &str) -> Result<Allowlist, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<(AllowEntry, u32)> = None;
+        let finish = |current: &mut Option<(AllowEntry, u32)>,
+                      entries: &mut Vec<AllowEntry>|
+         -> Result<(), String> {
+            if let Some((entry, at)) = current.take() {
+                if entry.rule.is_empty() || entry.path.is_empty() {
+                    return Err(format!(
+                        "{origin}:{at}: [[allow]] entry needs both `rule` and `path`"
+                    ));
+                }
+                if entry.justification.trim().is_empty() {
+                    return Err(format!(
+                        "{origin}:{at}: [[allow]] entry for rule {} needs a non-empty `justification`",
+                        entry.rule
+                    ));
+                }
+                entries.push(entry);
+            }
+            Ok(())
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(&mut current, &mut entries)?;
+                current = Some((
+                    AllowEntry {
+                        rule: String::new(),
+                        path: String::new(),
+                        contains: None,
+                        justification: String::new(),
+                        line: lineno,
+                    },
+                    lineno,
+                ));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "{origin}:{lineno}: expected `key = \"value\"`, got {line:?}"
+                ));
+            };
+            let Some((entry, _)) = current.as_mut() else {
+                return Err(format!(
+                    "{origin}:{lineno}: key/value pair before the first [[allow]]"
+                ));
+            };
+            let value = unquote(value.trim())
+                .ok_or_else(|| format!("{origin}:{lineno}: value must be a quoted string"))?;
+            match key.trim() {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "contains" => entry.contains = Some(value),
+                "justification" => entry.justification = value,
+                other => {
+                    return Err(format!("{origin}:{lineno}: unknown key {other:?}"));
+                }
+            }
+        }
+        finish(&mut current, &mut entries)?;
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads and parses the allowlist file.  A missing file is an error —
+    /// the lint requires the allowlist to be checked in, even if empty.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Allowlist::parse(&text, &path.display().to_string())
+    }
+}
+
+/// Strips surrounding double quotes, resolving `\\` and `\"` escapes.
+fn unquote(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            return None; // an unescaped quote means `s` was not one string
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Matches `path` against `pattern`: `/`-separated segments, `*` matching
+/// within a segment, `**` matching any number of whole segments.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    fn segs(p: &str) -> Vec<&str> {
+        p.split('/').filter(|s| !s.is_empty()).collect()
+    }
+    fn match_segs(pat: &[&str], path: &[&str]) -> bool {
+        match pat.first() {
+            None => path.is_empty(),
+            Some(&"**") => (0..=path.len()).any(|k| match_segs(&pat[1..], &path[k..])),
+            Some(&p) => {
+                !path.is_empty() && match_seg(p, path[0]) && match_segs(&pat[1..], &path[1..])
+            }
+        }
+    }
+    fn match_seg(pat: &str, s: &str) -> bool {
+        let (pb, sb) = (pat.as_bytes(), s.as_bytes());
+        fn rec(p: &[u8], s: &[u8]) -> bool {
+            match p.first() {
+                None => s.is_empty(),
+                Some(b'*') => (0..=s.len()).any(|k| rec(&p[1..], &s[k..])),
+                Some(&c) => !s.is_empty() && s[0] == c && rec(&p[1..], &s[1..]),
+            }
+        }
+        rec(pb, sb)
+    }
+    match_segs(&segs(pattern), &segs(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text = r#"
+# header comment
+[[allow]]
+rule = "D2"
+path = "crates/bench/**"
+justification = "bench timing never reaches Report bytes"
+
+[[allow]]
+rule = "D1"
+path = "crates/core/src/*.rs"
+contains = "memo"
+justification = "sorted before emission"
+"#;
+        let list = Allowlist::parse(text, "test.toml").unwrap();
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].rule, "D2");
+        assert_eq!(list.entries[1].contains.as_deref(), Some("memo"));
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        let text = "[[allow]]\nrule = \"D1\"\npath = \"x\"\n";
+        assert!(Allowlist::parse(text, "t")
+            .unwrap_err()
+            .contains("justification"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bare_values() {
+        assert!(Allowlist::parse("[[allow]]\nfoo = \"x\"\n", "t").is_err());
+        assert!(Allowlist::parse("[[allow]]\nrule = D1\n", "t").is_err());
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match(
+            "crates/bench/**",
+            "crates/bench/src/bin/experiments.rs"
+        ));
+        assert!(glob_match("crates/*/src/lib.rs", "crates/core/src/lib.rs"));
+        assert!(!glob_match("crates/*/lib.rs", "crates/core/src/lib.rs"));
+        assert!(glob_match("tests/*.rs", "tests/end_to_end.rs"));
+        assert!(glob_match(
+            "crates/session/src/inquiry.rs",
+            "crates/session/src/inquiry.rs"
+        ));
+        assert!(!glob_match(
+            "crates/session/src/inquiry.rs",
+            "crates/session/src/report.rs"
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! Diagnostic rendering: a clippy-style text report and a machine-readable
+//! JSON document (hand-rolled writer; all strings escaped, order stable).
+
+use crate::allowlist::AllowEntry;
+use crate::rules::{rule_info, Finding};
+use crate::LintOutcome;
+use std::fmt::Write as _;
+
+/// Renders one finding in the familiar `error[ID]: …` shape with a source
+/// excerpt and caret underline.
+pub fn render_finding(f: &Finding) -> String {
+    let info = rule_info(f.rule).expect("finding carries a registered rule id");
+    let lineno = f.line.to_string();
+    let gutter = " ".repeat(lineno.len());
+    let caret_pad = " ".repeat(f.col.saturating_sub(1) as usize);
+    let carets = "^".repeat(f.width.max(1) as usize);
+    let mut out = String::new();
+    let _ = writeln!(out, "error[{}]: {}", f.rule, info.title);
+    let _ = writeln!(out, "{gutter}--> {}:{}:{}", f.path, f.line, f.col);
+    let _ = writeln!(out, "{gutter} |");
+    let _ = writeln!(out, "{lineno} | {}", f.excerpt);
+    let _ = writeln!(out, "{gutter} | {caret_pad}{carets}");
+    let _ = writeln!(out, "{gutter} = help: {}", info.help);
+    out
+}
+
+/// Renders the full text report: active findings, stale allowlist entries,
+/// and a one-line summary.
+pub fn render_report(outcome: &LintOutcome, allow_entries: &[AllowEntry]) -> String {
+    let mut out = String::new();
+    for f in &outcome.active {
+        out.push_str(&render_finding(f));
+        out.push('\n');
+    }
+    for &idx in &outcome.stale_entries {
+        let e = &allow_entries[idx];
+        let _ = writeln!(
+            out,
+            "error[stale-allow]: allowlist entry matches no finding: {e}\n  --> ci/lint_allow.toml:{}\n   = help: the code it excused is gone; delete the entry\n",
+            e.line
+        );
+    }
+    let _ =
+        writeln!(
+        out,
+        "counterpoint-lint: {} file(s), {} finding(s), {} allowlisted, {} stale allowlist entr{}",
+        outcome.files_scanned,
+        outcome.active.len(),
+        outcome.suppressed.len(),
+        outcome.stale_entries.len(),
+        if outcome.stale_entries.len() == 1 { "y" } else { "ies" },
+    );
+    out
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding, justification: Option<&str>) -> String {
+    let mut out = format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"width\":{},\"excerpt\":\"{}\"",
+        f.rule,
+        json_escape(&f.path),
+        f.line,
+        f.col,
+        f.width,
+        json_escape(f.excerpt.trim()),
+    );
+    if let Some(j) = justification {
+        let _ = write!(out, ",\"justification\":\"{}\"", json_escape(j));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the machine-readable report consumed by CI (`--emit json`).
+pub fn render_json(outcome: &LintOutcome, allow_entries: &[AllowEntry]) -> String {
+    let active: Vec<String> = outcome
+        .active
+        .iter()
+        .map(|f| finding_json(f, None))
+        .collect();
+    let suppressed: Vec<String> = outcome
+        .suppressed
+        .iter()
+        .map(|(f, idx)| finding_json(f, Some(&allow_entries[*idx].justification)))
+        .collect();
+    let stale: Vec<String> = outcome
+        .stale_entries
+        .iter()
+        .map(|&idx| {
+            let e = &allow_entries[idx];
+            format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{}}}",
+                json_escape(&e.rule),
+                json_escape(&e.path),
+                e.line
+            )
+        })
+        .collect();
+    format!(
+        "{{\"version\":1,\"files_scanned\":{},\"findings\":[{}],\"allowlisted\":[{}],\"stale_allow_entries\":[{}]}}\n",
+        outcome.files_scanned,
+        active.join(","),
+        suppressed.join(","),
+        stale.join(","),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn finding_renders_with_caret() {
+        let f = Finding {
+            rule: "D1",
+            path: "crates/core/src/x.rs".to_string(),
+            line: 3,
+            col: 5,
+            width: 7,
+            excerpt: "    HashMap::new();".to_string(),
+        };
+        let text = render_finding(&f);
+        assert!(text.contains("error[D1]"));
+        assert!(text.contains("--> crates/core/src/x.rs:3:5"));
+        assert!(text.contains("    ^^^^^^^"));
+    }
+}

@@ -1,0 +1,410 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The lexer understands exactly as much Rust as the rule engine needs to be
+//! sound: comments (line, nested block, doc), every string-literal shape
+//! (plain, byte, C, and raw with any number of `#` guards), character and
+//! byte-character literals, lifetimes, identifiers, numbers, and single-
+//! character punctuation.  Everything that is *not* an identifier token can
+//! therefore never be mistaken for code by a rule — `"unsafe"` inside a
+//! string or a comment stays inert.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime or loop label such as `'a` (including the quote).
+    Lifetime,
+    /// Numeric literal (integers and floats, lexed loosely).
+    Number,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// Character or byte-character literal: `'x'`, `b'\n'`.
+    Char,
+    /// `//` comment, including doc comments `///` and `//!`.
+    LineComment,
+    /// `/* … */` comment (nesting-aware), including doc `/** … */`.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its byte span and 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// `true` for line and block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// `true` for doc comments (`///`, `//!`, `/**`, `/*!`).
+    pub fn is_doc_comment(&self, src: &str) -> bool {
+        let t = self.text(src);
+        self.is_comment()
+            && (t.starts_with("///")
+                || t.starts_with("//!")
+                || t.starts_with("/**")
+                || t.starts_with("/*!"))
+    }
+}
+
+/// Character-indexed cursor over the source with line/column tracking.
+struct Cursor {
+    chars: Vec<(usize, char)>,
+    len: usize,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Cursor {
+        Cursor {
+            chars: src.char_indices().collect(),
+            len: src.len(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Character `k` positions ahead, if any.
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the current character (or the source length at EOF).
+    fn byte(&self) -> usize {
+        self.chars.get(self.i).map_or(self.len, |&(b, _)| b)
+    }
+
+    /// Consumes one character, updating line/column counters.
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.i)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream.  Never fails: malformed input (for
+/// example an unterminated string) degrades into a token that extends to the
+/// end of the file, which keeps the rule engine conservative rather than
+/// panicky.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (start, line, col) = (cur.byte(), cur.line, cur.col);
+        let kind = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if let Some(kind) = try_lex_prefixed_literal(&mut cur, c) {
+            kind
+        } else if is_ident_start(c) {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else if c == '"' {
+            lex_string(&mut cur);
+            TokenKind::Str
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else {
+            cur.bump();
+            TokenKind::Punct
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.byte(),
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Handles the literal prefixes `r`, `b`, `br`, `c`, `cr` when they in fact
+/// introduce a literal; returns `None` when `c` starts a plain identifier.
+fn try_lex_prefixed_literal(cur: &mut Cursor, c: char) -> Option<TokenKind> {
+    let (raw_at, quote_at) = match (c, cur.peek(1)) {
+        ('r', Some('"' | '#')) => (Some(0), None),
+        ('b' | 'c', Some('r')) if matches!(cur.peek(2), Some('"' | '#')) => (Some(1), None),
+        ('b' | 'c', Some('"')) => (None, Some(1)),
+        ('b', Some('\'')) => {
+            cur.bump(); // `b`
+            lex_quote_char(cur);
+            return Some(TokenKind::Char);
+        }
+        _ => return None,
+    };
+    if let Some(prefix_len) = raw_at {
+        for _ in 0..=prefix_len {
+            cur.bump(); // the `r` / `br` / `cr` prefix
+        }
+        let mut guards = 0usize;
+        while cur.peek(0) == Some('#') {
+            guards += 1;
+            cur.bump();
+        }
+        if cur.peek(0) != Some('"') {
+            // `r#ident` raw identifier (or stray `#`s): treat as an identifier.
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            return Some(TokenKind::Ident);
+        }
+        cur.bump(); // opening quote
+        loop {
+            match cur.bump() {
+                None => break,
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < guards && cur.peek(0) == Some('#') {
+                        seen += 1;
+                        cur.bump();
+                    }
+                    if seen == guards {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        Some(TokenKind::Str)
+    } else {
+        let _ = quote_at;
+        cur.bump(); // the `b` / `c` prefix
+        lex_string(cur);
+        Some(TokenKind::Str)
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> TokenKind {
+    while cur.peek(0).is_some_and(|c| c != '\n') {
+        cur.bump();
+    }
+    TokenKind::LineComment
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // `/`
+    cur.bump(); // `*`
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+    TokenKind::BlockComment
+}
+
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None | Some('"') => break,
+            Some('\\') => {
+                cur.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> TokenKind {
+    // Loose: digits, radix prefixes, underscores and type suffixes all fold
+    // into one `Number` token; `0..n` must not swallow the range dots.
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+    TokenKind::Number
+}
+
+/// Disambiguates `'a` (lifetime/label) from `'x'` / `'\n'` (char literal).
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    if cur.peek(1) == Some('\\') || cur.peek(2) == Some('\'') {
+        lex_quote_char(cur);
+        TokenKind::Char
+    } else if cur.peek(1).is_some_and(is_ident_start) {
+        cur.bump(); // quote
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        TokenKind::Lifetime
+    } else {
+        lex_quote_char(cur);
+        TokenKind::Char
+    }
+}
+
+fn lex_quote_char(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None | Some('\'') => break,
+            Some('\\') => {
+                cur.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = texts("let x = y.z();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".to_string()));
+        assert_eq!(toks[3], (TokenKind::Ident, "y".to_string()));
+        assert_eq!(toks[4], (TokenKind::Punct, ".".to_string()));
+    }
+
+    #[test]
+    fn strings_swallow_keywords() {
+        let toks = texts(r#"let s = "unsafe { HashMap }";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || (t != "unsafe" && t != "HashMap")));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r####"let s = r##"inner "# quote"##; let t = 1;"####;
+        let toks = texts(src);
+        let raw = toks.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert!(raw.1.contains("inner"));
+        assert_eq!(toks.last().unwrap().1, ";");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = texts("/* outer /* unsafe */ still */ fn f() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "fn".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = texts("fn f<'a>(x: &'a str) { let c = 'u'; let q = '\\''; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = texts(r##"let b = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = texts("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn line_and_col_positions() {
+        let src = "fn f() {\n    unsafe {}\n}\n";
+        let toks = lex(src);
+        let u = toks
+            .iter()
+            .find(|t| t.text(src) == "unsafe")
+            .expect("unsafe token");
+        assert_eq!((u.line, u.col), (2, 5));
+    }
+
+    #[test]
+    fn doc_comment_detection() {
+        let src = "/// docs\n//! inner\n// plain\n/** block */\nfn f() {}";
+        let toks = lex(src);
+        assert!(toks[0].is_doc_comment(src));
+        assert!(toks[1].is_doc_comment(src));
+        assert!(!toks[2].is_doc_comment(src));
+        assert!(toks[3].is_doc_comment(src));
+    }
+}

@@ -1,0 +1,155 @@
+//! `counterpoint-lint`: the workspace's determinism & soundness static
+//! analysis.
+//!
+//! CounterPoint's credibility rests on two invariants the test suites only
+//! check dynamically: serialized output (Reports, SearchGraphs, traces,
+//! goldens) must be byte-identical across runs and thread counts, and every
+//! certificate-backed verdict must be sound.  This crate enforces the source
+//! -level hazards behind those invariants *before* a single test runs, with
+//! a hand-rolled lexer ([`lexer`]) and five rules ([`rules::RULES`]):
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | D1 | no `HashMap`/`HashSet` in crates that feed serialized output |
+//! | D2 | no wall-clock / thread-identity observation outside telemetry |
+//! | D3 | every `unsafe` carries a `// SAFETY:` / `# Safety` justification |
+//! | D4 | no unordered float reductions in cross-thread merge files |
+//! | D5 | no nondeterministic un-skipped fields in `Serialize` types |
+//!
+//! Exemptions live in `ci/lint_allow.toml` ([`allowlist`]), each with a
+//! mandatory justification; entries that no longer match any finding are
+//! *stale* and fail the lint.  The `counterpoint-lint` binary walks
+//! `crates/`, `tests/`, and `examples/` and exits nonzero on any
+//! unallowlisted finding.
+
+pub mod allowlist;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use allowlist::{glob_match, Allowlist};
+use rules::Finding;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The result of linting a file tree against an allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct LintOutcome {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings not covered by the allowlist — these fail the lint.
+    pub active: Vec<Finding>,
+    /// Findings suppressed by the allowlist, with the entry index that
+    /// claimed each.
+    pub suppressed: Vec<(Finding, usize)>,
+    /// Indices of allowlist entries that matched no finding — these fail
+    /// the lint too.
+    pub stale_entries: Vec<usize>,
+}
+
+impl LintOutcome {
+    /// `true` when the tree is clean: no active findings, no stale entries.
+    pub fn is_clean(&self) -> bool {
+        self.active.is_empty() && self.stale_entries.is_empty()
+    }
+}
+
+/// Collects every `.rs` file under `root`'s `crates/`, `tests/`, and
+/// `examples/` directories, in sorted (deterministic) order.  Directories
+/// named `target` (build artifacts) or `fixtures` (the lint's own
+/// deliberately-bad test corpus) are skipped.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != "fixtures" {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Splits raw findings into allowlisted and active, and reports stale
+/// allowlist entries.  The first matching entry (file order) claims a
+/// finding.
+pub fn apply_allowlist(findings: Vec<Finding>, allow: &Allowlist) -> LintOutcome {
+    let mut outcome = LintOutcome::default();
+    let mut matched = vec![false; allow.entries.len()];
+    for finding in findings {
+        let claimed = allow.entries.iter().position(|e| {
+            e.rule == finding.rule
+                && glob_match(&e.path, &finding.path)
+                && e.contains
+                    .as_ref()
+                    .is_none_or(|c| finding.excerpt.contains(c.as_str()))
+        });
+        match claimed {
+            Some(idx) => {
+                matched[idx] = true;
+                outcome.suppressed.push((finding, idx));
+            }
+            None => outcome.active.push(finding),
+        }
+    }
+    outcome.stale_entries = (0..allow.entries.len()).filter(|&i| !matched[i]).collect();
+    outcome
+}
+
+/// Lints the whole tree under `root` against `allow`.
+pub fn lint_tree(root: &Path, allow: &Allowlist) -> io::Result<LintOutcome> {
+    let files = collect_rs_files(root)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)?;
+        findings.extend(rules::lint_source(&rel, &src));
+    }
+    let mut outcome = apply_allowlist(findings, allow);
+    outcome.files_scanned = files.len();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_claims_and_staleness() {
+        let allow = Allowlist::parse(
+            "[[allow]]\nrule = \"D1\"\npath = \"crates/core/**\"\njustification = \"test\"\n\
+             [[allow]]\nrule = \"D2\"\npath = \"crates/none/**\"\njustification = \"stale\"\n",
+            "t",
+        )
+        .unwrap();
+        let findings =
+            rules::lint_source("crates/core/src/x.rs", "use std::collections::HashMap;\n");
+        let outcome = apply_allowlist(findings, &allow);
+        assert!(outcome.active.is_empty());
+        assert_eq!(outcome.suppressed.len(), 1);
+        assert_eq!(outcome.stale_entries, vec![1]);
+        assert!(!outcome.is_clean());
+    }
+}

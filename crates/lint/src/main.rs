@@ -1,0 +1,88 @@
+//! The `counterpoint-lint` binary: walks `crates/`, `tests/`, and
+//! `examples/` under the workspace root, runs rules D1–D5, applies
+//! `ci/lint_allow.toml`, and exits nonzero on any unallowlisted finding or
+//! stale allowlist entry.
+//!
+//! ```text
+//! counterpoint-lint [--root DIR] [--allowlist FILE] [--emit text|json] [--out FILE]
+//! ```
+
+use counterpoint_lint::allowlist::Allowlist;
+use counterpoint_lint::diag::{render_json, render_report};
+use counterpoint_lint::lint_tree;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    emit_json: bool,
+    out: Option<PathBuf>,
+}
+
+const USAGE: &str =
+    "usage: counterpoint-lint [--root DIR] [--allowlist FILE] [--emit text|json] [--out FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        allowlist: None,
+        emit_json: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--allowlist" => args.allowlist = Some(PathBuf::from(value("--allowlist")?)),
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--emit" => match value("--emit")?.as_str() {
+                "json" => args.emit_json = true,
+                "text" => args.emit_json = false,
+                other => return Err(format!("unknown --emit mode {other:?}\n{USAGE}")),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let allow_path = args
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| args.root.join("ci/lint_allow.toml"));
+    let allow = Allowlist::load(&allow_path)?;
+    let outcome = lint_tree(&args.root, &allow).map_err(|e| format!("walk failed: {e}"))?;
+    let json = render_json(&outcome, &allow.entries);
+    if let Some(out) = &args.out {
+        std::fs::write(out, &json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    }
+    if args.emit_json {
+        print!("{json}");
+        eprint!("{}", render_report(&outcome, &allow.entries));
+    } else {
+        print!("{}", render_report(&outcome, &allow.entries));
+    }
+    Ok(outcome.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("counterpoint-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

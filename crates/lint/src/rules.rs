@@ -1,0 +1,558 @@
+//! The determinism & soundness rules (D1–D5) and the engine that runs them
+//! over a lexed file.
+//!
+//! Every rule is purely lexical over the token stream from [`crate::lexer`]:
+//! no type information, no macro expansion.  Where the true property is
+//! semantic (for example "this map's iteration order reaches serialized
+//! output"), the rule over-approximates and the checked-in allowlist
+//! (`ci/lint_allow.toml`) carries the justified exceptions — a sound default
+//! for invariants whose silent violation corrupts golden suites.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Static metadata of one rule.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Machine-readable rule id (`"D1"` … `"D5"`).
+    pub id: &'static str,
+    /// One-line title used as the diagnostic headline.
+    pub title: &'static str,
+    /// Remediation hint appended to every diagnostic.
+    pub help: &'static str,
+}
+
+/// The rule registry, in report order.
+pub const RULES: [RuleInfo; 5] = [
+    RuleInfo {
+        id: "D1",
+        title: "hash-ordered container in a crate that feeds serialized output",
+        help: "iteration order of HashMap/HashSet is nondeterministic; use BTreeMap/BTreeSet, \
+               or sort before emission and allowlist with a justification",
+    },
+    RuleInfo {
+        id: "D2",
+        title: "wall-clock or thread-identity observation outside counterpoint-telemetry",
+        help: "route timing through counterpoint-telemetry (or the StageTimings allowlist); \
+               observed time must never influence Report bytes",
+    },
+    RuleInfo {
+        id: "D3",
+        title: "`unsafe` without an immediately-preceding `// SAFETY:` comment",
+        help: "state the safety argument in a `// SAFETY:` comment directly above the block, \
+               or a `# Safety` doc section on the unsafe fn",
+    },
+    RuleInfo {
+        id: "D4",
+        title: "unordered floating-point reduction in a cross-thread merge file",
+        help: "route the reduction through the deterministic dot4/dot4_diff kernels, \
+               or allowlist with a justification that the order is fixed",
+    },
+    RuleInfo {
+        id: "D5",
+        title: "nondeterministic field type in a `Serialize` type without `#[serde(skip)]`",
+        help:
+            "mark the field `#[serde(skip)]` or replace the type with an ordered/deterministic one",
+    },
+];
+
+/// Looks up a rule's metadata by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One finding: a rule violation anchored to a source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`"D1"` … `"D5"`).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file (forward slashes).
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column (in characters) of the offending token.
+    pub col: u32,
+    /// Width of the offending token in characters (for the caret underline).
+    pub width: u32,
+    /// The full source line the finding anchors to.
+    pub excerpt: String,
+}
+
+/// Crates whose serialized output (Reports, SearchGraphs, traces, goldens)
+/// must be byte-identical across runs and thread counts: rule D1 applies to
+/// every file under these roots.
+pub const D1_CRATES: [&str; 6] = [
+    "crates/core/",
+    "crates/session/",
+    "crates/lp/",
+    "crates/geometry/",
+    "crates/models/",
+    "crates/mudd/",
+];
+
+/// Files that participate in cross-thread merges of floating-point results:
+/// rule D4 applies to exactly these paths.
+pub const D4_FILES: [&str; 2] = ["crates/core/src/lattice.rs", "crates/lp/src/factor.rs"];
+
+/// The only crate allowed to observe wall-clock time and thread identity.
+pub const D2_EXEMPT_PREFIX: &str = "crates/telemetry/";
+
+/// Field/container type names rule D5 rejects inside `Serialize` types.
+const D5_BAD_TYPES: [&str; 4] = ["HashMap", "HashSet", "Instant", "SystemTime"];
+
+/// Runs every rule over one file.  `path` must be repo-relative with forward
+/// slashes — the crate-scoped rules key off it.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    // Indices of non-comment tokens, for the rules that look at code shape.
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut findings = Vec::new();
+    d1_hash_containers(path, src, &tokens, &sig, &mut findings);
+    d2_time_observation(path, src, &tokens, &sig, &mut findings);
+    d3_undocumented_unsafe(path, src, &tokens, &mut findings);
+    d4_unordered_reduction(path, src, &tokens, &sig, &mut findings);
+    d5_serialized_nondeterminism(path, src, &tokens, &sig, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+fn push(findings: &mut Vec<Finding>, rule: &'static str, path: &str, src: &str, tok: &Token) {
+    findings.push(Finding {
+        rule,
+        path: path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        width: tok.text(src).chars().count().max(1) as u32,
+        excerpt: source_line(src, tok.line),
+    });
+}
+
+/// The 1-based line `line` of `src`, without its trailing newline.
+fn source_line(src: &str, line: u32) -> String {
+    src.lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("")
+        .to_string()
+}
+
+/// D1: any `HashMap`/`HashSet` identifier in a serialization-feeding crate.
+/// Presence (not just iteration) is flagged: a lookup-only map is one
+/// innocent-looking `for (k, v) in` away from nondeterministic output.
+fn d1_hash_containers(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    findings: &mut Vec<Finding>,
+) {
+    if !D1_CRATES.iter().any(|c| path.starts_with(c)) {
+        return;
+    }
+    for &i in sig {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident && matches!(t.text(src), "HashMap" | "HashSet") {
+            push(findings, "D1", path, src, t);
+        }
+    }
+}
+
+/// D2: `Instant`, `SystemTime`, or `thread::current` anywhere outside the
+/// telemetry crate.
+fn d2_time_observation(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    findings: &mut Vec<Finding>,
+) {
+    if path.starts_with(D2_EXEMPT_PREFIX) {
+        return;
+    }
+    for (k, &i) in sig.iter().enumerate() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text(src) {
+            "Instant" | "SystemTime" => push(findings, "D2", path, src, t),
+            "thread" => {
+                let after: Vec<&str> = sig[k + 1..]
+                    .iter()
+                    .take(3)
+                    .map(|&j| tokens[j].text(src))
+                    .collect();
+                if after == [":", ":", "current"] {
+                    push(findings, "D2", path, src, t);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// D3: every `unsafe` keyword must carry a justification — a `// SAFETY:`
+/// comment immediately above the statement/item (attributes and visibility
+/// may intervene), or a `# Safety` section in the item's doc comment.
+fn d3_undocumented_unsafe(path: &str, src: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && t.text(src) == "unsafe"
+            && !safety_documented(src, tokens, i)
+        {
+            push(findings, "D3", path, src, t);
+        }
+    }
+}
+
+/// Walks backwards from `tokens[unsafe_idx]` looking for a SAFETY
+/// justification, skipping (a) code earlier on the same line (`return unsafe
+/// { … }`), (b) attributes `#[…]`, and (c) declaration modifiers.
+fn safety_documented(src: &str, tokens: &[Token], unsafe_idx: usize) -> bool {
+    let line = tokens[unsafe_idx].line;
+    let mut j = unsafe_idx as isize - 1;
+    while j >= 0 {
+        let t = &tokens[j as usize];
+        if t.line == line && !t.is_comment() {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    loop {
+        if j < 0 {
+            return false;
+        }
+        let t = &tokens[j as usize];
+        if t.is_comment() {
+            if t.is_doc_comment(src) {
+                // Scan the contiguous doc block for a `# Safety` section.
+                let mut k = j;
+                let mut found = false;
+                while k >= 0 {
+                    let tk = &tokens[k as usize];
+                    if tk.is_doc_comment(src) {
+                        if tk.text(src).contains("# Safety") {
+                            found = true;
+                        }
+                        k -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                if found {
+                    return true;
+                }
+                j = k;
+            } else {
+                return t.text(src).contains("SAFETY:");
+            }
+        } else if t.kind == TokenKind::Punct && t.text(src) == "]" {
+            // An attribute: skip back over `#[…]` / `#![…]`.
+            let mut depth = 0i32;
+            let mut k = j;
+            loop {
+                if k < 0 {
+                    return false;
+                }
+                let tk = &tokens[k as usize];
+                if tk.kind == TokenKind::Punct {
+                    match tk.text(src) {
+                        "]" => depth += 1,
+                        "[" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                k -= 1;
+            }
+            k -= 1;
+            if k >= 0 && tokens[k as usize].text(src) == "!" {
+                k -= 1;
+            }
+            if k >= 0 && tokens[k as usize].text(src) == "#" {
+                j = k - 1;
+            } else {
+                return false;
+            }
+        } else if t.kind == TokenKind::Ident
+            && matches!(t.text(src), "pub" | "const" | "async" | "extern" | "crate")
+        {
+            j -= 1;
+        } else if t.kind == TokenKind::Punct && matches!(t.text(src), ")" | "(") {
+            // `pub(crate)` visibility parentheses.
+            j -= 1;
+        } else {
+            return false;
+        }
+    }
+}
+
+/// D4: `.sum(` / `.fold(` in a file that participates in cross-thread
+/// floating-point merges.
+fn d4_unordered_reduction(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    findings: &mut Vec<Finding>,
+) {
+    if !D4_FILES.contains(&path) {
+        return;
+    }
+    for (k, &i) in sig.iter().enumerate() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident
+            && matches!(t.text(src), "sum" | "fold")
+            && k > 0
+            && tokens[sig[k - 1]].text(src) == "."
+        {
+            push(findings, "D4", path, src, t);
+        }
+    }
+}
+
+/// D5: a `#[derive(… Serialize …)]` type whose body names a nondeterministic
+/// field type without a `#[serde(skip)]`-family attribute on that field.
+fn d5_serialized_nondeterminism(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    findings: &mut Vec<Finding>,
+) {
+    let text = |k: usize| tokens[sig[k]].text(src);
+    let mut k = 0;
+    while k < sig.len() {
+        // Find an attribute `#[ … ]` containing both `derive` and `Serialize`.
+        if !(text(k) == "#" && k + 1 < sig.len() && text(k + 1) == "[") {
+            k += 1;
+            continue;
+        }
+        let close = match matching_bracket(src, tokens, sig, k + 1, "[", "]") {
+            Some(c) => c,
+            None => return,
+        };
+        let attr_has = |needle: &str| (k + 2..close).any(|a| text(a) == needle);
+        if !(attr_has("derive") && attr_has("Serialize")) {
+            k = close + 1;
+            continue;
+        }
+        // Skip further attributes and visibility to the item keyword.
+        let mut item = close + 1;
+        loop {
+            if item + 1 < sig.len() && text(item) == "#" && text(item + 1) == "[" {
+                match matching_bracket(src, tokens, sig, item + 1, "[", "]") {
+                    Some(c) => item = c + 1,
+                    None => return,
+                }
+            } else if item < sig.len() && text(item) == "pub" {
+                item += 1;
+                if item < sig.len() && text(item) == "(" {
+                    match matching_bracket(src, tokens, sig, item, "(", ")") {
+                        Some(c) => item = c + 1,
+                        None => return,
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if item >= sig.len() || !matches!(text(item), "struct" | "enum") {
+            k = close + 1;
+            continue;
+        }
+        // Find the body: the first top-level `{ … }`, `( … )`, or `;`.
+        let (body_start, body_end) = match find_item_body(src, tokens, sig, item + 1) {
+            Some(span) => span,
+            None => {
+                k = close + 1;
+                continue;
+            }
+        };
+        check_serialize_body(path, src, tokens, sig, body_start, body_end, findings);
+        k = body_end + 1;
+    }
+}
+
+/// From `from` (just past `struct`/`enum`), locates the item body delimiters
+/// at angle-depth 0; returns the sig-indices of the opening and closing
+/// delimiter, or `None` for unit structs (`;`) and parse dead ends.
+fn find_item_body(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    from: usize,
+) -> Option<(usize, usize)> {
+    let mut angle = 0i32;
+    let mut k = from;
+    while k < sig.len() {
+        match tokens[sig[k]].text(src) {
+            "<" => angle += 1,
+            ">" if angle > 0 => angle -= 1,
+            ";" if angle == 0 => return None,
+            "{" if angle == 0 => {
+                let close = matching_bracket(src, tokens, sig, k, "{", "}")?;
+                return Some((k, close));
+            }
+            "(" if angle == 0 => {
+                let close = matching_bracket(src, tokens, sig, k, "(", ")")?;
+                return Some((k, close));
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Splits the body into field/variant groups at top-level commas and flags
+/// nondeterministic type names in groups without a serde skip attribute.
+fn check_serialize_body(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    body_start: usize,
+    body_end: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let text = |k: usize| tokens[sig[k]].text(src);
+    let mut group_start = body_start + 1;
+    let mut k = body_start + 1;
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    while k <= body_end {
+        let t = text(k);
+        let at_end = k == body_end;
+        let split = at_end || (t == "," && depth == 0 && angle == 0);
+        if !split {
+            match t {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth -= 1,
+                "<" => angle += 1,
+                ">" if angle > 0 => angle -= 1,
+                _ => {}
+            }
+            k += 1;
+            continue;
+        }
+        let group = group_start..k;
+        let skipped = group.clone().any(|g| {
+            text(g) == "serde" && (g + 1..k.min(g + 24)).any(|h| text(h).starts_with("skip"))
+        });
+        if !skipped {
+            for g in group {
+                let tok = &tokens[sig[g]];
+                if tok.kind == TokenKind::Ident && D5_BAD_TYPES.contains(&tok.text(src)) {
+                    push(findings, "D5", path, src, tok);
+                    break;
+                }
+            }
+        }
+        group_start = k + 1;
+        k += 1;
+    }
+}
+
+/// Sig-index of the bracket matching `sig[open]` (which must hold `open_ch`).
+fn matching_bracket(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    open: usize,
+    open_ch: &str,
+    close_ch: &str,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, &i) in sig.iter().enumerate().skip(open) {
+        let t = tokens[i].text(src);
+        if t == open_ch {
+            depth += 1;
+        } else if t == close_ch {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_at(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        lint_source(path, src)
+            .iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn d1_only_in_listed_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_at("crates/core/src/x.rs", src), vec![("D1", 1)]);
+        assert_eq!(rules_at("crates/collect/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d2_exempts_telemetry() {
+        let src = "fn f() { let t = Instant::now(); let _ = std::thread::current(); }\n";
+        assert_eq!(
+            rules_at("crates/collect/src/x.rs", src),
+            vec![("D2", 1), ("D2", 1)]
+        );
+        assert_eq!(rules_at("crates/telemetry/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d3_safety_comment_and_doc_section() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert_eq!(rules_at("tests/x.rs", bad), vec![("D3", 1)]);
+        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller promises p is valid.\n    unsafe { *p }\n}\n";
+        assert_eq!(rules_at("tests/x.rs", good), vec![]);
+        let doc = "/// Reads.\n///\n/// # Safety\n///\n/// p must be valid.\n#[inline]\npub unsafe fn f(p: *const u8) -> u8 {\n    // SAFETY: contract above.\n    unsafe { *p }\n}\n";
+        assert_eq!(rules_at("tests/x.rs", doc), vec![]);
+    }
+
+    #[test]
+    fn d3_string_safety_does_not_count() {
+        let src =
+            "fn f(p: *const u8) -> u8 {\n    let _s = \"// SAFETY: fake\";\n    unsafe { *p }\n}\n";
+        assert_eq!(rules_at("tests/x.rs", src), vec![("D3", 3)]);
+    }
+
+    #[test]
+    fn d4_only_in_listed_files() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum() }\n";
+        assert_eq!(rules_at("crates/core/src/lattice.rs", src), vec![("D4", 1)]);
+        assert_eq!(rules_at("crates/core/src/explore.rs", src), vec![]);
+    }
+
+    #[test]
+    fn d5_skip_attribute_suppresses() {
+        let bad = "#[derive(Serialize)]\nstruct S {\n    m: HashMap<String, u64>,\n}\n";
+        assert_eq!(rules_at("crates/collect/src/x.rs", bad), vec![("D5", 3)]);
+        let good = "#[derive(Serialize)]\nstruct S {\n    #[serde(skip)]\n    m: HashMap<String, u64>,\n}\n";
+        assert_eq!(rules_at("crates/collect/src/x.rs", good), vec![]);
+    }
+
+    #[test]
+    fn d5_handles_enums_and_tuples() {
+        let e =
+            "#[derive(Clone, Serialize)]\npub enum E {\n    A(SystemTime),\n    B { t: u32 },\n}\n";
+        // `SystemTime` fires D2 (observation hazard) and D5 (serialized field).
+        assert_eq!(
+            rules_at("crates/collect/src/x.rs", e),
+            vec![("D2", 3), ("D5", 3)]
+        );
+        let t = "#[derive(Serialize)]\npub struct T(pub HashSet<u8>);\n";
+        assert_eq!(rules_at("crates/collect/src/x.rs", t), vec![("D5", 2)]);
+    }
+}

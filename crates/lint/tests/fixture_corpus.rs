@@ -1,0 +1,144 @@
+//! The fixture corpus: one known-bad and one known-good snippet per rule,
+//! plus a lexer stress file, each linted under a pretend repo path and
+//! checked for the exact finding IDs and spans.
+//!
+//! Fixtures live under `tests/fixtures/`, which the workspace walk skips by
+//! name — injecting any of the `*_bad.rs` patterns into a real workspace
+//! crate makes `counterpoint-lint` exit nonzero (asserted by
+//! `tests/lint_invariants.rs` on the facade).
+
+use counterpoint_lint::rules::lint_source;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// 1-based character column of the `nth` (0-based) occurrence of `needle`
+/// on 1-based `line` of `src`.
+fn col_of(src: &str, line: u32, nth: usize, needle: &str) -> u32 {
+    let text = src
+        .lines()
+        .nth(line as usize - 1)
+        .unwrap_or_else(|| panic!("line {line}"));
+    let mut from = 0;
+    for _ in 0..nth {
+        from = text[from..].find(needle).expect("occurrence") + from + needle.len();
+    }
+    let at = text[from..].find(needle).expect("occurrence") + from;
+    text[..at].chars().count() as u32 + 1
+}
+
+/// Asserts that linting `name` under `path` yields exactly `expected`
+/// `(rule, line, nth, token)` findings, spans included.
+fn assert_findings(name: &str, path: &str, expected: &[(&str, u32, usize, &str)]) {
+    let src = fixture(name);
+    let got: Vec<(String, u32, u32)> = lint_source(path, &src)
+        .iter()
+        .map(|f| (f.rule.to_string(), f.line, f.col))
+        .collect();
+    let want: Vec<(String, u32, u32)> = expected
+        .iter()
+        .map(|&(rule, line, nth, tok)| (rule.to_string(), line, col_of(&src, line, nth, tok)))
+        .collect();
+    assert_eq!(got, want, "findings for {name} under {path}");
+}
+
+#[test]
+fn d1_bad_flags_every_hash_container_token() {
+    assert_findings(
+        "d1_bad.rs",
+        "crates/core/src/d1_bad.rs",
+        &[
+            ("D1", 2, 0, "HashMap"),
+            ("D1", 6, 0, "HashMap"),
+            ("D1", 6, 1, "HashMap"),
+        ],
+    );
+}
+
+#[test]
+fn d1_good_is_clean_and_d1_is_path_scoped() {
+    assert_findings("d1_good.rs", "crates/core/src/d1_good.rs", &[]);
+    // The same bad file outside the serialization-feeding crates is clean.
+    assert_findings("d1_bad.rs", "crates/collect/src/d1_bad.rs", &[]);
+}
+
+#[test]
+fn d2_bad_flags_clock_and_thread_identity() {
+    assert_findings(
+        "d2_bad.rs",
+        "crates/collect/src/d2_bad.rs",
+        &[
+            ("D2", 2, 0, "Instant"),
+            ("D2", 2, 0, "SystemTime"),
+            ("D2", 6, 0, "Instant"),
+            ("D2", 7, 0, "SystemTime"),
+            ("D2", 8, 0, "thread"),
+        ],
+    );
+}
+
+#[test]
+fn d2_exempts_the_telemetry_crate_and_plain_threading() {
+    assert_findings("d2_bad.rs", "crates/telemetry/src/clock.rs", &[]);
+    assert_findings("d2_good.rs", "crates/collect/src/d2_good.rs", &[]);
+}
+
+#[test]
+fn d3_bad_flags_unsafe_blocks_and_fns() {
+    assert_findings(
+        "d3_bad.rs",
+        "crates/lp/src/d3_bad.rs",
+        &[
+            ("D3", 7, 0, "unsafe"),
+            ("D3", 12, 0, "unsafe"),
+            ("D3", 13, 0, "unsafe"),
+        ],
+    );
+}
+
+#[test]
+fn d3_good_accepts_comment_and_doc_section() {
+    assert_findings("d3_good.rs", "crates/lp/src/d3_good.rs", &[]);
+}
+
+#[test]
+fn d4_bad_flags_reductions_only_in_merge_files() {
+    assert_findings(
+        "d4_bad.rs",
+        "crates/core/src/lattice.rs",
+        &[("D4", 5, 0, "sum"), ("D4", 6, 0, "fold")],
+    );
+    assert_findings("d4_bad.rs", "crates/core/src/explore.rs", &[]);
+}
+
+#[test]
+fn d4_good_fixed_association_is_clean() {
+    assert_findings("d4_good.rs", "crates/core/src/lattice.rs", &[]);
+}
+
+#[test]
+fn d5_bad_flags_unskipped_hash_field() {
+    assert_findings(
+        "d5_bad.rs",
+        "crates/collect/src/d5_bad.rs",
+        &[("D5", 11, 0, "HashMap")],
+    );
+}
+
+#[test]
+fn d5_good_skip_and_ordered_fields_are_clean() {
+    assert_findings("d5_good.rs", "crates/collect/src/d5_good.rs", &[]);
+}
+
+#[test]
+fn lexer_tricky_is_clean_under_the_harshest_path() {
+    // `crates/core/src/lattice.rs` enables D1, D2, D3, D4 and D5 at once;
+    // every hazard-shaped word in the fixture hides in strings, comments,
+    // or attributes, so the lexer must keep all of them inert.
+    assert_findings("lexer_tricky.rs", "crates/core/src/lattice.rs", &[]);
+}

@@ -1,0 +1,8 @@
+//! D1 known-bad: hash-ordered containers in a serialization-feeding crate.
+use std::collections::HashMap;
+
+/// Builds a memo table whose iteration order can reach serialized output.
+pub fn memo() -> Vec<(String, usize)> {
+    let map: HashMap<String, usize> = HashMap::new();
+    map.into_iter().collect()
+}

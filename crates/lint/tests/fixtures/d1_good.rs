@@ -1,0 +1,8 @@
+//! D1 known-good: ordered containers only.
+use std::collections::BTreeMap;
+
+/// Builds a memo table with deterministic iteration order.
+pub fn memo() -> Vec<(String, usize)> {
+    let map: BTreeMap<String, usize> = BTreeMap::new();
+    map.into_iter().collect()
+}

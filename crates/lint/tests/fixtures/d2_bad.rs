@@ -1,0 +1,10 @@
+//! D2 known-bad: timing and thread-identity observation outside telemetry.
+use std::time::{Instant, SystemTime};
+
+/// Observes wall-clock time and the current thread.
+pub fn observe() -> u128 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    let _ = std::thread::current();
+    t0.elapsed().as_nanos()
+}

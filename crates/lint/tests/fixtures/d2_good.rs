@@ -1,0 +1,9 @@
+//! D2 known-good: no clock or thread-identity observation; spawning and
+//! joining threads (without observing identity) is fine.
+use std::thread;
+
+/// Deterministic fan-out: workers are joined in index order.
+pub fn fan_out(n: usize) -> Vec<usize> {
+    let handles: Vec<_> = (0..n).map(|i| thread::spawn(move || i * 2)).collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}

@@ -1,0 +1,14 @@
+//! D3 known-bad: `unsafe` without a SAFETY justification.
+
+/// Reads the first element unchecked; the string must not satisfy the rule.
+pub fn first(xs: &[u32]) -> u32 {
+    let decoy = "fake justification in a string: // SAFETY: trust me";
+    let _ = decoy;
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// Reads the second element unchecked; the docs state no safety contract.
+#[inline]
+pub unsafe fn second(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(1) }
+}

@@ -1,0 +1,19 @@
+//! D3 known-good: every `unsafe` is justified.
+
+/// Reads the first element unchecked.
+///
+/// # Safety
+///
+/// `xs` must be non-empty.
+#[inline]
+pub unsafe fn first(xs: &[u32]) -> u32 {
+    // SAFETY: the caller guarantees `xs` is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// A same-line statement prefix still finds the comment above it.
+pub fn checked_first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the length was checked above.
+    return unsafe { *xs.get_unchecked(0) };
+}

@@ -1,0 +1,7 @@
+//! D4 known-bad: unordered float reductions in a cross-thread merge file.
+
+/// Sums partial margins in iterator order.
+pub fn total(xs: &[f64]) -> f64 {
+    let direct: f64 = xs.iter().sum();
+    xs.iter().fold(direct, |acc, &x| acc + x)
+}

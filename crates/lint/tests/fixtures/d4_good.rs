@@ -1,0 +1,18 @@
+//! D4 known-good: reductions with an explicitly fixed association.
+
+/// Four-lane reduction with a fixed `(l0 + l2) + (l1 + l3)` fold, matching
+/// the sanctioned dot4 kernel discipline.
+pub fn total(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    for chunk in xs.chunks_exact(4) {
+        acc[0] += chunk[0];
+        acc[1] += chunk[1];
+        acc[2] += chunk[2];
+        acc[3] += chunk[3];
+    }
+    let mut tail = 0.0;
+    for &x in xs.chunks_exact(4).remainder() {
+        tail += x;
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
+}

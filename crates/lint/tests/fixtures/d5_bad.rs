@@ -1,0 +1,12 @@
+//! D5 known-bad: a `Serialize` type with an un-skipped hash-ordered field.
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// A report row whose payload serializes in hash order.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Deterministic.
+    pub name: String,
+    /// Nondeterministic iteration order reaches the serializer.
+    pub payload: HashMap<String, u64>,
+}

@@ -1,0 +1,13 @@
+//! D5 known-good: nondeterministic fields are `#[serde(skip)]`-ed or ordered.
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+
+/// A report row with a deterministic serialized form.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Ordered payload serializes deterministically.
+    pub payload: BTreeMap<String, u64>,
+    /// Skipped: never reaches the serializer.
+    #[serde(skip)]
+    pub scratch: HashMap<String, u64>,
+}

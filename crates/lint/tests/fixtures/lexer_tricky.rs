@@ -1,0 +1,23 @@
+//! Lexer stress fixture: nothing in this file may produce a finding, even
+//! under a D1-scoped pretend path, because every hazard-shaped word lives in
+//! a string, a comment, or an attribute.
+
+/// Tricky token shapes.
+pub fn tricky() -> usize {
+    let s1 = "HashMap in a string, unsafe { } too, and Instant::now()";
+    let s2 = r#"raw string: HashSet<SystemTime> // SAFETY: not a comment"#;
+    let s3 = r##"nested raw guard "#" with HashMap inside"##;
+    // A line comment naming unsafe, HashMap, Instant::now and .sum().
+    /* A block comment: unsafe { HashMap::new() }
+       /* nested: SystemTime::now() */
+       still inside the outer comment */
+    let lifetime_not_char: &'static str = "x";
+    let c = 'u'; // the char 'u', not a lifetime
+    let q = '\'';
+    let b = b"bytes with unsafe inside";
+    let bc = b'x';
+    #[allow(unused)]
+    #[cfg_attr(test, allow(dead_code))]
+    let nested_attr = 1usize;
+    s1.len() + s2.len() + s3.len() + c as usize + q as usize + b.len() + bc as usize + nested_attr
+}

@@ -87,6 +87,7 @@ fn dot4_generic(a: &[f64], b: &[f64]) -> f64 {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
+// SAFETY: caller must have verified AVX support at runtime (dot4 dispatch).
 unsafe fn dot4_avx(a: &[f64], b: &[f64]) -> f64 {
     // SAFETY: caller verified AVX; lengths are equal whole-lane multiples.
     unsafe { avx::dot(a, b) }
@@ -126,6 +127,7 @@ fn dot4_diff_generic(a: &[f64], b: &[f64], c: &[f64]) -> f64 {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
+// SAFETY: caller must have verified AVX support at runtime (dot4_diff dispatch).
 unsafe fn dot4_diff_avx(a: &[f64], b: &[f64], c: &[f64]) -> f64 {
     // SAFETY: caller verified AVX; lengths are equal whole-lane multiples.
     unsafe { avx::dot_diff(a, b, c) }
@@ -161,6 +163,7 @@ fn rhs_into_generic(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
+// SAFETY: caller must have verified AVX support at runtime (rhs_into dispatch).
 unsafe fn rhs_into_avx(
     rhs: &mut [f64],
     ge: &[f64],
@@ -207,6 +210,7 @@ fn price_listed_generic(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
+// SAFETY: caller must have verified AVX support at runtime (price_listed dispatch).
 unsafe fn price_listed_avx(
     rowbuf: &mut [f64],
     bands_t: &[f64],
@@ -240,6 +244,7 @@ fn ftran_into_generic(colbuf: &mut [f64], ge: &[f64], le: &[f64], band_col: &[f6
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
+// SAFETY: caller must have verified AVX support at runtime (ftran_into dispatch).
 unsafe fn ftran_into_avx(
     colbuf: &mut [f64],
     ge: &[f64],
@@ -286,6 +291,7 @@ fn find_leave_generic(rhs: &[f64], tol: f64) -> (Option<usize>, f64) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
+// SAFETY: caller must have verified AVX support at runtime (find_leave dispatch).
 unsafe fn find_leave_avx(rhs: &[f64], tol: f64) -> (Option<usize>, f64) {
     // SAFETY: caller verified AVX; loads stay within the slice.
     let min_rhs = unsafe { avx::min_value(rhs) };
@@ -349,6 +355,7 @@ fn pivot_update_generic(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
+// SAFETY: caller must have verified AVX support at runtime (pivot_update dispatch).
 unsafe fn pivot_update_avx(
     ge: &mut [f64],
     le: &mut [f64],
@@ -405,6 +412,7 @@ mod avx {
 
     /// Folds the four accumulator lanes as `(l0 + l2) + (l1 + l3)`.
     #[inline]
+    // SAFETY: requires AVX; callers are themselves #[target_feature(enable = "avx")].
     unsafe fn fold(acc: __m256d) -> f64 {
         // SAFETY: pure register arithmetic, caller ensures AVX.
         unsafe {

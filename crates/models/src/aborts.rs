@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<&str> =
+        let labels: std::collections::BTreeSet<&str> =
             AbortPoint::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), 4);
     }

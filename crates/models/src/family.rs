@@ -9,7 +9,7 @@ use counterpoint_core::{FeatureSet, ModelCone};
 use counterpoint_haswell::full_counter_space;
 use counterpoint_haswell::hec::AccessType;
 use counterpoint_mudd::{CounterSpace, MuDd};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Memoised demand μDD construction over the full Haswell counter space.
@@ -22,13 +22,13 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// [`full_counter_space`] for the builders in this module (checked in debug
 /// builds).
 fn cached_demand_mudd(space: &CounterSpace, opts: &DemandOptions) -> Arc<MuDd> {
-    static CACHE: OnceLock<Mutex<HashMap<String, Arc<MuDd>>>> = OnceLock::new();
+    static CACHE: OnceLock<Mutex<BTreeMap<String, Arc<MuDd>>>> = OnceLock::new();
     let mut key = format!("{:?}|{:?}", opts.access, opts.inline_prefetch);
     for feature in &opts.features {
         key.push('\x1f');
         key.push_str(feature);
     }
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     if let Some(mudd) = cache.lock().unwrap().get(&key) {
         debug_assert_eq!(mudd.counters(), space, "cache is per-counter-space");
         return Arc::clone(mudd);
@@ -38,12 +38,12 @@ fn cached_demand_mudd(space: &CounterSpace, opts: &DemandOptions) -> Arc<MuDd> {
 }
 
 /// Cache storage of [`cached_prefetch_mudd`], keyed by its two flags.
-type PrefetchMuddCache = OnceLock<Mutex<HashMap<(bool, bool), Arc<MuDd>>>>;
+type PrefetchMuddCache = OnceLock<Mutex<BTreeMap<(bool, bool), Arc<MuDd>>>>;
 
 /// Memoised stand-alone prefetch μDD (see [`cached_demand_mudd`]).
 fn cached_prefetch_mudd(space: &CounterSpace, early_psc: bool, pml4e: bool) -> Arc<MuDd> {
     static CACHE: PrefetchMuddCache = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     if let Some(mudd) = cache.lock().unwrap().get(&(early_psc, pml4e)) {
         debug_assert_eq!(mudd.counters(), space, "cache is per-counter-space");
         return Arc::clone(mudd);
@@ -71,13 +71,13 @@ const MODEL_CACHE_CAP: usize = 64;
 /// finished cones are memoised alongside the μDD cache (bounded to
 /// `MODEL_CACHE_CAP` first-come entries).
 pub fn build_feature_model(name: &str, features: &FeatureSet) -> ModelCone {
-    static CACHE: OnceLock<Mutex<HashMap<String, ModelCone>>> = OnceLock::new();
+    static CACHE: OnceLock<Mutex<BTreeMap<String, ModelCone>>> = OnceLock::new();
     let mut key = name.to_string();
     for feature in features {
         key.push('\x1f');
         key.push_str(feature);
     }
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     if let Some(cone) = cache.lock().unwrap().get(&key) {
         return cone.clone();
     }

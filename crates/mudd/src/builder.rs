@@ -2,7 +2,7 @@
 
 use crate::counterspace::CounterSpace;
 use crate::graph::{MuDd, MuDdError, NodeId, NodeKind};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Default cap on the number of μpaths a single μDD may enumerate.
 pub const DEFAULT_MAX_PATHS: usize = 1 << 20;
@@ -188,7 +188,7 @@ impl MuDdBuilder {
                     if out.is_empty() {
                         return Err(MuDdError::DeadEnd { node: i });
                     }
-                    let mut seen = HashSet::new();
+                    let mut seen = BTreeSet::new();
                     for (_, label) in out {
                         let Some(label) = label else {
                             return Err(MuDdError::BadEdgeLabel { node: i });

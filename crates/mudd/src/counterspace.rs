@@ -1,6 +1,6 @@
 //! The ordered set of hardware event counters a model ranges over.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// An ordered, indexable set of hardware event counter names.
@@ -20,7 +20,7 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CounterSpace {
     names: Vec<String>,
-    index: HashMap<String, usize>,
+    index: BTreeMap<String, usize>,
 }
 
 impl CounterSpace {
@@ -30,7 +30,7 @@ impl CounterSpace {
     ///
     /// Panics if a name appears twice.
     pub fn new<S: AsRef<str>>(names: &[S]) -> CounterSpace {
-        let mut index = HashMap::with_capacity(names.len());
+        let mut index = BTreeMap::new();
         let mut owned = Vec::with_capacity(names.len());
         for (i, n) in names.iter().enumerate() {
             let name = n.as_ref().to_string();

@@ -17,7 +17,7 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 /// let w = RatVector::from_i64(&[4, 5, 6]);
 /// assert_eq!(v.dot(&w), Rational::from(32));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RatVector {
     data: Vec<Rational>,
 }

@@ -1,0 +1,85 @@
+//! Tier-1 guard: the workspace itself must stay clean under
+//! `counterpoint-lint`, with a non-empty, non-stale allowlist — the same
+//! check `ci/lint.sh` runs, executed in-process so `cargo test` catches a
+//! determinism or soundness hazard before CI does.
+
+use counterpoint_lint::allowlist::Allowlist;
+use counterpoint_lint::diag::render_report;
+use counterpoint_lint::lint_tree;
+use counterpoint_lint::rules::lint_source;
+use std::path::Path;
+
+fn repo_root() -> std::path::PathBuf {
+    // The facade crate lives at crates/counterpoint.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = repo_root();
+    let allow = Allowlist::load(&root.join("ci/lint_allow.toml")).expect("allowlist parses");
+    assert!(
+        !allow.entries.is_empty(),
+        "the checked-in allowlist documents the legitimate exemptions and must stay non-empty"
+    );
+    let outcome = lint_tree(&root, &allow).expect("walk the workspace");
+    assert!(
+        outcome.files_scanned >= 50,
+        "walk looks truncated: only {} files scanned",
+        outcome.files_scanned
+    );
+    assert!(
+        outcome.is_clean(),
+        "counterpoint-lint found problems:\n{}",
+        render_report(&outcome, &allow.entries)
+    );
+    // Every allowlist entry earned its keep (no stale entries) and at least
+    // one finding is suppressed, so the suppression machinery is exercised
+    // on every tier-1 run.
+    assert!(!outcome.suppressed.is_empty());
+}
+
+#[test]
+fn injected_bad_patterns_are_caught() {
+    // The known-bad fixture patterns must fire when injected into workspace
+    // crates — the lint's reason for existing.  `lint_source` is exactly
+    // what `lint_tree` runs per file, so this proves an edit introducing
+    // the hazard cannot pass.
+    let cases: [(&str, &str, &str); 5] = [
+        (
+            "D1",
+            "crates/core/src/lattice.rs",
+            "use std::collections::HashMap;\n",
+        ),
+        (
+            "D2",
+            "crates/collect/src/campaign.rs",
+            "fn t() -> std::time::Instant { Instant::now() }\n",
+        ),
+        (
+            "D3",
+            "crates/lp/src/factor.rs",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        ),
+        (
+            "D4",
+            "crates/core/src/lattice.rs",
+            "fn s(xs: &[f64]) -> f64 { xs.iter().sum() }\n",
+        ),
+        (
+            "D5",
+            "crates/session/src/report.rs",
+            "#[derive(Serialize)]\nstruct S { m: std::collections::HashMap<u8, u8> }\n",
+        ),
+    ];
+    for (rule, path, snippet) in cases {
+        let findings = lint_source(path, snippet);
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "injected {rule} pattern into {path} was not caught: {findings:?}"
+        );
+    }
+}
