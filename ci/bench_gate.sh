@@ -29,6 +29,7 @@ cargo bench -p counterpoint-bench \
     --bench batch_feasibility \
     --bench session_pipeline \
     --bench lattice_search \
+    --bench enumerated_family \
     --bench feasibility \
     --bench substrate \
     -- --save-baseline current

@@ -1,0 +1,78 @@
+//! Grammar enumeration and the enumerated-family search stage.
+//!
+//! Two entries behind the CI perf-regression gate (`ci/bench_gate.sh`):
+//!
+//! * `enumerate_case_study` — the pure grammar pipeline: iterate the full
+//!   case-study grammar to depth 2 (12k+ raw candidates), canonicalize,
+//!   dedupe, and build the capped
+//!   [`ModelFamily`](counterpoint::models::enumo::ModelFamily) of model
+//!   cones.  No LP work; this times term expansion, signature
+//!   canonicalization and μDD assembly.
+//! * `enumerated_family_search` — the session stage the `enumerate`
+//!   experiment runs: one certificate-pool-sharing [`LatticeSearch`] per
+//!   assumption group over the case-study campaign observations, all groups
+//!   drawing on the same cross-family certificate pool.
+//!
+//! The sanity block pins the scale the gate is protecting: a four-digit raw
+//! candidate count collapsing into the capped family, and a search stage that
+//! walks dozens of lattice models across the groups.
+
+use counterpoint::core::CertificatePool;
+use counterpoint::models::enumo::{enumerate, EnumOptions, ModelGrammar};
+use counterpoint::LatticeSearch;
+use counterpoint_bench::experiment_observations;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn options() -> EnumOptions {
+    EnumOptions {
+        max_models: 512,
+        ..EnumOptions::default()
+    }
+}
+
+fn bench_enumerated_family(c: &mut Criterion) {
+    let observations = experiment_observations(6_000);
+    let family = enumerate(&ModelGrammar::case_study(), &options());
+
+    // Sanity: the enumeration must be at the scale the gate protects, and
+    // the search stage must do real lattice work across the groups.
+    assert!(family.raw_candidates >= 1_000, "grammar scale regressed");
+    assert!(!family.groups.is_empty());
+    let searched: usize = {
+        let pool = CertificatePool::new();
+        family
+            .groups
+            .iter()
+            .map(|group| {
+                let mut search = LatticeSearch::new(group.generator(), &group.universe_names());
+                search.set_shared_pool(&pool, &group.signature);
+                search.run(&group.initial(), &observations).steps.len()
+            })
+            .sum()
+    };
+    assert!(searched >= 48, "search stage shrank to {searched} models");
+
+    let mut group = c.benchmark_group("enumerated_family");
+    group.sample_size(10);
+    group.bench_function("enumerate_case_study", |b| {
+        b.iter(|| enumerate(&ModelGrammar::case_study(), &options()))
+    });
+    group.bench_function("enumerated_family_search", |b| {
+        b.iter(|| {
+            let pool = CertificatePool::new();
+            family
+                .groups
+                .iter()
+                .map(|g| {
+                    let mut search = LatticeSearch::new(g.generator(), &g.universe_names());
+                    search.set_shared_pool(&pool, &g.signature);
+                    search.run(&g.initial(), &observations).steps.len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerated_family);
+criterion_main!(benches);

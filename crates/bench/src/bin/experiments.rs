@@ -5,11 +5,12 @@
 //! ```text
 //! cargo run --release -p counterpoint-bench --bin experiments -- \
 //!     <which> [--quick] [--seed <u64>] [--threads <n>] [--search-threads <n>] [--json <path>] \
-//!     [--telemetry <prefix>]
+//!     [--enumerate <depth>] [--max-models <n>] [--telemetry <prefix>]
 //! ```
 //!
 //! where `<which>` is one of `fig1a`, `fig1b`, `fig1c`, `fig3`, `fig5`, `fig6`,
-//! `fig9`, `fig10`, `table1`, `table3`, `table5`, `table7`, `stats`, or `all`.
+//! `fig9`, `fig10`, `table1`, `table3`, `table5`, `table7`, `stats`,
+//! `enumerate`, or `all`.
 //! Unknown experiment names and flags are rejected with a usage message.
 //! `--quick` reduces the simulated access counts (for smoke testing).
 //! `--seed` overrides the PMU multiplexing-scheduler seed on the campaign-driven
@@ -20,6 +21,10 @@
 //! and `--search-threads` gives the Figure 10 refinement search its own worker
 //! budget through the certificate-pruned `LatticeSearch` engine (default: the
 //! `--threads` budget; the search graph is byte-identical for every value).
+//! `--enumerate <depth>` sets the grammar iteration depth of the `enumerate`
+//! experiment (default 2) and `--max-models <n>` caps how many canonical
+//! specs the enumerated family keeps (default 512); both only affect that
+//! experiment.
 //! `--json` additionally writes a machine-readable report of the experiments
 //! that ran — full `counterpoint-session` [`Report`]s for the model-search
 //! tables and Figure 10, structured values for Figures 1c and 5 — as one JSON
@@ -62,9 +67,21 @@ use serde_json::JsonValue;
 use std::time::Instant;
 
 /// The valid `<which>` selectors, in run order.
-const EXPERIMENTS: [&str; 13] = [
-    "fig1a", "fig1b", "fig1c", "fig3", "fig5", "fig6", "table1", "table3", "table5", "table7",
-    "stats", "fig9", "fig10",
+const EXPERIMENTS: [&str; 14] = [
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig3",
+    "fig5",
+    "fig6",
+    "table1",
+    "table3",
+    "table5",
+    "table7",
+    "stats",
+    "fig9",
+    "fig10",
+    "enumerate",
 ];
 
 /// Run-wide options parsed from the command line.
@@ -79,6 +96,10 @@ struct Opts {
     /// Refinement-search worker threads (`--search-threads`; defaults to the
     /// `--threads` budget).
     search_threads: Option<usize>,
+    /// Grammar iteration depth for the `enumerate` experiment (`--enumerate`).
+    enumerate_depth: usize,
+    /// Canonical-model cap for the `enumerate` experiment (`--max-models`).
+    max_models: usize,
 }
 
 impl Opts {
@@ -109,6 +130,8 @@ struct Cli {
     seed: Option<u64>,
     threads: usize,
     search_threads: Option<usize>,
+    enumerate_depth: usize,
+    max_models: usize,
     json: Option<String>,
     telemetry: Option<String>,
 }
@@ -121,6 +144,8 @@ fn parse_args() -> Cli {
         seed: None,
         threads: 1,
         search_threads: None,
+        enumerate_depth: 2,
+        max_models: 512,
         json: None,
         telemetry: None,
     };
@@ -129,7 +154,8 @@ fn parse_args() -> Cli {
         eprintln!("error: {msg}");
         eprintln!(
             "usage: experiments <which> [--quick] [--seed <u64>] [--threads <n>] \
-             [--search-threads <n>] [--json <path>] [--telemetry <prefix>]"
+             [--search-threads <n>] [--enumerate <depth>] [--max-models <n>] \
+             [--json <path>] [--telemetry <prefix>]"
         );
         eprintln!(
             "where <which> is `all` or one of: {}",
@@ -167,6 +193,14 @@ fn parse_args() -> Cli {
                 cli.search_threads = Some(parse("--search-threads", args.get(i + 1)) as usize);
                 i += 1;
             }
+            "--enumerate" => {
+                cli.enumerate_depth = parse("--enumerate", args.get(i + 1)) as usize;
+                i += 1;
+            }
+            "--max-models" => {
+                cli.max_models = parse("--max-models", args.get(i + 1)) as usize;
+                i += 1;
+            }
             "--json" => {
                 cli.json = Some(string("--json", args.get(i + 1)));
                 i += 1;
@@ -187,6 +221,18 @@ fn parse_args() -> Cli {
             flag if flag.starts_with("--threads=") => {
                 cli.threads =
                     parse("--threads", Some(&flag["--threads=".len()..].to_string())) as usize;
+            }
+            flag if flag.starts_with("--enumerate=") => {
+                cli.enumerate_depth = parse(
+                    "--enumerate",
+                    Some(&flag["--enumerate=".len()..].to_string()),
+                ) as usize;
+            }
+            flag if flag.starts_with("--max-models=") => {
+                cli.max_models = parse(
+                    "--max-models",
+                    Some(&flag["--max-models=".len()..].to_string()),
+                ) as usize;
             }
             flag if flag.starts_with("--json=") => {
                 cli.json = Some(flag["--json=".len()..].to_string());
@@ -227,6 +273,8 @@ fn main() {
         seed: cli.seed,
         threads: cli.threads,
         search_threads: cli.search_threads,
+        enumerate_depth: cli.enumerate_depth,
+        max_models: cli.max_models,
     };
 
     // Session reports are converted to the JSON value model only when
@@ -279,6 +327,7 @@ fn main() {
         None
     });
     run("fig10", &|o| json_if(fig10(&o), want_json));
+    run("enumerate", &|o| json_if(enumerate_families(&o), want_json));
 
     if let Some(path) = &cli.json {
         let text = serde_json::to_string_pretty(&JsonValue::Object(sink))
@@ -928,5 +977,60 @@ fn fig10(opts: &Opts) -> Report {
         "JSON search graph:\n{}",
         serde_json::to_string_pretty(graph).unwrap()
     );
+    report
+}
+
+/// The grammar-enumerated model families: iterate the case-study term
+/// grammar to `--enumerate` depth, canonicalize and cap at `--max-models`
+/// specs, then run one certificate-pool-sharing
+/// [`LatticeSearch`](counterpoint::LatticeSearch) per assumption group over
+/// the case-study observations.
+fn enumerate_families(opts: &Opts) -> Report {
+    use counterpoint::models::enumo::{EnumOptions, ModelGrammar};
+
+    let grammar = ModelGrammar::case_study();
+    let options = EnumOptions {
+        max_depth: opts.enumerate_depth,
+        max_models: opts.max_models,
+        ..EnumOptions::default()
+    };
+    let mut inquiry = opts
+        .inquiry(opts.accesses / 2)
+        .model_grammar(grammar, options);
+    if let Some(search_threads) = opts.search_threads {
+        inquiry = inquiry.search_threads(search_threads);
+    }
+    let report = inquiry.run().expect("the simulated campaign cannot fail");
+    let summary = report
+        .enumeration
+        .as_ref()
+        .expect("enumeration was configured");
+    println!("{} observations collected\n", report.observations.len());
+    println!(
+        "grammar candidates: {} raw -> {} canonical (depth {}, cap {})",
+        summary.raw_candidates, summary.canonical_candidates, opts.enumerate_depth, opts.max_models
+    );
+    println!(
+        "family members built: {} ({} path-limit skips, {} structural duplicates)",
+        summary.members, summary.skipped_path_limit, summary.structural_duplicates
+    );
+    println!("\nassumption groups ({}):", summary.groups.len());
+    println!(
+        "{:<42} {:>8} {:>9} {:>10}",
+        "group signature", "members", "searched", "feasible"
+    );
+    let mut searched_total = 0usize;
+    for group in &summary.groups {
+        let feasible = group.graph.steps.iter().filter(|s| s.feasible).count();
+        searched_total += group.graph.steps.len();
+        println!(
+            "{:<42} {:>8} {:>9} {:>10}",
+            group.signature,
+            group.members.len(),
+            group.graph.steps.len(),
+            feasible
+        );
+    }
+    println!("\nlattice models searched across all groups: {searched_total}");
     report
 }

@@ -69,9 +69,11 @@ pub enum FeasibilityVerdict {
         certificate: Vec<f64>,
     },
     /// No verdict could be reached: the dual simplex, the cold restart and the
-    /// two-phase fallback all failed to converge.  [`BatchFeasibility::is_feasible`]
-    /// panics in this situation; the verdict path reports it instead so a
-    /// session can record the gap and move on.
+    /// two-phase fallback all failed to converge.  The bool-returning
+    /// [`BatchFeasibility::is_feasible`] resolves this as not-refuted (no
+    /// certificate exists); the verdict path reports it explicitly so a
+    /// session can record the gap and move on.  Each occurrence increments
+    /// the `lp_inconclusive_verdicts` telemetry counter.
     Inconclusive {
         /// Why the decision could not be made.
         reason: String,
@@ -308,25 +310,30 @@ impl<'a> BatchFeasibility<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the observation's dimension differs from the cone's, or if
-    /// the LP fails to converge on every solve path (pathological cycling; use
-    /// [`verdict`](BatchFeasibility::verdict) for a non-panicking variant).
+    /// Panics if the observation's dimension differs from the cone's.
+    ///
+    /// LP non-convergence on every solve path (pathological cycling) does
+    /// *not* panic: a refutation needs a Farkas certificate and none exists,
+    /// so the observation deterministically counts as not refuted (`true`),
+    /// mirrored by [`FeasibilityChecker::is_feasible`].  Callers that need to
+    /// distinguish this case use [`verdict`](BatchFeasibility::verdict) or
+    /// [`decide_lenient`](BatchFeasibility::decide_lenient), which surface it
+    /// as [`FeasibilityVerdict::Inconclusive`].
     pub fn is_feasible(&mut self, observation: &Observation) -> bool {
         match self.decide(observation, false) {
             FeasibilityVerdict::Feasible { .. } => true,
             FeasibilityVerdict::Refuted { .. } => false,
-            FeasibilityVerdict::Inconclusive { reason } => {
-                panic!("LP failed to converge on every solve path: {reason}")
-            }
+            FeasibilityVerdict::Inconclusive { .. } => true,
         }
     }
 
-    /// The cheapest non-panicking decision: the same no-evidence work as
+    /// The cheapest verdict-level decision: the same no-evidence work as
     /// [`is_feasible`](BatchFeasibility::is_feasible) (no witness or
     /// certificate reconstruction, no allocation on the hot path), but LP
     /// non-convergence surfaces as [`FeasibilityVerdict::Inconclusive`]
-    /// instead of panicking.  The lattice-search sweeps run on this and drain
-    /// the engine's internally harvested certificates once per model.
+    /// instead of being folded into the bool.  The lattice-search sweeps run
+    /// on this and drain the engine's internally harvested certificates once
+    /// per model.
     pub fn decide_lenient(&mut self, observation: &Observation) -> FeasibilityVerdict {
         self.decide(observation, false)
     }
@@ -612,8 +619,7 @@ impl<'a> BatchFeasibility<'a> {
                 if !want_evidence {
                     // The historical last resort (the decision is the
                     // two-phase primal's); non-convergence is reported
-                    // instead of panicking here — `is_feasible` turns
-                    // it back into the historical panic.
+                    // as an inconclusive verdict, never a panic.
                     return match lp.try_solve() {
                         Ok(outcome) => {
                             if outcome.is_feasible() {
@@ -626,9 +632,12 @@ impl<'a> BatchFeasibility<'a> {
                                 }
                             }
                         }
-                        Err(e) => FeasibilityVerdict::Inconclusive {
-                            reason: format!("every LP solve path failed to converge: {e}"),
-                        },
+                        Err(e) => {
+                            telemetry::add(telemetry::Metric::LpInconclusiveVerdicts, 1);
+                            FeasibilityVerdict::Inconclusive {
+                                reason: format!("every LP solve path failed to converge: {e}"),
+                            }
+                        }
                     };
                 }
                 match lp.try_solve() {
@@ -648,9 +657,12 @@ impl<'a> BatchFeasibility<'a> {
                             certificate: Vec::new(),
                         },
                     },
-                    Err(e) => FeasibilityVerdict::Inconclusive {
-                        reason: format!("every LP solve path failed to converge: {e}"),
-                    },
+                    Err(e) => {
+                        telemetry::add(telemetry::Metric::LpInconclusiveVerdicts, 1);
+                        FeasibilityVerdict::Inconclusive {
+                            reason: format!("every LP solve path failed to converge: {e}"),
+                        }
+                    }
                 }
             }
         }
@@ -1398,6 +1410,45 @@ mod tests {
             FeasibilityChecker::new(&cone).count_infeasible(&observations),
             expected
         );
+    }
+
+    #[test]
+    fn non_convergence_fallback_leaves_reachable_verdicts_unchanged() {
+        // The LP non-convergence path resolves as not-refuted instead of
+        // aborting the process.  Differential guard for that change: on
+        // well-conditioned instances the verdict classification still matches
+        // the cold reference checker exactly, and none of them take the
+        // Inconclusive escape hatch.
+        let cone = fig6a_cone();
+        let checker = FeasibilityChecker::new(&cone);
+        let mut batch = BatchFeasibility::new(&cone);
+        let mut observations = vec![
+            Observation::exact("a", &[10.0, 4.0]),
+            Observation::exact("b", &[4.0, 10.0]),
+            Observation::exact("edge", &[10.0, 10.0]),
+            Observation::exact("origin", &[0.0, 0.0]),
+        ];
+        for i in 0..16 {
+            observations.push(noisy_observation(
+                &format!("sweep-{i}"),
+                250.0 + 40.0 * i as f64,
+                -3.5 + 0.5 * i as f64,
+            ));
+        }
+        for obs in &observations {
+            let verdict = batch.verdict(obs);
+            assert!(
+                !matches!(verdict, FeasibilityVerdict::Inconclusive { .. }),
+                "{} must not be inconclusive on a well-conditioned instance",
+                obs.name()
+            );
+            assert_eq!(
+                matches!(verdict, FeasibilityVerdict::Feasible { .. }),
+                checker.is_feasible(obs),
+                "verdict mismatch on {}",
+                obs.name()
+            );
+        }
     }
 
     #[test]

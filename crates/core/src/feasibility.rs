@@ -5,6 +5,7 @@ use crate::cone::ModelCone;
 use crate::constraints::{ConstraintSet, NamedConstraint};
 use crate::observation::Observation;
 use counterpoint_lp::{LinearProgram, Relation, Tableau};
+use counterpoint_telemetry as telemetry;
 use serde::Serialize;
 
 /// The result of testing one observation against one model.
@@ -253,7 +254,17 @@ impl<'a> FeasibilityChecker<'a> {
                     lp.add_constraint(row, Relation::Ge, lo[k]);
                     lp.add_constraint(row, Relation::Le, hi[k]);
                 }
-                lp.is_feasible()
+                match lp.try_solve() {
+                    Ok(outcome) => outcome.is_feasible(),
+                    // Every solve path cycled out of its iteration budget.  A
+                    // refutation needs a certificate and none exists, so the
+                    // observation deterministically counts as not refuted —
+                    // one degenerate enumerated cone must not abort a sweep.
+                    Err(_) => {
+                        telemetry::add(telemetry::Metric::LpInconclusiveVerdicts, 1);
+                        true
+                    }
+                }
             }
         }
     }

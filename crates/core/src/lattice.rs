@@ -112,6 +112,12 @@ pub struct LatticeStats {
     pub inconclusive: usize,
     /// Child models whose first solve was seeded with a parent basis.
     pub warm_basis_handoffs: usize,
+    /// Pooled Farkas certificates harvested under a *different* family key
+    /// (see [`CertificatePool`]) that applied to a model of this search.
+    pub cross_family_certificate_hits: usize,
+    /// Pooled witness rays harvested under a different family key whose
+    /// support this search's models contained.
+    pub cross_family_witness_hits: usize,
     /// Certificates in the shared pool when the search finished.
     pub pool_certificates: usize,
     /// Witness rays in the shared pool when the search finished.
@@ -155,6 +161,10 @@ struct Handoff {
 struct PoolCertificate {
     direction: Vec<f64>,
     separated: Vec<u64>,
+    /// Canonical key of the model family whose sweep harvested the entry
+    /// (empty for a search without a shared pool).  Applying an entry whose
+    /// origin differs from the current search's key is a *cross-family* hit.
+    origin: Arc<str>,
 }
 
 /// A pooled witness ray: a cone point (as a unit ∞-norm ray) harvested from a
@@ -170,6 +180,8 @@ struct PoolRay {
     ray: Vec<f64>,
     support: Vec<Vec<u64>>,
     pierced: Vec<u64>,
+    /// See [`PoolCertificate::origin`].
+    origin: Arc<str>,
 }
 
 /// The cross-model reuse pool: refutation certificates and feasibility
@@ -181,6 +193,95 @@ struct PoolRay {
 struct SharedPool {
     certificates: Mutex<Vec<Arc<PoolCertificate>>>,
     rays: Mutex<Vec<Arc<PoolRay>>>,
+}
+
+/// A certificate/witness pool that outlives one search, shared *across* the
+/// lattice searches of an enumerated model-family sweep.
+///
+/// Pooled entries carry per-observation bitmasks, so reuse is only sound when
+/// every attached search runs over a byte-identical observation list; the
+/// pool records a fingerprint of the first list it sees and a search over a
+/// different list silently falls back to a private pool (soundness never
+/// depends on a pool hit — a miss just costs the LP solve the hit would have
+/// skipped).  Each entry is tagged with the canonical signature of the family
+/// that harvested it; when an entry prunes or settles observations for a
+/// search attached under a *different* family key, the engine counts a
+/// cross-family hit ([`LatticeStats::cross_family_certificate_hits`] and the
+/// `cross_family_certificate_hits` / `cross_family_witness_hits` telemetry
+/// counters).
+///
+/// Cloning is cheap and shares the same underlying pool.  Attach with
+/// [`LatticeSearch::set_shared_pool`].
+#[derive(Clone, Debug, Default)]
+pub struct CertificatePool {
+    fingerprint: Arc<Mutex<Option<u64>>>,
+    pool: Arc<SharedPool>,
+}
+
+impl CertificatePool {
+    /// An empty pool.
+    pub fn new() -> CertificatePool {
+        CertificatePool::default()
+    }
+
+    /// Number of pooled Farkas certificates.
+    pub fn num_certificates(&self) -> usize {
+        self.pool
+            .certificates
+            .lock()
+            .expect("certificate pool poisoned")
+            .len()
+    }
+
+    /// Number of pooled witness rays.
+    pub fn num_rays(&self) -> usize {
+        self.pool.rays.lock().expect("ray pool poisoned").len()
+    }
+
+    /// Binds the pool to an observation list: the first caller installs its
+    /// fingerprint, later callers get the shared pool only on an exact match.
+    fn attach(&self, observations: &[Observation]) -> Option<Arc<SharedPool>> {
+        let fp = observations_fingerprint(observations);
+        let mut slot = self.fingerprint.lock().expect("pool fingerprint poisoned");
+        match *slot {
+            None => {
+                *slot = Some(fp);
+                Some(Arc::clone(&self.pool))
+            }
+            Some(bound) if bound == fp => Some(Arc::clone(&self.pool)),
+            Some(_) => None,
+        }
+    }
+}
+
+/// An exact (bit-level) FNV-1a fingerprint of an observation list: names,
+/// dimensions, region centers, axes and half-widths.  Pooled observation
+/// masks are valid precisely for lists with equal fingerprints.
+fn observations_fingerprint(observations: &[Observation]) -> u64 {
+    fn eat(hash: &mut u64, bytes: &[u8]) {
+        for &byte in bytes {
+            *hash ^= u64::from(byte);
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for observation in observations {
+        eat(&mut hash, observation.name().as_bytes());
+        eat(&mut hash, &[0x1f]);
+        let region = observation.region();
+        for v in region.center() {
+            eat(&mut hash, &v.to_bits().to_le_bytes());
+        }
+        for axis in region.axes() {
+            for v in axis {
+                eat(&mut hash, &v.to_bits().to_le_bytes());
+            }
+        }
+        for v in region.half_widths() {
+            eat(&mut hash, &v.to_bits().to_le_bytes());
+        }
+    }
+    hash
 }
 
 /// Computes the separated-observation bitmask of a direction: bit `i` is set
@@ -225,6 +326,10 @@ struct ModelOutcome {
     pruned: Vec<usize>,
     witnessed: Vec<usize>,
     inconclusive: usize,
+    /// Applied pool certificates harvested under a different family key.
+    cross_certificates: usize,
+    /// Applied pool rays harvested under a different family key.
+    cross_rays: usize,
     handoff: Option<Handoff>,
     got_warm_basis: bool,
 }
@@ -268,6 +373,7 @@ where
     all_features: Vec<String>,
     max_models: usize,
     threads: usize,
+    shared: Option<(CertificatePool, Arc<str>)>,
 }
 
 impl<G> LatticeSearch<G>
@@ -285,12 +391,23 @@ where
                 .collect(),
             max_models: 256,
             threads: 1,
+            shared: None,
         }
     }
 
     /// Caps the number of models the search may record (default 256).
     pub fn set_max_models(&mut self, limit: usize) {
         self.max_models = limit;
+    }
+
+    /// Attaches a cross-search [`CertificatePool`], tagging every entry this
+    /// search harvests with `family` (the canonical signature of the model
+    /// family being searched).  Entries harvested under a different family
+    /// key that prune or settle observations here are counted as cross-family
+    /// hits.  The search graph is unaffected — pool pruning is sound, so the
+    /// counts are pure functions of the feature set with or without the pool.
+    pub fn set_shared_pool(&mut self, pool: &CertificatePool, family: &str) {
+        self.shared = Some((pool.clone(), Arc::from(family)));
     }
 
     /// Sets the worker-thread budget for frontier evaluation (`0` = the
@@ -309,7 +426,7 @@ where
         initial: &FeatureSet,
         observations: &[Observation],
     ) -> SearchGraph {
-        let mut evaluator = Evaluator::new(&self.generator, observations);
+        let mut evaluator = Evaluator::new(&self.generator, observations, self.shared.as_ref());
         self.drive(initial, &mut |sets, parent| {
             evaluator.counts_seq(sets, parent)
         })
@@ -507,7 +624,7 @@ where
         } else {
             self.threads
         };
-        let mut evaluator = Evaluator::new(&self.generator, observations);
+        let mut evaluator = Evaluator::new(&self.generator, observations, self.shared.as_ref());
         let graph = self.drive(initial, &mut |sets, parent| {
             evaluator.counts(sets, parent, threads)
         });
@@ -526,7 +643,11 @@ struct Evaluator<'a, G> {
     margins: Vec<f64>,
     memo: BTreeMap<Vec<String>, usize>,
     handoffs: BTreeMap<Vec<String>, Handoff>,
-    pool: SharedPool,
+    pool: Arc<SharedPool>,
+    /// The family key this search tags harvested pool entries with (empty
+    /// without a shared pool, so every entry's origin matches and no
+    /// cross-family hit is ever counted).
+    family: Arc<str>,
     stats: LatticeStats,
 }
 
@@ -534,7 +655,20 @@ impl<'a, G> Evaluator<'a, G>
 where
     G: Fn(&FeatureSet) -> ModelCone,
 {
-    fn new(generator: &'a G, observations: &'a [Observation]) -> Evaluator<'a, G> {
+    fn new(
+        generator: &'a G,
+        observations: &'a [Observation],
+        shared: Option<&(CertificatePool, Arc<str>)>,
+    ) -> Evaluator<'a, G> {
+        // A shared pool over a different observation list is silently
+        // replaced by a private one: its masks would be unsound here.
+        let (pool, family) = match shared {
+            Some((pool, family)) => match pool.attach(observations) {
+                Some(attached) => (attached, Arc::clone(family)),
+                None => (Arc::new(SharedPool::default()), Arc::from("")),
+            },
+            None => (Arc::new(SharedPool::default()), Arc::from("")),
+        };
         Evaluator {
             generator,
             observations,
@@ -544,7 +678,8 @@ where
                 .collect(),
             memo: BTreeMap::new(),
             handoffs: BTreeMap::new(),
-            pool: SharedPool::default(),
+            pool,
+            family,
             stats: LatticeStats::default(),
         }
     }
@@ -568,6 +703,7 @@ where
                 self.observations,
                 &self.margins,
                 &self.pool,
+                &self.family,
                 parent_handoff.as_ref(),
             );
             evaluated += 1;
@@ -597,11 +733,21 @@ where
         self.stats.lp_tested +=
             self.observations.len() - outcome.pruned.len() - outcome.witnessed.len();
         self.stats.inconclusive += outcome.inconclusive;
+        self.stats.cross_family_certificate_hits += outcome.cross_certificates;
+        self.stats.cross_family_witness_hits += outcome.cross_rays;
         if outcome.got_warm_basis {
             self.stats.warm_basis_handoffs += 1;
         }
         if telemetry::enabled() {
             telemetry::add(telemetry::Metric::FrontierModelsEvaluated, 1);
+            telemetry::add(
+                telemetry::Metric::CrossFamilyCertificateHits,
+                outcome.cross_certificates as u64,
+            );
+            telemetry::add(
+                telemetry::Metric::CrossFamilyWitnessHits,
+                outcome.cross_rays as u64,
+            );
             telemetry::add(
                 telemetry::Metric::CertificatePrunes,
                 outcome.pruned.len() as u64,
@@ -684,6 +830,7 @@ where
         let observations = self.observations;
         let margins = &self.margins;
         let pool = &self.pool;
+        let family = &self.family;
         let handoff = parent_handoff.as_ref();
         std::thread::scope(|scope| {
             for worker in 0..workers {
@@ -694,8 +841,15 @@ where
                     let Some(set) = todo.get(idx) else {
                         break;
                     };
-                    let outcome =
-                        evaluate_model(generator, set, observations, margins, pool, handoff);
+                    let outcome = evaluate_model(
+                        generator,
+                        set,
+                        observations,
+                        margins,
+                        pool,
+                        family,
+                        handoff,
+                    );
                     *slots[idx].lock().expect("search worker panicked") = Some(outcome);
                     processed.fetch_add(1, Ordering::Relaxed);
                 });
@@ -728,6 +882,7 @@ fn evaluate_model<G>(
     observations: &[Observation],
     margins: &[f64],
     pool: &SharedPool,
+    family: &Arc<str>,
     parent: Option<&Handoff>,
 ) -> ModelOutcome
 where
@@ -756,8 +911,12 @@ where
         .clone();
     let ray_snapshot: Vec<Arc<PoolRay>> = pool.rays.lock().expect("ray pool poisoned").clone();
     let mut refuted_mask = vec![0u64; observations.len().div_ceil(64)];
+    let mut cross_certificates = 0usize;
     for certificate in &certificate_snapshot {
         if engine.certificate_applies(&certificate.direction) {
+            if certificate.origin.as_ref() != family.as_ref() {
+                cross_certificates += 1;
+            }
             for (acc, word) in refuted_mask.iter_mut().zip(&certificate.separated) {
                 *acc |= word;
             }
@@ -767,8 +926,12 @@ where
     // present in this cone (exact bit-level membership) is a point of this
     // cone, so every observation its pierce mask covers is feasible here too.
     let mut feasible_mask = vec![0u64; observations.len().div_ceil(64)];
+    let mut cross_rays = 0usize;
     for ray in &ray_snapshot {
         if ray.support.iter().all(|g| generator_keys.contains(g)) {
+            if ray.origin.as_ref() != family.as_ref() {
+                cross_rays += 1;
+            }
             for (acc, word) in feasible_mask.iter_mut().zip(&ray.pierced) {
                 *acc |= word;
             }
@@ -822,8 +985,9 @@ where
             // of the feature set (whether an observation ever *reaches* the
             // LP depends on timing-sensitive pool contents, so a pool-state-
             // dependent verdict here would break graph determinism).  On the
-            // truly pathological instance the reference solver panics —
-            // exactly like the sequential reference would.
+            // truly pathological instance the reference solver resolves
+            // not-refuted deterministically, so one degenerate cone cannot
+            // abort a sweep.
             FeasibilityVerdict::Inconclusive { .. } => {
                 inconclusive += 1;
                 if !crate::feasibility::FeasibilityChecker::new(&cone).is_feasible(observation) {
@@ -856,6 +1020,7 @@ where
             .map(|direction| PoolCertificate {
                 separated: separation_mask(&direction, observations, margins),
                 direction,
+                origin: Arc::clone(family),
             })
             .collect();
         let mut certificates = pool.certificates.lock().expect("certificate pool poisoned");
@@ -906,6 +1071,7 @@ where
                 pierced: pierce_mask(&ray, observations, margins),
                 support: key_of(&support),
                 ray,
+                origin: Arc::clone(family),
             });
         }
         for (ray, support, obs) in self_rays {
@@ -927,6 +1093,7 @@ where
                 pierced,
                 support: key_of(&support),
                 ray,
+                origin: Arc::clone(family),
             });
         }
         let cap = ray_pool_cap(observations.len());
@@ -968,6 +1135,8 @@ where
         pruned,
         witnessed,
         inconclusive,
+        cross_certificates,
+        cross_rays,
         handoff,
         got_warm_basis,
     }
@@ -1130,6 +1299,61 @@ mod tests {
                     .len()
             );
         }
+    }
+
+    #[test]
+    fn shared_pool_prunes_across_families_without_changing_graphs() {
+        let universe = ["Fy", "Fboth"];
+        let observations = observations();
+        let start = feature_set(&["Fy", "Fboth"]);
+
+        // Private baseline: what each search produces without any sharing.
+        let baseline = LatticeSearch::new(toy_cone, &universe).run(&start, &observations);
+
+        let pool = CertificatePool::new();
+        let mut first = LatticeSearch::new(toy_cone, &universe);
+        first.set_shared_pool(&pool, "family-a");
+        let (graph_a, stats_a) = first.run_with_stats(&start, &observations);
+        assert_eq!(graph_a, baseline);
+        assert_eq!(
+            stats_a.cross_family_certificate_hits, 0,
+            "the first family has no siblings to inherit from"
+        );
+        assert!(
+            pool.num_certificates() > 0,
+            "the first sweep must seed the shared pool"
+        );
+
+        let mut second = LatticeSearch::new(toy_cone, &universe);
+        second.set_shared_pool(&pool, "family-b");
+        let (graph_b, stats_b) = second.run_with_stats(&start, &observations);
+        assert_eq!(graph_b, baseline, "pool sharing must not change the graph");
+        assert!(
+            stats_b.cross_family_certificate_hits > 0,
+            "the second family must reuse certificates harvested by the first: {stats_b:?}"
+        );
+    }
+
+    #[test]
+    fn shared_pool_rejects_mismatched_observations() {
+        let pool = CertificatePool::new();
+        let mut first = LatticeSearch::new(toy_cone, &["Fy", "Fboth"]);
+        first.set_shared_pool(&pool, "family-a");
+        first.run(&feature_set(&["Fy", "Fboth"]), &observations());
+        assert!(pool.num_certificates() > 0);
+
+        // A search over a *different* observation set must fall back to a
+        // private pool: the pooled bit masks are indexed by the observation
+        // list the pool was first attached to.
+        let other = vec![Observation::exact("different", &[1.0, 1.0])];
+        let mut second = LatticeSearch::new(toy_cone, &["Fy", "Fboth"]);
+        second.set_shared_pool(&pool, "family-b");
+        let (graph, stats) = second.run_with_stats(&FeatureSet::new(), &other);
+        let expected =
+            LatticeSearch::new(toy_cone, &["Fy", "Fboth"]).run(&FeatureSet::new(), &other);
+        assert_eq!(graph, expected);
+        assert_eq!(stats.cross_family_certificate_hits, 0);
+        assert_eq!(stats.cross_family_witness_hits, 0);
     }
 
     #[test]

@@ -67,5 +67,5 @@ pub use explore::{
     essential_features, evaluate_models, evaluate_models_with_threads, GuidedSearch,
 };
 pub use feasibility::{FeasibilityChecker, FeasibilityReport};
-pub use lattice::{LatticeSearch, LatticeStats, PrunedModel};
+pub use lattice::{CertificatePool, LatticeSearch, LatticeStats, PrunedModel};
 pub use observation::Observation;

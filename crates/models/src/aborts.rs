@@ -14,7 +14,7 @@ use counterpoint_mudd::{CounterSpace, MuDd, MuDdBuilder, NodeId};
 use serde::Serialize;
 
 /// Where a speculative translation request may abort (paper, Table 7).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub enum AbortPoint {
     /// During the page-table walk itself (after some walker references).
     DuringWalk,

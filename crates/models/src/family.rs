@@ -8,9 +8,31 @@ use crate::prefetch::{standalone_prefetch_mudd, TriggerSpec};
 use counterpoint_core::{FeatureSet, ModelCone};
 use counterpoint_haswell::full_counter_space;
 use counterpoint_haswell::hec::AccessType;
-use counterpoint_mudd::{CounterSpace, MuDd};
+use counterpoint_mudd::{CounterSpace, MuDd, MuDdError};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Assembles a cone from μDDs, optionally re-bounding every diagram's path
+/// limit first (the enumeration layer's `max_paths` metric).  All the family
+/// builders funnel through here so the fallible and infallible entry points
+/// share one code path.
+pub(crate) fn assemble_cone(
+    name: &str,
+    mudds: &[Arc<MuDd>],
+    max_paths: Option<usize>,
+) -> Result<ModelCone, MuDdError> {
+    match max_paths {
+        Some(limit) => {
+            let bounded: Vec<MuDd> = mudds.iter().map(|m| m.with_max_paths(limit)).collect();
+            let refs: Vec<&MuDd> = bounded.iter().collect();
+            ModelCone::from_mudds(name, &refs)
+        }
+        None => {
+            let refs: Vec<&MuDd> = mudds.iter().map(Arc::as_ref).collect();
+            ModelCone::from_mudds(name, &refs)
+        }
+    }
+}
 
 /// Memoised demand μDD construction over the full Haswell counter space.
 ///
@@ -21,7 +43,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// input `demand_mudd` sees except the counter space, which is always
 /// [`full_counter_space`] for the builders in this module (checked in debug
 /// builds).
-fn cached_demand_mudd(space: &CounterSpace, opts: &DemandOptions) -> Arc<MuDd> {
+pub(crate) fn cached_demand_mudd(space: &CounterSpace, opts: &DemandOptions) -> Arc<MuDd> {
     static CACHE: OnceLock<Mutex<BTreeMap<String, Arc<MuDd>>>> = OnceLock::new();
     let mut key = format!("{:?}|{:?}", opts.access, opts.inline_prefetch);
     for feature in &opts.features {
@@ -41,7 +63,11 @@ fn cached_demand_mudd(space: &CounterSpace, opts: &DemandOptions) -> Arc<MuDd> {
 type PrefetchMuddCache = OnceLock<Mutex<BTreeMap<(bool, bool), Arc<MuDd>>>>;
 
 /// Memoised stand-alone prefetch μDD (see [`cached_demand_mudd`]).
-fn cached_prefetch_mudd(space: &CounterSpace, early_psc: bool, pml4e: bool) -> Arc<MuDd> {
+pub(crate) fn cached_prefetch_mudd(
+    space: &CounterSpace,
+    early_psc: bool,
+    pml4e: bool,
+) -> Arc<MuDd> {
     static CACHE: PrefetchMuddCache = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     if let Some(mudd) = cache.lock().unwrap().get(&(early_psc, pml4e)) {
@@ -90,6 +116,26 @@ pub fn build_feature_model(name: &str, features: &FeatureSet) -> ModelCone {
 }
 
 fn build_feature_model_uncached(name: &str, features: &FeatureSet) -> ModelCone {
+    try_build_feature_model(name, features).expect("case-study models stay within the path limit")
+}
+
+/// Fallible variant of [`build_feature_model`]: a μDD whose enumeration
+/// exceeds the path limit surfaces as [`MuDdError::PathExplosion`] instead of
+/// aborting the process.  Enumerated model generators use this (optionally
+/// via a tighter bound, see [`crate::enumo`]) to *skip* oversized candidates.
+///
+/// # Errors
+///
+/// Returns the first [`MuDdError`] hit while enumerating the model's μpaths.
+pub fn try_build_feature_model(name: &str, features: &FeatureSet) -> Result<ModelCone, MuDdError> {
+    try_build_feature_model_bounded(name, features, None)
+}
+
+pub(crate) fn try_build_feature_model_bounded(
+    name: &str,
+    features: &FeatureSet,
+    max_paths: Option<usize>,
+) -> Result<ModelCone, MuDdError> {
     let space = full_counter_space();
     let load = cached_demand_mudd(&space, &DemandOptions::new(AccessType::Load, features));
     let store = cached_demand_mudd(&space, &DemandOptions::new(AccessType::Store, features));
@@ -101,8 +147,7 @@ fn build_feature_model_uncached(name: &str, features: &FeatureSet) -> ModelCone 
             has(features, Feature::Pml4eCache),
         ));
     }
-    let refs: Vec<&MuDd> = mudds.iter().map(Arc::as_ref).collect();
-    ModelCone::from_mudds(name, &refs).expect("case-study models stay within the path limit")
+    assemble_cone(name, &mudds, max_paths)
 }
 
 /// The twelve feature sets of the initial model search (paper, Table 3).
@@ -137,6 +182,24 @@ pub fn feature_sets_table3() -> Vec<(String, FeatureSet)> {
 /// prefetch μop; `Spec ✗` models fold the prefetch request into the retiring load
 /// and/or store μop paths at the point dictated by the miss requirement.
 pub fn build_trigger_model(name: &str, spec: &TriggerSpec) -> ModelCone {
+    try_build_trigger_model(name, spec).expect("trigger models stay within the path limit")
+}
+
+/// Fallible variant of [`build_trigger_model`] (see
+/// [`try_build_feature_model`] for the error contract).
+///
+/// # Errors
+///
+/// Returns the first [`MuDdError`] hit while enumerating the model's μpaths.
+pub fn try_build_trigger_model(name: &str, spec: &TriggerSpec) -> Result<ModelCone, MuDdError> {
+    try_build_trigger_model_bounded(name, spec, None)
+}
+
+pub(crate) fn try_build_trigger_model_bounded(
+    name: &str,
+    spec: &TriggerSpec,
+    max_paths: Option<usize>,
+) -> Result<ModelCone, MuDdError> {
     let space = full_counter_space();
     let features = to_feature_set(&Feature::ALL);
     let attach_point = if spec.stlb_miss {
@@ -164,8 +227,7 @@ pub fn build_trigger_model(name: &str, spec: &TriggerSpec) -> ModelCone {
     if spec.speculative {
         mudds.push(cached_prefetch_mudd(&space, true, true));
     }
-    let refs: Vec<&MuDd> = mudds.iter().map(Arc::as_ref).collect();
-    ModelCone::from_mudds(name, &refs).expect("trigger models stay within the path limit")
+    assemble_cone(name, &mudds, max_paths)
 }
 
 /// The eighteen trigger-condition models of Table 5.
@@ -211,6 +273,24 @@ pub fn trigger_specs_table5() -> Vec<(String, TriggerSpec)> {
 /// the feature-complete trigger model `t0` with walk bypassing removed and
 /// translation-request aborts added at the given pipeline points.
 pub fn build_abort_model(name: &str, points: &[AbortPoint]) -> ModelCone {
+    try_build_abort_model(name, points).expect("abort models stay within the path limit")
+}
+
+/// Fallible variant of [`build_abort_model`] (see
+/// [`try_build_feature_model`] for the error contract).
+///
+/// # Errors
+///
+/// Returns the first [`MuDdError`] hit while enumerating the model's μpaths.
+pub fn try_build_abort_model(name: &str, points: &[AbortPoint]) -> Result<ModelCone, MuDdError> {
+    try_build_abort_model_bounded(name, points, None)
+}
+
+pub(crate) fn try_build_abort_model_bounded(
+    name: &str,
+    points: &[AbortPoint],
+    max_paths: Option<usize>,
+) -> Result<ModelCone, MuDdError> {
     let space = full_counter_space();
     let features = to_feature_set(&[
         Feature::TlbPrefetch,
@@ -225,8 +305,7 @@ pub fn build_abort_model(name: &str, points: &[AbortPoint]) -> ModelCone {
     if let Some(aborts) = abort_request_mudd(&space, points) {
         mudds.push(Arc::new(aborts));
     }
-    let refs: Vec<&MuDd> = mudds.iter().map(Arc::as_ref).collect();
-    ModelCone::from_mudds(name, &refs).expect("abort models stay within the path limit")
+    assemble_cone(name, &mudds, max_paths)
 }
 
 /// The four abort-point models of Table 7 (cumulatively enabling later abort
@@ -295,6 +374,24 @@ mod tests {
         for window in specs.windows(2) {
             assert_eq!(window[0].1.len() + 1, window[1].1.len());
         }
+    }
+
+    #[test]
+    fn try_builders_report_path_explosion_instead_of_aborting() {
+        use counterpoint_mudd::MuDdError;
+        let specs = feature_sets_table3();
+        // The hand-written models all fit the default limit.
+        assert!(try_build_feature_model("m4", &specs[4].1).is_ok());
+        assert!(try_build_trigger_model("t0", &TriggerSpec::t0()).is_ok());
+        assert!(try_build_abort_model("a0", &[AbortPoint::DuringWalk]).is_ok());
+        // A starvation-level bound turns the same model into a typed error.
+        let err = try_build_feature_model_bounded("m4", &specs[4].1, Some(1)).unwrap_err();
+        assert!(matches!(err, MuDdError::PathExplosion { limit: 1 }));
+        let err = try_build_trigger_model_bounded("t0", &TriggerSpec::t0(), Some(1)).unwrap_err();
+        assert!(matches!(err, MuDdError::PathExplosion { limit: 1 }));
+        let err =
+            try_build_abort_model_bounded("a0", &[AbortPoint::DuringWalk], Some(1)).unwrap_err();
+        assert!(matches!(err, MuDdError::PathExplosion { limit: 1 }));
     }
 
     #[test]

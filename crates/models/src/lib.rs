@@ -36,11 +36,13 @@
 
 pub mod aborts;
 pub mod demand;
+pub mod enumo;
 pub mod family;
 pub mod features;
 pub mod harness;
 pub mod prefetch;
 
+pub use enumo::{enumerate, EnumOptions, ModelFamily, ModelGrammar, ModelSpec};
 pub use family::{
     abort_specs_table7, build_abort_model, build_feature_model, build_trigger_model,
     feature_sets_table3, trigger_specs_table5,

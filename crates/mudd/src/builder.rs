@@ -134,7 +134,7 @@ impl MuDdBuilder {
                     let idx = self
                         .counters
                         .index_of(name)
-                        .ok_or_else(|| MuDdError::UnknownCounter(name.clone()))?;
+                        .ok_or_else(|| self.counters.unknown_counter(name))?;
                     NodeKind::Counter(idx)
                 }
             });
@@ -299,10 +299,13 @@ mod tests {
         let e = b.end();
         b.causal(s, c);
         b.causal(c, e);
-        assert_eq!(
-            b.build().unwrap_err(),
-            MuDdError::UnknownCounter("c.missing".to_string())
-        );
+        match b.build().unwrap_err() {
+            MuDdError::UnknownCounter { name, available } => {
+                assert_eq!(name, "c.missing");
+                assert_eq!(available, space().names());
+            }
+            other => panic!("expected UnknownCounter, got {other:?}"),
+        }
     }
 
     #[test]

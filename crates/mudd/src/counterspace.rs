@@ -3,6 +3,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::graph::MuDdError;
+
 /// An ordered, indexable set of hardware event counter names.
 ///
 /// Every μDD, counter signature, model cone and confidence region in a CounterPoint
@@ -104,15 +106,36 @@ impl CounterSpace {
     ///
     /// # Panics
     ///
-    /// Panics if a name is unknown.
+    /// Panics if a name is unknown.  Mechanically generated name lists should
+    /// use [`CounterSpace::try_indices_of`] instead.
     pub fn indices_of<S: AsRef<str>>(&self, names: &[S]) -> Vec<usize> {
+        self.try_indices_of(names).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`CounterSpace::indices_of`], but an unknown name is reported as
+    /// [`MuDdError::UnknownCounter`] (carrying every available name) instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MuDdError::UnknownCounter`] for the first name missing from
+    /// this space.
+    pub fn try_indices_of<S: AsRef<str>>(&self, names: &[S]) -> Result<Vec<usize>, MuDdError> {
         names
             .iter()
             .map(|n| {
                 self.index_of(n.as_ref())
-                    .unwrap_or_else(|| panic!("unknown counter {}", n.as_ref()))
+                    .ok_or_else(|| self.unknown_counter(n.as_ref()))
             })
             .collect()
+    }
+
+    /// The canonical typed error for a name this space does not contain.
+    pub(crate) fn unknown_counter(&self, name: &str) -> MuDdError {
+        MuDdError::UnknownCounter {
+            name: name.to_string(),
+            available: self.names.clone(),
+        }
     }
 }
 
@@ -176,6 +199,27 @@ mod tests {
     fn indices_of_maps_names() {
         let s = CounterSpace::new(&["a", "b", "c"]);
         assert_eq!(s.indices_of(&["c", "a"]), vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown counter")]
+    fn indices_of_unknown_name_panics() {
+        let s = CounterSpace::new(&["a", "b"]);
+        let _ = s.indices_of(&["a", "bogus.counter"]);
+    }
+
+    #[test]
+    fn try_indices_of_reports_typed_error() {
+        let s = CounterSpace::new(&["a", "b", "c"]);
+        assert_eq!(s.try_indices_of(&["b", "c"]), Ok(vec![1, 2]));
+        let err = s.try_indices_of(&["b", "bogus.counter"]).unwrap_err();
+        match err {
+            MuDdError::UnknownCounter { name, available } => {
+                assert_eq!(name, "bogus.counter");
+                assert_eq!(available, vec!["a", "b", "c"]);
+            }
+            other => panic!("expected UnknownCounter, got {other:?}"),
+        }
     }
 
     #[test]

@@ -619,7 +619,10 @@ mod tests {
     #[test]
     fn unknown_counter_is_reported() {
         let err = compile_uop("bad", "incr not.a.counter;", &pde_space()).unwrap_err();
-        assert!(matches!(err, DslError::Graph(MuDdError::UnknownCounter(_))));
+        assert!(matches!(
+            err,
+            DslError::Graph(MuDdError::UnknownCounter { .. })
+        ));
     }
 
     #[test]

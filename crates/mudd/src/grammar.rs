@@ -1,0 +1,362 @@
+//! A tiny term grammar for enumerating μDD structural choices.
+//!
+//! Model enumeration (the ruler/`enumo` idiom) needs three ingredients: a
+//! *term* language over named atoms and holes, a `plug`-style substitution
+//! step that expands every hole into each of a workload's candidate terms,
+//! and metric-bounded iteration so the candidate space stays finite.  This
+//! module provides exactly that, with deterministic ordering everywhere — a
+//! [`Workload`] is an ordered list of terms, `plug` expands them in
+//! left-to-right, choices-in-order fashion, and deduplication keeps the first
+//! occurrence — so a grammar enumeration is a pure function of its inputs.
+//!
+//! The atoms carry no μDD semantics here; the model layer interprets them
+//! (feature names, trigger ids, abort points) and builds diagrams from the
+//! surviving terms.  Keeping the grammar purely syntactic makes the expansion
+//! step reusable and trivially testable.
+//!
+//! ```
+//! use counterpoint_mudd::grammar::{Term, Workload};
+//! // lists of up to 2 features drawn from {a, b}
+//! let seed = Workload::new(vec![Term::hole("fs")]);
+//! let step = Workload::new(vec![
+//!     Term::list(vec![Term::atom("a")]),
+//!     Term::list(vec![Term::atom("b")]),
+//!     Term::list(vec![Term::atom("a"), Term::hole("fs")]),
+//!     Term::list(vec![Term::atom("b"), Term::hole("fs")]),
+//! ]);
+//! let terms = seed.plug_iterate("fs", &step, 2).closed();
+//! assert_eq!(terms.len(), 6); // [a] [b] [a a] [a b] [b a] [b b]
+//! ```
+
+use std::fmt;
+
+/// A term of the enumeration grammar: an atom (terminal symbol), a named
+/// hole (substitution point), or a list of sub-terms.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Term {
+    /// A terminal symbol, interpreted by the model layer.
+    Atom(String),
+    /// A substitution point, filled in by [`Workload::plug`].
+    Hole(String),
+    /// An ordered sequence of sub-terms.
+    List(Vec<Term>),
+}
+
+impl Term {
+    /// Shorthand for [`Term::Atom`].
+    pub fn atom(name: impl Into<String>) -> Term {
+        Term::Atom(name.into())
+    }
+
+    /// Shorthand for [`Term::Hole`].
+    pub fn hole(name: impl Into<String>) -> Term {
+        Term::Hole(name.into())
+    }
+
+    /// Shorthand for [`Term::List`].
+    pub fn list(items: Vec<Term>) -> Term {
+        Term::List(items)
+    }
+
+    /// Structural depth: atoms and holes are depth 1, a list is one more than
+    /// its deepest element (an empty list is depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Atom(_) | Term::Hole(_) => 1,
+            Term::List(items) => 1 + items.iter().map(Term::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Number of atoms in the term.
+    pub fn num_atoms(&self) -> usize {
+        match self {
+            Term::Atom(_) => 1,
+            Term::Hole(_) => 0,
+            Term::List(items) => items.iter().map(Term::num_atoms).sum(),
+        }
+    }
+
+    /// `true` if the term still contains a hole (of any name).
+    pub fn has_holes(&self) -> bool {
+        match self {
+            Term::Atom(_) => false,
+            Term::Hole(_) => true,
+            Term::List(items) => items.iter().any(Term::has_holes),
+        }
+    }
+
+    /// The atom names of the term, left to right.
+    pub fn atoms(&self) -> Vec<&str> {
+        fn walk<'t>(term: &'t Term, out: &mut Vec<&'t str>) {
+            match term {
+                Term::Atom(name) => out.push(name),
+                Term::Hole(_) => {}
+                Term::List(items) => items.iter().for_each(|t| walk(t, out)),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Every expansion of this term with each occurrence of hole `name`
+    /// replaced by one of `choices`, in deterministic order: the choices are
+    /// crossed per occurrence, with the leftmost occurrence varying slowest.
+    pub fn plug(&self, name: &str, choices: &[Term]) -> Vec<Term> {
+        match self {
+            Term::Atom(_) => vec![self.clone()],
+            Term::Hole(h) if h == name => choices.to_vec(),
+            Term::Hole(_) => vec![self.clone()],
+            Term::List(items) => {
+                // Cross product of the per-item expansions, leftmost slowest.
+                let expanded: Vec<Vec<Term>> =
+                    items.iter().map(|t| t.plug(name, choices)).collect();
+                let mut results: Vec<Vec<Term>> = vec![Vec::new()];
+                for options in &expanded {
+                    let mut next = Vec::with_capacity(results.len() * options.len());
+                    for prefix in &results {
+                        for option in options {
+                            let mut seq = prefix.clone();
+                            seq.push(option.clone());
+                            next.push(seq);
+                        }
+                    }
+                    results = next;
+                }
+                results.into_iter().map(Term::List).collect()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    /// A canonical, parse-stable rendering: atoms print bare, holes print as
+    /// `?name`, lists as parenthesised space-separated sequences.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Atom(name) => write!(f, "{name}"),
+            Term::Hole(name) => write!(f, "?{name}"),
+            Term::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// An ordered collection of terms — the unit the grammar layer iterates on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Workload {
+    terms: Vec<Term>,
+}
+
+impl Workload {
+    /// A workload over the given terms, in order.
+    pub fn new(terms: Vec<Term>) -> Workload {
+        Workload { terms }
+    }
+
+    /// A workload of bare atoms.
+    pub fn from_atoms<S: AsRef<str>>(names: &[S]) -> Workload {
+        Workload {
+            terms: names.iter().map(|n| Term::atom(n.as_ref())).collect(),
+        }
+    }
+
+    /// The terms, in workload order.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Expands every term by plugging `choices` into hole `name` once.
+    pub fn plug(&self, name: &str, choices: &Workload) -> Workload {
+        Workload {
+            terms: self
+                .terms
+                .iter()
+                .flat_map(|t| t.plug(name, &choices.terms))
+                .collect(),
+        }
+    }
+
+    /// Metric-bounded iteration: plugs `choices` into hole `name` up to
+    /// `rounds` times, keeping (in first-seen order) every hole-free term
+    /// produced along the way.  Terms still carrying holes after the final
+    /// round are dropped — the result is the closed language up to the depth
+    /// the round budget reaches.
+    pub fn plug_iterate(&self, name: &str, choices: &Workload, rounds: usize) -> Workload {
+        let mut closed: Vec<Term> = self
+            .terms
+            .iter()
+            .filter(|t| !t.has_holes())
+            .cloned()
+            .collect();
+        let mut open: Vec<Term> = self
+            .terms
+            .iter()
+            .filter(|t| t.has_holes())
+            .cloned()
+            .collect();
+        for _ in 0..rounds {
+            if open.is_empty() {
+                break;
+            }
+            let expanded: Vec<Term> = open
+                .iter()
+                .flat_map(|t| t.plug(name, &choices.terms))
+                .collect();
+            open = Vec::new();
+            for term in expanded {
+                if term.has_holes() {
+                    open.push(term);
+                } else {
+                    closed.push(term);
+                }
+            }
+        }
+        Workload { terms: closed }.dedup()
+    }
+
+    /// Keeps the terms satisfying `predicate`, preserving order.
+    pub fn filter(&self, predicate: impl Fn(&Term) -> bool) -> Workload {
+        Workload {
+            terms: self
+                .terms
+                .iter()
+                .filter(|t| predicate(t))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Drops exact-duplicate terms, keeping the first occurrence of each.
+    pub fn dedup(&self) -> Workload {
+        let mut seen = std::collections::BTreeSet::new();
+        Workload {
+            terms: self
+                .terms
+                .iter()
+                .filter(|t| seen.insert(t.to_string()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The hole-free terms, in order (holes have no model interpretation).
+    pub fn closed(&self) -> Vec<Term> {
+        self.terms
+            .iter()
+            .filter(|t| !t.has_holes())
+            .cloned()
+            .collect()
+    }
+
+    /// The cross product of two workloads as two-element lists, left operand
+    /// varying slowest.
+    pub fn cross(&self, other: &Workload) -> Workload {
+        let mut terms = Vec::with_capacity(self.terms.len() * other.terms.len());
+        for a in &self.terms {
+            for b in &other.terms {
+                terms.push(Term::List(vec![a.clone(), b.clone()]));
+            }
+        }
+        Workload { terms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plug_is_a_per_occurrence_cross_product() {
+        let t = Term::list(vec![Term::hole("x"), Term::atom("k"), Term::hole("x")]);
+        let out = t.plug("x", &[Term::atom("a"), Term::atom("b")]);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].to_string(), "(a k a)");
+        assert_eq!(out[1].to_string(), "(a k b)");
+        assert_eq!(out[2].to_string(), "(b k a)");
+        assert_eq!(out[3].to_string(), "(b k b)");
+    }
+
+    #[test]
+    fn plug_ignores_other_holes() {
+        let t = Term::hole("y");
+        assert_eq!(t.plug("x", &[Term::atom("a")]), vec![Term::hole("y")]);
+    }
+
+    #[test]
+    fn metrics_measure_structure() {
+        let t = Term::list(vec![
+            Term::atom("a"),
+            Term::list(vec![Term::atom("b"), Term::hole("h")]),
+        ]);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.num_atoms(), 2);
+        assert!(t.has_holes());
+        assert_eq!(t.atoms(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn plug_iterate_closes_recursive_productions() {
+        // fs ::= (f) | (f fs)  over  f ∈ {a, b}
+        let seed = Workload::new(vec![Term::hole("fs")]);
+        let step = Workload::new(vec![
+            Term::list(vec![Term::atom("a")]),
+            Term::list(vec![Term::atom("b")]),
+            Term::list(vec![Term::atom("a"), Term::hole("fs")]),
+            Term::list(vec![Term::atom("b"), Term::hole("fs")]),
+        ]);
+        let depth2 = seed.plug_iterate("fs", &step, 2);
+        // 2 singletons + 4 pairs; deeper terms still hold holes and are dropped.
+        assert_eq!(depth2.len(), 6);
+        assert!(depth2.terms().iter().all(|t| !t.has_holes()));
+        let depth3 = seed.plug_iterate("fs", &step, 3);
+        assert_eq!(depth3.len(), 6 + 8);
+    }
+
+    #[test]
+    fn iteration_is_deterministic_and_deduplicated() {
+        let seed = Workload::new(vec![Term::hole("x"), Term::hole("x")]);
+        let step = Workload::from_atoms(&["a", "b"]);
+        let once = seed.plug_iterate("x", &step, 1);
+        // The duplicate seed's expansions collapse; first-seen order holds.
+        assert_eq!(once.len(), 2);
+        assert_eq!(once.terms()[0].to_string(), "a");
+        assert_eq!(once.terms()[1].to_string(), "b");
+        assert_eq!(once, seed.plug_iterate("x", &step, 1));
+    }
+
+    #[test]
+    fn filter_and_cross_preserve_order() {
+        let a = Workload::from_atoms(&["x", "y"]);
+        let b = Workload::from_atoms(&["1", "2"]);
+        let crossed = a.cross(&b);
+        let rendered: Vec<String> = crossed.terms().iter().map(Term::to_string).collect();
+        assert_eq!(rendered, vec!["(x 1)", "(x 2)", "(y 1)", "(y 2)"]);
+        let only_y = crossed.filter(|t| t.atoms().contains(&"y"));
+        assert_eq!(only_y.len(), 2);
+    }
+
+    #[test]
+    fn display_renders_canonically() {
+        let t = Term::list(vec![Term::atom("a"), Term::hole("h"), Term::list(vec![])]);
+        assert_eq!(t.to_string(), "(a ?h ())");
+    }
+}

@@ -55,7 +55,12 @@ pub enum MuDdError {
     /// The μDD has more than one `Start` node.
     MultipleStartNodes,
     /// A counter node refers to a counter name missing from the model's space.
-    UnknownCounter(String),
+    UnknownCounter {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every name the counter space does know, in space order.
+        available: Vec<String>,
+    },
     /// A decision node has no value appearing on an outgoing edge, or a
     /// non-decision node has a labelled outgoing edge.
     BadEdgeLabel {
@@ -106,7 +111,9 @@ impl fmt::Display for MuDdError {
         match self {
             MuDdError::NoStartNode => write!(f, "μDD has no start node"),
             MuDdError::MultipleStartNodes => write!(f, "μDD has more than one start node"),
-            MuDdError::UnknownCounter(name) => write!(f, "unknown counter name: {name}"),
+            MuDdError::UnknownCounter { name, available } => {
+                write!(f, "unknown counter {name} (space has {})", available.len())
+            }
             MuDdError::BadEdgeLabel { node } => {
                 write!(f, "node {node} has an invalid edge labelling")
             }
@@ -228,6 +235,18 @@ impl MuDd {
     /// Total number of causality edges.
     pub fn num_causal_edges(&self) -> usize {
         self.causal_out.iter().map(Vec::len).sum()
+    }
+
+    /// Returns a copy of this μDD whose path-enumeration limit is `limit`.
+    ///
+    /// The structure is unchanged; only the budget consulted by
+    /// [`MuDd::enumerate_paths`] and friends moves.  Enumeration-driven
+    /// callers use this to impose a per-candidate path metric far below the
+    /// builder default.
+    pub fn with_max_paths(&self, limit: usize) -> MuDd {
+        let mut bounded = self.clone();
+        bounded.max_paths = limit;
+        bounded
     }
 
     /// Enumerates every μpath of the diagram.
@@ -576,9 +595,12 @@ mod tests {
     fn error_display_messages() {
         assert!(MuDdError::NoStartNode.to_string().contains("no start"));
         assert!(MuDdError::Cycle.to_string().contains("cycle"));
-        assert!(MuDdError::UnknownCounter("x".into())
-            .to_string()
-            .contains("x"));
+        let unknown = MuDdError::UnknownCounter {
+            name: "x".into(),
+            available: vec!["a".into(), "b".into()],
+        };
+        assert!(unknown.to_string().contains("unknown counter x"));
+        assert!(unknown.to_string().contains('2'));
         assert!(MuDdError::PathExplosion { limit: 5 }
             .to_string()
             .contains('5'));

@@ -18,7 +18,9 @@
 //!   enumeration,
 //! * [`MuPath`] — an enumerated path with its property assignment and signature,
 //! * [`dsl`] — the small domain-specific language from Figure 2 of the paper
-//!   (`incr` / `do` / `switch` / `pass` / `done`) and its compiler to μDDs.
+//!   (`incr` / `do` / `switch` / `pass` / `done`) and its compiler to μDDs,
+//! * [`grammar`] — a term grammar with `plug`-style substitution and
+//!   metric-bounded iteration, the substrate for enumerating model families.
 //!
 //! # Example
 //!
@@ -48,6 +50,7 @@
 pub mod builder;
 pub mod counterspace;
 pub mod dsl;
+pub mod grammar;
 pub mod graph;
 pub mod path;
 pub mod signature;

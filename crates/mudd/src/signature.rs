@@ -1,6 +1,7 @@
 //! μpath counter signatures.
 
 use crate::counterspace::CounterSpace;
+use crate::graph::MuDdError;
 use counterpoint_numeric::RatVector;
 use std::fmt;
 use std::ops::Add;
@@ -44,16 +45,31 @@ impl CounterSignature {
     ///
     /// # Panics
     ///
-    /// Panics if a name is not in the space.
+    /// Panics if a name is not in the space.  Mechanically generated entries
+    /// should use [`CounterSignature::try_from_named`] instead.
     pub fn from_named(space: &CounterSpace, entries: &[(&str, u32)]) -> CounterSignature {
+        CounterSignature::try_from_named(space, entries).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`CounterSignature::from_named`], but an unresolvable name is
+    /// reported as [`MuDdError::UnknownCounter`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MuDdError::UnknownCounter`] for the first name missing from
+    /// the space.
+    pub fn try_from_named(
+        space: &CounterSpace,
+        entries: &[(&str, u32)],
+    ) -> Result<CounterSignature, MuDdError> {
         let mut sig = CounterSignature::zero(space.len());
         for (name, count) in entries {
             let idx = space
                 .index_of(name)
-                .unwrap_or_else(|| panic!("unknown counter {name}"));
+                .ok_or_else(|| space.unknown_counter(name))?;
             sig.counts[idx] += count;
         }
-        sig
+        Ok(sig)
     }
 
     /// Number of counters.
@@ -229,6 +245,21 @@ mod tests {
     fn from_named_unknown_counter_panics() {
         let space = CounterSpace::new(&["a"]);
         let _ = CounterSignature::from_named(&space, &[("b", 1)]);
+    }
+
+    #[test]
+    fn try_from_named_reports_typed_error() {
+        let space = CounterSpace::new(&["a", "b"]);
+        let ok = CounterSignature::try_from_named(&space, &[("b", 3)]).unwrap();
+        assert_eq!(ok.counts(), &[0, 3]);
+        let err = CounterSignature::try_from_named(&space, &[("bogus.counter", 1)]).unwrap_err();
+        match err {
+            MuDdError::UnknownCounter { name, available } => {
+                assert_eq!(name, "bogus.counter");
+                assert_eq!(available, vec!["a", "b"]);
+            }
+            other => panic!("expected UnknownCounter, got {other:?}"),
+        }
     }
 
     #[test]

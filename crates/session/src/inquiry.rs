@@ -13,17 +13,18 @@
 
 use crate::error::SessionError;
 use crate::report::{
-    ModelConstraints, ModelVerdicts, ObservationSummary, Report, StageTimings,
-    REPORT_FORMAT_VERSION,
+    EnumeratedGroup, EnumerationSummary, ModelConstraints, ModelVerdicts, ObservationSummary,
+    Report, StageTimings, REPORT_FORMAT_VERSION,
 };
 use crate::verdict::Verdict;
 use counterpoint_collect::{Campaign, CampaignCell, CounterBackend, SimBackend, Trace};
 use counterpoint_core::{
-    check_models_verdicts, deduce_constraints, essential_feature_intersection, ConstraintSet,
-    ExplorationModel, FeatureSet, LatticeSearch, ModelCone, Observation,
+    check_models_verdicts, deduce_constraints, essential_feature_intersection, CertificatePool,
+    ConstraintSet, ExplorationModel, FeatureSet, LatticeSearch, ModelCone, Observation,
 };
 use counterpoint_haswell::mmu::MmuConfig;
 use counterpoint_haswell::pmu::PmuConfig;
+use counterpoint_models::enumo::{self, EnumOptions, ModelGrammar};
 use counterpoint_models::harness::{case_study_campaign, HarnessConfig};
 use counterpoint_telemetry as telemetry;
 use std::fmt;
@@ -73,6 +74,7 @@ pub struct Inquiry {
     with_constraints: bool,
     refinement: Option<Refinement>,
     refinement_cap: Option<usize>,
+    enumeration: Option<(ModelGrammar, EnumOptions)>,
     telemetry: bool,
 }
 
@@ -101,6 +103,7 @@ impl fmt::Debug for Inquiry {
             .field("seed", &self.seed)
             .field("with_constraints", &self.with_constraints)
             .field("refinement", &self.refinement.is_some())
+            .field("enumeration", &self.enumeration.is_some())
             .field("telemetry", &self.telemetry)
             .finish()
     }
@@ -119,6 +122,7 @@ impl Inquiry {
             with_constraints: false,
             refinement: None,
             refinement_cap: None,
+            enumeration: None,
             telemetry: false,
         }
     }
@@ -261,6 +265,19 @@ impl Inquiry {
         self
     }
 
+    /// Configures the grammar-enumerated model-family stage: `grammar` is
+    /// expanded under `options` and canonicalized into a
+    /// [`ModelFamily`](counterpoint_models::enumo::ModelFamily); each
+    /// assumption group then runs a [`LatticeSearch`] over its feature
+    /// sub-lattice, with Farkas certificates and witness rays shared across
+    /// groups through one [`CertificatePool`].  The per-group search graphs
+    /// and the enumeration accounting land in the report's `enumeration`
+    /// field; the JSON is byte-identical at every thread count.
+    pub fn model_grammar(mut self, grammar: ModelGrammar, options: EnumOptions) -> Inquiry {
+        self.enumeration = Some((grammar, options));
+        self
+    }
+
     /// Enables telemetry for the run: [`run`](Inquiry::run) claims the
     /// process-wide telemetry sink (when free), records spans and metrics
     /// across every pipeline stage, and attaches the resulting
@@ -307,6 +324,7 @@ impl Inquiry {
             with_constraints,
             refinement,
             refinement_cap,
+            enumeration,
             telemetry: record_telemetry,
         } = self;
 
@@ -319,7 +337,7 @@ impl Inquiry {
             .flatten();
         let inquiry_span = telemetry::span("inquiry", "");
 
-        if models.is_empty() && refinement.is_none() {
+        if models.is_empty() && refinement.is_none() && enumeration.is_none() {
             return Err(SessionError::NoModels);
         }
 
@@ -379,6 +397,22 @@ impl Inquiry {
         // panicking mid-search.
         let initial_refinement_cone = refinement.as_ref().map(|r| (r.generator)(&r.initial));
         if let Some(cone) = &initial_refinement_cone {
+            if cone.dimension() != observation_dimension {
+                return Err(SessionError::DimensionMismatch {
+                    model: cone.name().to_string(),
+                    model_dimension: cone.dimension(),
+                    observation_dimension,
+                });
+            }
+        }
+        // Expand the model grammar (pure in its inputs) and validate the
+        // enumerated lattices against the observations the same way.
+        let family = enumeration.map(|(grammar, options)| enumo::enumerate(&grammar, &options));
+        let initial_enumeration_cone = family
+            .as_ref()
+            .and_then(|f| f.groups.first())
+            .map(|group| group.generator()(&group.initial()));
+        if let Some(cone) = &initial_enumeration_cone {
             if cone.dimension() != observation_dimension {
                 return Err(SessionError::DimensionMismatch {
                     model: cone.name().to_string(),
@@ -464,6 +498,11 @@ impl Inquiry {
                     .as_ref()
                     .map(|cone| cone.counters().names().to_vec())
             })
+            .or_else(|| {
+                initial_enumeration_cone
+                    .as_ref()
+                    .map(|cone| cone.counters().names().to_vec())
+            })
             .unwrap_or_default();
         let evaluate_ms = evaluate_stage.finish_ms();
 
@@ -477,6 +516,46 @@ impl Inquiry {
             search.run(&r.initial, &observations)
         });
         let refine_ms = refine_stage.finish_ms();
+
+        // The enumerated-family stage: one lattice search per assumption
+        // group, sequentially in signature order (so pool seeding — and the
+        // report — never depend on group scheduling), sharing certificates
+        // across groups through one pool keyed by group signature.
+        let enumerate_stage = telemetry::stage_span("enumerate");
+        let enumeration_summary = family.map(|family| {
+            let pool = CertificatePool::new();
+            let mut groups = Vec::with_capacity(family.groups.len());
+            let mut cross_certificates = 0usize;
+            let mut cross_witnesses = 0usize;
+            for group in &family.groups {
+                let mut search = LatticeSearch::new(group.generator(), &group.universe_names());
+                if let Some(limit) = refinement_cap {
+                    search.set_max_models(limit);
+                }
+                search.set_threads(search_threads.unwrap_or(threads));
+                search.set_shared_pool(&pool, &group.signature);
+                let (graph, stats) = search.run_with_stats(&group.initial(), &observations);
+                cross_certificates += stats.cross_family_certificate_hits;
+                cross_witnesses += stats.cross_family_witness_hits;
+                groups.push(EnumeratedGroup {
+                    signature: group.signature.clone(),
+                    members: group.members.clone(),
+                    universe: group.universe_names(),
+                    graph,
+                });
+            }
+            EnumerationSummary {
+                raw_candidates: family.raw_candidates,
+                canonical_candidates: family.canonical_candidates,
+                members: family.len(),
+                skipped_path_limit: family.skipped_path_limit,
+                structural_duplicates: family.structural_duplicates,
+                groups,
+                cross_family_certificate_hits: cross_certificates,
+                cross_family_witness_hits: cross_witnesses,
+            }
+        });
+        let enumerate_ms = enumerate_stage.finish_ms();
 
         // Close the root span before finishing so its 'E' event makes the
         // snapshot, then detach the recording (if this run owned one).
@@ -498,10 +577,12 @@ impl Inquiry {
             essential_features,
             constraints,
             refinement: refinement_graph,
+            enumeration: enumeration_summary,
             stages: StageTimings {
                 collect_ms,
                 evaluate_ms,
                 refine_ms,
+                enumerate_ms,
                 total_ms: started.elapsed().as_secs_f64() * 1e3,
             },
             telemetry: telemetry_snapshot,
@@ -690,6 +771,74 @@ mod tests {
                 .run()
                 .unwrap();
             assert_eq!(report.to_json(), baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn enumeration_stage_lands_in_the_report_and_is_deterministic() {
+        use counterpoint_haswell::full_counter_space;
+        use counterpoint_models::aborts::AbortPoint;
+        use counterpoint_models::enumo::{EnumOptions, ModelGrammar};
+        use counterpoint_models::prefetch::TriggerSpec;
+        use counterpoint_models::Feature;
+
+        let space = full_counter_space();
+        // One observation every candidate refutes (walks completing more
+        // often than they start violate a constraint every model shares), so
+        // certificates harvested in the first group prune the later ones, and
+        // one trivially feasible observation.
+        let mut impossible = vec![0.0; space.len()];
+        impossible[space.index_of("load.ret").unwrap()] = 1000.0;
+        impossible[space.index_of("load.causes_walk").unwrap()] = 10.0;
+        impossible[space.index_of("load.walk_done").unwrap()] = 100.0;
+        impossible[space.index_of("load.walk_done_4k").unwrap()] = 100.0;
+        let observations = vec![
+            Observation::exact("impossible-walks", &impossible),
+            Observation::exact("origin", &vec![0.0; space.len()]),
+        ];
+        let grammar = ModelGrammar::case_study()
+            .with_features(vec![Feature::TlbPrefetch, Feature::WalkBypass])
+            .with_triggers(vec![("t0".to_string(), TriggerSpec::t0())])
+            .with_abort_points(vec![AbortPoint::DuringWalk]);
+        let options = EnumOptions {
+            max_models: 32,
+            ..EnumOptions::default()
+        };
+        let run = |threads: usize| {
+            Inquiry::new()
+                .observations(observations.clone())
+                .model_grammar(grammar.clone(), options)
+                .threads(threads)
+                .run()
+                .unwrap()
+        };
+
+        let baseline = run(1);
+        let summary = baseline.enumeration.as_ref().expect("stage configured");
+        assert!(summary.raw_candidates > summary.canonical_candidates);
+        assert!(summary.members > 0);
+        assert!(
+            summary.groups.len() > 1,
+            "assumptions must split into groups"
+        );
+        let searched: usize = summary.groups.iter().map(|g| g.graph.steps.len()).sum();
+        assert!(searched >= summary.groups.len());
+        assert!(
+            summary.cross_family_certificate_hits + summary.cross_family_witness_hits > 0,
+            "groups must reuse pooled evidence: {summary:?}"
+        );
+        // Counter names come from the enumerated generators when no models
+        // are registered.
+        assert_eq!(baseline.counters.len(), space.len());
+        // The in-memory hit counters are timing-dependent and must stay out
+        // of the JSON; everything else is byte-identical across threads.
+        assert!(!baseline.to_json().contains("cross_family"));
+        for threads in [2, 8] {
+            assert_eq!(
+                run(threads).to_json(),
+                baseline.to_json(),
+                "threads = {threads}"
+            );
         }
     }
 

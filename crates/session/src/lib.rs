@@ -75,7 +75,7 @@ pub mod verdict;
 pub use error::SessionError;
 pub use inquiry::Inquiry;
 pub use report::{
-    ModelConstraints, ModelVerdicts, ObservationSummary, Report, StageTimings, Timing,
-    REPORT_FORMAT_VERSION,
+    EnumeratedGroup, EnumerationSummary, ModelConstraints, ModelVerdicts, ObservationSummary,
+    Report, StageTimings, Timing, REPORT_FORMAT_VERSION,
 };
 pub use verdict::Verdict;

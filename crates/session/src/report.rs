@@ -64,6 +64,48 @@ pub struct ModelConstraints {
     pub constraints: Vec<String>,
 }
 
+/// One assumption group's search results in a grammar-enumerated family run:
+/// the models sharing a trigger condition and abort-point set, swept as one
+/// feature sub-lattice.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnumeratedGroup {
+    /// The group's assumption signature (trigger + abort points).
+    pub signature: String,
+    /// Canonical member names enumerated under this assumption.
+    pub members: Vec<String>,
+    /// The group's search universe (feature names).
+    pub universe: Vec<String>,
+    /// The group's discovery/elimination search graph.
+    pub graph: SearchGraph,
+}
+
+/// Accounting and per-group search graphs of the grammar-enumerated
+/// model-family stage (see `counterpoint_models::enumo`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnumerationSummary {
+    /// Closed terms the grammar produced before canonicalization.
+    pub raw_candidates: usize,
+    /// Distinct canonical specs after dedup (before the member cap).
+    pub canonical_candidates: usize,
+    /// Canonical members that survived the cap and the structural pass.
+    pub members: usize,
+    /// Candidates skipped because their μDDs exceeded the path budget.
+    pub skipped_path_limit: usize,
+    /// Candidates dropped as structural duplicates of earlier members.
+    pub structural_duplicates: usize,
+    /// Per-assumption-group search results, in signature order.
+    pub groups: Vec<EnumeratedGroup>,
+    /// Certificates harvested in one group that pruned observations in
+    /// another.  Timing-dependent (pool contents vary with worker
+    /// scheduling), so in-memory only — never serialized.
+    #[serde(skip)]
+    pub cross_family_certificate_hits: usize,
+    /// Witness rays reused across groups; in-memory only, like the
+    /// certificate hits.
+    #[serde(skip)]
+    pub cross_family_witness_hits: usize,
+}
+
 /// Per-stage wall-clock timings of an inquiry run, measured by the telemetry
 /// layer's stage spans (`counterpoint_telemetry::stage_span`), which tick even
 /// when no recording is active.  In-memory only: serialization skips the
@@ -77,6 +119,9 @@ pub struct StageTimings {
     /// Milliseconds spent in the refinement search (zero when the inquiry
     /// configured none).
     pub refine_ms: f64,
+    /// Milliseconds spent enumerating and searching grammar-enumerated model
+    /// families (zero when the inquiry configured none).
+    pub enumerate_ms: f64,
     /// Total wall-clock milliseconds of the run.
     pub total_ms: f64,
 }
@@ -116,6 +161,12 @@ pub struct Report {
     /// The discovery/elimination search graph (populated only when the
     /// inquiry configured a refinement search).
     pub refinement: Option<SearchGraph>,
+    /// Results of the grammar-enumerated model-family stage (populated only
+    /// when the inquiry configured one with
+    /// [`Inquiry::model_grammar`](crate::Inquiry::model_grammar); absent from
+    /// the JSON otherwise, so pre-existing reports parse unchanged).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub enumeration: Option<EnumerationSummary>,
     /// Per-stage wall-clock timings of the run (not serialized).
     #[serde(skip)]
     pub stages: StageTimings,
@@ -133,7 +184,7 @@ impl Report {
     pub fn timing(&self) -> Timing {
         Timing {
             collect_ms: self.stages.collect_ms,
-            evaluate_ms: self.stages.evaluate_ms + self.stages.refine_ms,
+            evaluate_ms: self.stages.evaluate_ms + self.stages.refine_ms + self.stages.enumerate_ms,
             total_ms: self.stages.total_ms,
         }
     }
@@ -241,10 +292,12 @@ mod tests {
                 constraints: vec!["load.pde$_miss <= load.causes_walk".to_string()],
             }],
             refinement: None,
+            enumeration: None,
             stages: StageTimings {
                 collect_ms: 12.5,
                 evaluate_ms: 3.25,
                 refine_ms: 1.0,
+                enumerate_ms: 0.0,
                 total_ms: 16.75,
             },
             telemetry: None,
@@ -277,7 +330,7 @@ mod tests {
         assert_eq!(legacy.collect_ms, report.stages.collect_ms);
         assert_eq!(
             legacy.evaluate_ms,
-            report.stages.evaluate_ms + report.stages.refine_ms
+            report.stages.evaluate_ms + report.stages.refine_ms + report.stages.enumerate_ms
         );
         assert_eq!(legacy.total_ms, report.stages.total_ms);
     }

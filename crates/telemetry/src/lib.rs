@@ -132,11 +132,23 @@ pub enum Metric {
     /// Harvested certificates or witness rays whose float margin was
     /// near-degenerate and were re-verified in exact rational arithmetic.
     LpExactRecertifications,
+    /// Enumerated model candidates skipped because their μDD exceeded the
+    /// configured path limit.
+    PathLimitModelSkips,
+    /// LP decisions that exhausted every solve path without converging and
+    /// reported an inconclusive verdict instead of a decision.
+    LpInconclusiveVerdicts,
+    /// Pooled Farkas certificates harvested in one model family that pruned
+    /// an observation in a *different* family.
+    CrossFamilyCertificateHits,
+    /// Pooled witness rays harvested in one model family that settled an
+    /// observation feasible in a *different* family.
+    CrossFamilyWitnessHits,
 }
 
 impl Metric {
     /// Every counter, in stable snapshot order.
-    pub const ALL: [Metric; 19] = [
+    pub const ALL: [Metric; 23] = [
         Metric::LpSolves,
         Metric::LpPivots,
         Metric::LpRefactorizations,
@@ -156,6 +168,10 @@ impl Metric {
         Metric::ScheduleInflationWarnings,
         Metric::LpTier2Escalations,
         Metric::LpExactRecertifications,
+        Metric::PathLimitModelSkips,
+        Metric::LpInconclusiveVerdicts,
+        Metric::CrossFamilyCertificateHits,
+        Metric::CrossFamilyWitnessHits,
     ];
 
     /// The snake_case name used in metrics snapshots.
@@ -180,6 +196,10 @@ impl Metric {
             Metric::ScheduleInflationWarnings => "schedule_inflation_warnings",
             Metric::LpTier2Escalations => "lp_tier2_escalations",
             Metric::LpExactRecertifications => "lp_exact_recertifications",
+            Metric::PathLimitModelSkips => "path_limit_model_skips",
+            Metric::LpInconclusiveVerdicts => "lp_inconclusive_verdicts",
+            Metric::CrossFamilyCertificateHits => "cross_family_certificate_hits",
+            Metric::CrossFamilyWitnessHits => "cross_family_witness_hits",
         }
     }
 }

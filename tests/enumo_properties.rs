@@ -1,0 +1,155 @@
+//! Property tests for the grammar-enumerated model families.
+//!
+//! The enumeration in `counterpoint-models::enumo` promises that the
+//! *presentation* of the grammar — the order productions list their
+//! alternatives in — never leaks into the enumerated family: permuting the
+//! feature, trigger, or abort-point lists must yield the same canonical
+//! members, in the same order, under the same names, and (end to end) a
+//! byte-identical session [`Report`] at every thread count.  These suites
+//! drive that promise with random permutations; the vendored proptest shim
+//! draws them from a deterministic per-test RNG, so failures reproduce.
+
+use counterpoint::models::aborts::AbortPoint;
+use counterpoint::models::enumo::{enumerate, EnumOptions, ModelFamily, ModelGrammar};
+use counterpoint::models::family::trigger_specs_table5;
+use counterpoint::models::{Feature, TriggerSpec};
+use counterpoint::{Inquiry, Observation};
+use counterpoint_haswell::full_counter_space;
+use proptest::prelude::*;
+
+/// Deterministic Fisher–Yates driven by a splitmix-style LCG, so a proptest
+/// seed fully determines the permutation.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// The full case-study grammar with every production's alternatives shuffled
+/// by `seed` (seed 0 leaves the canonical order in place for `i = 1`-sized
+/// prefixes only by accident — the LCG still permutes).
+fn shuffled_case_study(seed: u64) -> ModelGrammar {
+    let mut features = Feature::ALL.to_vec();
+    let mut triggers = trigger_specs_table5();
+    let mut aborts = AbortPoint::ALL.to_vec();
+    shuffle(&mut features, seed);
+    shuffle(&mut triggers, seed.wrapping_add(1));
+    shuffle(&mut aborts, seed.wrapping_add(2));
+    ModelGrammar::case_study()
+        .with_features(features)
+        .with_triggers(triggers)
+        .with_abort_points(aborts)
+}
+
+/// A stable projection of an enumerated family: everything the canonical
+/// order pins down, in order.
+fn family_fingerprint(family: &ModelFamily) -> Vec<String> {
+    let mut lines = vec![format!(
+        "raw={} canonical={} members={} skips={} dupes={}",
+        family.raw_candidates,
+        family.canonical_candidates,
+        family.len(),
+        family.skipped_path_limit,
+        family.structural_duplicates,
+    )];
+    for member in &family.members {
+        lines.push(format!("{}: {}", member.name, member.spec.signature()));
+    }
+    for group in &family.groups {
+        lines.push(format!(
+            "group {} [{}] -> {}",
+            group.signature,
+            group.universe_names().join(","),
+            group.members.join(","),
+        ));
+    }
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Permuting every production of the case-study grammar leaves the
+    /// canonical family — member names, spec signatures, assumption groups,
+    /// and all the accounting — exactly where the canonical-order grammar
+    /// puts it.
+    #[test]
+    fn enumeration_is_invariant_under_production_permutation(seed in 1u64..100_000) {
+        let options = EnumOptions {
+            max_models: 64,
+            ..EnumOptions::default()
+        };
+        let canonical = enumerate(&ModelGrammar::case_study(), &options);
+        let permuted = enumerate(&shuffled_case_study(seed), &options);
+        prop_assert!(canonical.raw_candidates >= 1000);
+        prop_assert_eq!(
+            family_fingerprint(&canonical),
+            family_fingerprint(&permuted)
+        );
+    }
+
+    /// End to end: a session over a permuted grammar serializes to the very
+    /// bytes the canonical grammar produces, at 1, 2, and 8 worker threads.
+    #[test]
+    fn report_json_survives_permutation_and_threading(seed in 1u64..100_000) {
+        let space = full_counter_space();
+        // One observation every candidate refutes (completing more walks than
+        // are started violates a shared facet) plus the trivially feasible
+        // origin — small enough that twelve cases stay cheap, rich enough
+        // that every group's search does real work.
+        let mut impossible = vec![0.0; space.len()];
+        impossible[space.index_of("load.ret").unwrap()] = 1000.0;
+        impossible[space.index_of("load.causes_walk").unwrap()] = 10.0;
+        impossible[space.index_of("load.walk_done").unwrap()] = 100.0;
+        impossible[space.index_of("load.walk_done_4k").unwrap()] = 100.0;
+        let observations = vec![
+            Observation::exact("impossible-walks", &impossible),
+            Observation::exact("origin", &vec![0.0; space.len()]),
+        ];
+
+        let mut features = vec![Feature::TlbPrefetch, Feature::WalkBypass];
+        let mut triggers = vec![
+            ("t0".to_string(), TriggerSpec::t0()),
+            ("t1".to_string(), trigger_specs_table5()[1].1),
+        ];
+        let mut aborts = vec![AbortPoint::DuringWalk, AbortPoint::AfterPsc];
+        shuffle(&mut features, seed);
+        shuffle(&mut triggers, seed.wrapping_add(1));
+        shuffle(&mut aborts, seed.wrapping_add(2));
+
+        let options = EnumOptions {
+            max_models: 24,
+            ..EnumOptions::default()
+        };
+        let run = |grammar: ModelGrammar, threads: usize| {
+            Inquiry::new()
+                .observations(observations.clone())
+                .model_grammar(grammar, options)
+                .threads(threads)
+                .run()
+                .unwrap()
+                .to_json()
+        };
+        let canonical = run(
+            ModelGrammar::case_study()
+                .with_features(vec![Feature::TlbPrefetch, Feature::WalkBypass])
+                .with_triggers(vec![
+                    ("t0".to_string(), TriggerSpec::t0()),
+                    ("t1".to_string(), trigger_specs_table5()[1].1),
+                ])
+                .with_abort_points(vec![AbortPoint::DuringWalk, AbortPoint::AfterPsc]),
+            1,
+        );
+        for threads in [1usize, 2, 8] {
+            let grammar = ModelGrammar::case_study()
+                .with_features(features.clone())
+                .with_triggers(triggers.clone())
+                .with_abort_points(aborts.clone());
+            prop_assert_eq!(&run(grammar, threads), &canonical, "threads = {}", threads);
+        }
+    }
+}
